@@ -1,0 +1,18 @@
+//! Ablations: link aggregation width and routing strategy. Prints both
+//! tables, then times the aggregation sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swallow_bench::experiments::ablation;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ablation::run(128, 32));
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("aggregation_sweep_32_words", |b| {
+        b.iter(|| ablation::run(32, 8))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! §V.D — EC ratio ladder. Prints analytic + measured ratios, then times
+//! the five-scenario run at a reduced volume.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swallow_bench::experiments::ec_ratio;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ec_ratio::run(128));
+    let mut g = c.benchmark_group("ec");
+    g.sample_size(10);
+    g.bench_function("five_scenarios_32_words", |b| b.iter(|| ec_ratio::run(32)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

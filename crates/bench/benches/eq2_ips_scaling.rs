@@ -1,0 +1,19 @@
+//! Eq. 2 — IPS vs thread count. Prints measured vs formula, then times
+//! the eight-point sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swallow::Frequency;
+use swallow_bench::experiments::eq2;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", eq2::run(Frequency::from_mhz(500), 24_000));
+    let mut g = c.benchmark_group("eq2");
+    g.sample_size(10);
+    g.bench_function("thread_sweep_6k_cycles", |b| {
+        b.iter(|| eq2::run(Frequency::from_mhz(500), 6_000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Fig. 2 — node power breakdown. Prints the reproduced split, then times
+//! the loaded-node measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swallow::TimeDelta;
+use swallow_bench::experiments::fig2;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig2::run(TimeDelta::from_us(40)));
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("loaded_node_10us", |b| {
+        b.iter(|| fig2::run(TimeDelta::from_us(10)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Fig. 3 — power vs frequency. Prints the sweep and the Eq. 1 fit, then
+//! times one sweep point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swallow_bench::experiments::fig3;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig3::run(20_000));
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("sweep_4k_cycles_per_point", |b| b.iter(|| fig3::run(4_000)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

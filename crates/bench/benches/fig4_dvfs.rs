@@ -1,0 +1,16 @@
+//! Fig. 4 — DVFS savings. Prints the scaled sweep (with simulated
+//! verification), then times it at a reduced window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swallow_bench::experiments::fig4;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig4::run(10_000));
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("dvfs_sweep_2k_cycles", |b| b.iter(|| fig4::run(2_000)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! §V.C — communication latency ladder. Prints the measured one-way
+//! latencies, then times a single core-local ping-pong measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swallow_bench::experiments::latency;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", latency::run(64));
+    let mut g = c.benchmark_group("latency");
+    g.sample_size(10);
+    g.bench_function("ladder_16_pings", |b| b.iter(|| latency::run(16)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

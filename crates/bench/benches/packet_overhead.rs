@@ -1,0 +1,18 @@
+//! §V.B — packet protocol overhead vs packet size. Prints the sweep,
+//! then times it at a reduced volume.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swallow_bench::experiments::overhead;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", overhead::run(512));
+    let mut g = c.benchmark_group("overhead");
+    g.sample_size(10);
+    g.bench_function("packet_size_sweep_128_words", |b| {
+        b.iter(|| overhead::run(128))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! §III — energy proportionality in load. Prints the sweep and the
+//! linear fit, then times it at a reduced window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swallow::Frequency;
+use swallow_bench::experiments::proportionality;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", proportionality::run(Frequency::from_mhz(500), 12_000));
+    let mut g = c.benchmark_group("proportionality");
+    g.sample_size(10);
+    g.bench_function("load_sweep_3k_cycles", |b| {
+        b.iter(|| proportionality::run(Frequency::from_mhz(500), 3_000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

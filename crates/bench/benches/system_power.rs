@@ -1,0 +1,19 @@
+//! §III.A — headline system power/throughput. Prints the loaded-slice
+//! measurements and extrapolations, then times a short loaded-slice run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swallow::TimeDelta;
+use swallow_bench::experiments::system_power;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", system_power::run(TimeDelta::from_us(20)));
+    let mut g = c.benchmark_group("system");
+    g.sample_size(10);
+    g.bench_function("loaded_slice_5us", |b| {
+        b.iter(|| system_power::run(TimeDelta::from_us(5)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

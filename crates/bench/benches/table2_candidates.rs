@@ -1,0 +1,24 @@
+//! Table II — candidate processor comparison. Prints the table and times
+//! the requirement predicate (trivially fast; kept for completeness of
+//! the one-bench-per-table rule).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swallow_bench::survey::{table2_candidates, Table2};
+
+fn bench(c: &mut Criterion) {
+    println!("Table II — candidate Swallow processors:");
+    println!("{}", Table2(table2_candidates()));
+    let mut g = c.benchmark_group("table2");
+    g.bench_function("requirement_predicate", |b| {
+        b.iter(|| {
+            table2_candidates()
+                .iter()
+                .filter(|c| c.meets_requirements())
+                .count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Table III — many-core system survey. Prints the table (with Swallow's
+//! row derived from the power model) and times the derivation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swallow_bench::survey::{swallow_row, table3_systems, Table3};
+
+fn bench(c: &mut Criterion) {
+    println!("Table III — many-core system survey:");
+    println!("{}", Table3(table3_systems()));
+    let mut g = c.benchmark_group("table3");
+    g.bench_function("derive_swallow_row", |b| {
+        b.iter(|| swallow_row().microwatts_per_mhz())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Regenerates every table and figure of the paper from simulation.
+//!
+//! ```text
+//! cargo run --release -p swallow-bench --bin reproduce            # everything
+//! cargo run --release -p swallow-bench --bin reproduce fig3 ec   # a subset
+//! cargo run --release -p swallow-bench --bin reproduce --quick   # smaller workloads
+//! ```
+//!
+//! Experiment names: table1 fig2 fig3 fig4 table2 eq2 latency overhead ec
+//! table3 system system480.
+
+use std::time::Instant;
+use swallow::{Frequency, TimeDelta};
+use swallow_bench::experiments::{
+    ablation, ec_ratio, eq2, fig2, fig3, fig4, latency, overhead, proportionality,
+    system_power, table1,
+};
+use swallow_bench::survey;
+
+const ALL: [&str; 14] = [
+    "table1", "fig2", "fig3", "fig4", "table2", "eq2", "latency", "overhead", "ec", "table3",
+    "system", "system480", "ablation", "proportionality",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let wanted = |name: &str| {
+        if selected.is_empty() {
+            // system480 is expensive; only on request or with everything
+            // in non-quick mode.
+            name != "system480" || !quick
+        } else {
+            selected.contains(&name)
+        }
+    };
+    for name in ALL {
+        if !wanted(name) {
+            continue;
+        }
+        let t0 = Instant::now();
+        println!("==================================================================");
+        match name {
+            "table1" => println!("{}", table1::run(if quick { 128 } else { 512 })),
+            "fig2" => println!(
+                "{}",
+                fig2::run(TimeDelta::from_us(if quick { 20 } else { 60 }))
+            ),
+            "fig3" => println!("{}", fig3::run(if quick { 6_000 } else { 30_000 })),
+            "fig4" => println!("{}", fig4::run(if quick { 4_000 } else { 20_000 })),
+            "table2" => {
+                println!("Table II — candidate Swallow processors:");
+                println!("{}", survey::Table2(survey::table2_candidates()));
+            }
+            "eq2" => println!(
+                "{}",
+                eq2::run(Frequency::from_mhz(500), if quick { 12_000 } else { 48_000 })
+            ),
+            "latency" => println!("{}", latency::run(if quick { 16 } else { 64 })),
+            "overhead" => println!("{}", overhead::run(if quick { 128 } else { 512 })),
+            "ec" => println!("{}", ec_ratio::run(if quick { 64 } else { 256 })),
+            "table3" => {
+                println!("Table III — many-core system survey (Swallow row derived from the model):");
+                println!("{}", survey::Table3(survey::table3_systems()));
+            }
+            "system" => println!(
+                "{}",
+                system_power::run(TimeDelta::from_us(if quick { 10 } else { 40 }))
+            ),
+            "proportionality" => println!(
+                "{}",
+                proportionality::run(
+                    Frequency::from_mhz(500),
+                    if quick { 6_000 } else { 24_000 }
+                )
+            ),
+            "ablation" => println!(
+                "{}",
+                ablation::run(if quick { 64 } else { 256 }, if quick { 16 } else { 64 })
+            ),
+            "system480" => {
+                println!("§III.A — direct 480-core machine run (6×5 slices, fully loaded):");
+                let span = TimeDelta::from_ns(if quick { 500 } else { 2_000 });
+                let (gips, watts) = system_power::run_480(span);
+                println!("  measured: {gips:.1} GIPS, {watts:.1} W at the 5 V inputs");
+                println!("  paper:    240 GIPS, 134 W");
+            }
+            other => {
+                eprintln!("unknown experiment `{other}`; known: {ALL:?}");
+                std::process::exit(2);
+            }
+        }
+        println!("[{name} took {:.2?}]", t0.elapsed());
+    }
+}

@@ -1,0 +1,147 @@
+//! §V.D — the computation-to-communication (EC) ratio ladder.
+//!
+//! For each scenario the analytic `E` and `C` reproduce the paper's 1 /
+//! 16 / 64 / 256 / 512 ladder; in addition the scenario's workload runs
+//! on a simulated slice and the *achieved* communication bandwidth is
+//! measured, showing how protocol overhead and contention bite.
+
+use std::fmt;
+use swallow::{Frequency, SystemBuilder, TimeDelta};
+use swallow_workloads::ec::EcScenario;
+
+/// One scenario row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EcRow {
+    /// Scenario.
+    pub scenario: EcScenario,
+    /// Analytic E (Gbit/s).
+    pub e_gbps: f64,
+    /// Analytic C (Gbit/s).
+    pub c_gbps: f64,
+    /// Analytic EC ratio.
+    pub analytic_ratio: f64,
+    /// Paper's EC ratio.
+    pub paper_ratio: f64,
+    /// Measured achieved payload bandwidth (Gbit/s).
+    pub achieved_gbps: f64,
+}
+
+/// The whole experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EcRatios {
+    /// Core clock used for `E`.
+    pub frequency: Frequency,
+    /// One row per scenario.
+    pub rows: Vec<EcRow>,
+}
+
+/// Runs every scenario with `words_per_flow` words per stream.
+pub fn run(words_per_flow: u32) -> EcRatios {
+    let f = Frequency::from_mhz(500);
+    let mut rows = Vec::new();
+    for scenario in EcScenario::ALL {
+        let mut system = SystemBuilder::new().build().expect("one slice");
+        let placement = scenario.workload(words_per_flow).expect("generates");
+        placement.apply(&mut system).expect("loads");
+        let t0 = system.now();
+        assert!(
+            system.run_until_quiescent(TimeDelta::from_ms(500)),
+            "{} did not drain ({:?})",
+            scenario.name(),
+            system.first_trap()
+        );
+        let elapsed = system.now().since(t0).as_secs_f64();
+        // Payload actually moved: words per flow × flows × 32 bits. Count
+        // flows from the placement's known shapes.
+        let flows = match scenario {
+            EcScenario::SliceBisection => 8,
+            _ => 4,
+        } as f64;
+        let payload_bits = words_per_flow as f64 * flows * 32.0;
+        rows.push(EcRow {
+            scenario,
+            e_gbps: scenario.compute_bandwidth_bps(f) / 1e9,
+            c_gbps: scenario.comm_bandwidth_bps(f) / 1e9,
+            analytic_ratio: scenario.analytic_ratio(f),
+            paper_ratio: scenario.paper_ratio(),
+            achieved_gbps: payload_bits / elapsed / 1e9,
+        });
+    }
+    EcRatios {
+        frequency: f,
+        rows,
+    }
+}
+
+impl fmt::Display for EcRatios {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "§V.D — EC ratios at {} (E = compute bandwidth, C = comm bandwidth):",
+            self.frequency
+        )?;
+        writeln!(
+            f,
+            "{:<30} {:>10} {:>10} {:>9} {:>9} {:>14}",
+            "Scenario", "E (Gb/s)", "C (Gb/s)", "E/C", "paper", "achieved C"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<30} {:>10.2} {:>10.3} {:>9.0} {:>9.0} {:>9.3} Gb/s",
+                r.scenario.name(),
+                r.e_gbps,
+                r.c_gbps,
+                r.analytic_ratio,
+                r.paper_ratio,
+                r.achieved_gbps
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_matches_paper() {
+        let ec = run(64);
+        for r in &ec.rows {
+            assert!(
+                (r.analytic_ratio - r.paper_ratio).abs() / r.paper_ratio < 0.01,
+                "{:?}",
+                r
+            );
+        }
+    }
+
+    #[test]
+    fn achieved_bandwidth_never_exceeds_analytic_c() {
+        let ec = run(64);
+        for r in &ec.rows {
+            assert!(
+                r.achieved_gbps <= r.c_gbps * 1.02,
+                "{}: achieved {} > C {}",
+                r.scenario.name(),
+                r.achieved_gbps,
+                r.c_gbps
+            );
+        }
+    }
+
+    #[test]
+    fn contended_link_is_slowest_per_flow() {
+        let ec = run(64);
+        let by = |s: EcScenario| {
+            ec.rows
+                .iter()
+                .find(|r| r.scenario == s)
+                .expect("row")
+                .achieved_gbps
+        };
+        // Four flows on one link achieve less than four flows on four links.
+        assert!(by(EcScenario::ExternalContended) <= by(EcScenario::ChipAggregate));
+    }
+}

@@ -1,0 +1,137 @@
+//! Eq. 2 — instruction throughput vs active thread count.
+//!
+//! `IPSt = f / max(4, Nt)` and `IPSc = f · min(4, Nt) / 4`: per-thread
+//! rate falls once more than four threads share the four-stage pipeline,
+//! while aggregate throughput saturates at `f`. Measured by running `Nt`
+//! busy threads on one simulated core and counting retirements.
+
+use std::fmt;
+use swallow::isa::{Assembler, NodeId, ThreadId};
+use swallow::xcore::{Core, CoreConfig};
+use swallow::Frequency;
+
+/// One measurement row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Eq2Row {
+    /// Active threads.
+    pub threads: usize,
+    /// Measured per-thread MIPS.
+    pub per_thread_mips: f64,
+    /// Eq. 2's per-thread prediction.
+    pub formula_thread_mips: f64,
+    /// Measured aggregate MIPS.
+    pub aggregate_mips: f64,
+    /// Eq. 2's aggregate prediction.
+    pub formula_aggregate_mips: f64,
+}
+
+/// The whole experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Eq2 {
+    /// Core clock used.
+    pub frequency: Frequency,
+    /// One row per thread count 1..=8.
+    pub rows: Vec<Eq2Row>,
+}
+
+/// Runs the sweep at `f` with a measurement window of `window` cycles.
+pub fn run(f: Frequency, window: u64) -> Eq2 {
+    let mut rows = Vec::new();
+    for nt in 1..=8usize {
+        let spawners = nt - 1;
+        let src = format!(
+            "
+                ldc   r5, {spawners}
+                ldap  r6, worker
+            spawn:
+                bf    r5, worker
+                tspawn r7, r6, r5
+                sub   r5, r5, 1
+                bu    spawn
+            worker:
+                add   r1, r1, 1
+                bu    worker
+            "
+        );
+        let program = Assembler::new().assemble(&src).expect("assembles");
+        let mut config = CoreConfig::swallow(NodeId(0));
+        config.frequency = f;
+        let mut core = Core::new(config);
+        core.load_program(&program).expect("fits");
+        for _ in 0..200 {
+            core.tick(core.next_tick_at());
+        }
+        let before: Vec<u64> = (0..8).map(|t| core.thread_instret(ThreadId(t))).collect();
+        for _ in 0..window {
+            core.tick(core.next_tick_at());
+        }
+        let deltas: Vec<u64> = (0..8)
+            .map(|t| core.thread_instret(ThreadId(t)) - before[t as usize])
+            .filter(|&d| d > 0)
+            .collect();
+        let secs = (f.period() * window).as_secs_f64();
+        let total: u64 = deltas.iter().sum();
+        let per_thread = total as f64 / deltas.len() as f64 / secs / 1e6;
+        let f_mips = f.as_mhz_f64();
+        rows.push(Eq2Row {
+            threads: nt,
+            per_thread_mips: per_thread,
+            formula_thread_mips: f_mips / (nt.max(4) as f64),
+            aggregate_mips: total as f64 / secs / 1e6,
+            formula_aggregate_mips: f_mips * (nt.min(4) as f64) / 4.0,
+        });
+    }
+    Eq2 { frequency: f, rows }
+}
+
+impl fmt::Display for Eq2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Eq. 2 — thread scaling at {}:", self.frequency)?;
+        writeln!(
+            f,
+            "{:>3} {:>16} {:>14} {:>16} {:>14}",
+            "Nt", "IPSt meas", "IPSt=f/max(4,N)", "IPSc meas", "IPSc formula"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>3} {:>12.1} MIPS {:>10.1} MIPS {:>12.1} MIPS {:>10.1} MIPS",
+                r.threads,
+                r.per_thread_mips,
+                r.formula_thread_mips,
+                r.aggregate_mips,
+                r.formula_aggregate_mips
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_match_the_formula_within_one_percent() {
+        let eq2 = run(Frequency::from_mhz(500), 24_000);
+        for r in &eq2.rows {
+            let thread_err =
+                (r.per_thread_mips - r.formula_thread_mips).abs() / r.formula_thread_mips;
+            let agg_err =
+                (r.aggregate_mips - r.formula_aggregate_mips).abs() / r.formula_aggregate_mips;
+            assert!(thread_err < 0.01, "{r:?}");
+            assert!(agg_err < 0.01, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn aggregate_saturates_at_four_threads() {
+        let eq2 = run(Frequency::from_mhz(400), 12_000);
+        let at = |n: usize| eq2.rows[n - 1].aggregate_mips;
+        assert!(at(2) > at(1) * 1.9);
+        assert!((at(8) - at(4)).abs() / at(4) < 0.01);
+        // Per-thread rate halves from 4 to 8 threads.
+        let pt = |n: usize| eq2.rows[n - 1].per_thread_mips;
+        assert!((pt(8) * 2.0 - pt(4)).abs() / pt(4) < 0.02);
+    }
+}

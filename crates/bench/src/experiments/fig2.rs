@@ -1,0 +1,197 @@
+//! Fig. 2 — power distribution for each Swallow processor node.
+//!
+//! The paper breaks a 260 mW node into: computation & memory 78 mW (30 %),
+//! static 68 mW (26 %), network interface 58 mW (22 %), DC-DC & I/O 46 mW
+//! (18 %), other 10 mW (4 %). We reproduce the split by running a loaded,
+//! *communicating* node — three heavy-mix threads plus one thread
+//! streaming packets to a neighbour — and reading its energy ledger.
+
+use std::fmt;
+use swallow::energy::NodeCategory;
+use swallow::{Assembler, NodeId, SystemBuilder, TimeDelta};
+use swallow_workloads::codegen::chanend_rid;
+
+/// One wedge of the pie.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fig2Row {
+    /// Energy category.
+    pub category: NodeCategory,
+    /// Measured mean power (mW).
+    pub measured_mw: f64,
+    /// Measured fraction of node power.
+    pub measured_fraction: f64,
+    /// Paper's mW for a 260 mW node.
+    pub paper_mw: f64,
+}
+
+/// The whole figure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig2 {
+    /// One row per category.
+    pub rows: Vec<Fig2Row>,
+    /// Total node power (mW); the paper's is 260 mW.
+    pub total_mw: f64,
+}
+
+/// Paper values (mW per category of the 260 mW node).
+pub fn paper_mw(category: NodeCategory) -> f64 {
+    match category {
+        NodeCategory::Compute => 78.0,
+        NodeCategory::Static => 68.0,
+        NodeCategory::Network => 58.0,
+        NodeCategory::Supply => 46.0,
+        NodeCategory::Other => 10.0,
+    }
+}
+
+/// Runs the loaded-node measurement for `span` of simulated time.
+pub fn run(span: TimeDelta) -> Fig2 {
+    let mut system = SystemBuilder::new().build().expect("one slice");
+    // The measured node: 1 (horizontal layer of package 0). It streams
+    // East to node 3 while four more threads run the heavy mix (the
+    // sender thread is often blocked on the link, so the four mix threads
+    // keep the issue slots full — the Fig. 2 node is fully loaded).
+    let node = NodeId(1);
+    let sink = NodeId(3);
+    let dest = chanend_rid(sink, 0);
+    let program = Assembler::new()
+        .assemble(&format!(
+            "
+                getr  r0, chanend
+                ldc   r1, {dest}
+                setd  r0, r1
+                ldc   r5, 4
+                ldap  r6, worker
+            spawn:
+                tspawn r7, r6, r5
+                sub   r5, r5, 1
+                bt    r5, spawn
+                ldc   r2, 0
+            txloop:                   # streaming thread: 8-word packets
+                ldc   r3, 8
+            txw:
+                out   r0, r2
+                add   r2, r2, 1
+                sub   r3, r3, 1
+                bt    r3, txw
+                outct r0, end
+                bu    txloop
+            worker:                   # heavy-mix thread (r0 = index)
+                getr  r11, timer
+                shl   r10, r0, 6
+                ldc   r9, 0x1000
+                add   r10, r10, r9
+                ldc   r0, 0
+            mix:
+                add   r1, r1, 1
+                add   r2, r2, r1
+                xor   r3, r3, r1
+                shl   r4, r1, 3
+                and   r5, r3, r4
+                or    r6, r5, r2
+                sub   r7, r6, r1
+                add   r8, r8, r7
+                add   r2, r2, 1
+                ldw   r9, r10[0]
+                stw   r9, r10[1]
+                ldw   r9, r10[2]
+                stw   r9, r10[3]
+                ld8u  r9, r10[0]
+                mul   r9, r1, r2
+                in    r9, r11
+                in    r9, r11
+                bt    r0, mix
+                bt    r0, mix
+                bu    mix
+            "
+        ))
+        .expect("assembles");
+    system.load_program(node, &program).expect("fits");
+    // Sink: drain forever.
+    let drain = Assembler::new()
+        .assemble(
+            "
+                getr  r0, chanend
+            dl:
+                in    r1, r0
+                bu    dl
+            ",
+        )
+        .expect("assembles");
+    system.load_program(sink, &drain).expect("fits");
+    system.run_for(span);
+
+    let ledger = system.machine().node_ledger(node);
+    let total_mw = ledger.total().over(span).as_milliwatts();
+    let rows = NodeCategory::ALL
+        .into_iter()
+        .map(|category| Fig2Row {
+            category,
+            measured_mw: ledger.get(category).over(span).as_milliwatts(),
+            measured_fraction: ledger.fraction(category),
+            paper_mw: paper_mw(category),
+        })
+        .collect();
+    Fig2 { rows, total_mw }
+}
+
+impl fmt::Display for Fig2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 2 — power distribution per node (paper: 260 mW total):")?;
+        writeln!(
+            f,
+            "{:<26} {:>10} {:>8} {:>11} {:>9}",
+            "Category", "meas mW", "meas %", "paper mW", "paper %"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<26} {:>10.1} {:>7.1}% {:>11.0} {:>8.1}%",
+                r.category.label(),
+                r.measured_mw,
+                r.measured_fraction * 100.0,
+                r.paper_mw,
+                r.paper_mw / 260.0 * 100.0
+            )?;
+        }
+        writeln!(f, "{:<26} {:>10.1}", "Total", self.total_mw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_resembles_fig2() {
+        let fig = run(TimeDelta::from_us(40));
+        // Total node power lands near the paper's 260 mW.
+        assert!(
+            (215.0..300.0).contains(&fig.total_mw),
+            "total = {} mW",
+            fig.total_mw
+        );
+        // Every fraction within 7 percentage points of the paper's pie.
+        for r in &fig.rows {
+            let paper_frac = r.paper_mw / 260.0;
+            assert!(
+                (r.measured_fraction - paper_frac).abs() < 0.07,
+                "{}: {:.1}% vs paper {:.1}%",
+                r.category.label(),
+                r.measured_fraction * 100.0,
+                paper_frac * 100.0
+            );
+        }
+        // Ordering of the big wedges: compute and static lead, then NI.
+        let get = |c: NodeCategory| {
+            fig.rows
+                .iter()
+                .find(|r| r.category == c)
+                .expect("row")
+                .measured_mw
+        };
+        assert!(get(NodeCategory::Compute) > get(NodeCategory::Supply));
+        assert!(get(NodeCategory::Static) > get(NodeCategory::Other));
+        assert!(get(NodeCategory::Network) > get(NodeCategory::Other));
+    }
+}

@@ -1,0 +1,139 @@
+//! Fig. 3 — power consumption with frequency scaling (four cores).
+//!
+//! Sweeps the core clock over the paper's 71–500 MHz range for two loads
+//! (all threads idle; four heavy-mix threads), measures mean power from
+//! the simulated energy ledgers, and fits the loaded series to recover
+//! Eq. 1's coefficients (`Pc = 46 + 0.30·f` mW).
+
+use super::heavy_mix_program;
+use std::fmt;
+use swallow::isa::NodeId;
+use swallow::xcore::{Core, CoreConfig};
+use swallow::{Frequency, TimeDelta};
+use swallow_sim::stats::LinearFit;
+
+/// The paper's sweep points (MHz).
+pub const SWEEP_MHZ: [u64; 8] = [71, 100, 150, 200, 250, 300, 400, 500];
+
+/// One sweep point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fig3Row {
+    /// Clock in MHz.
+    pub mhz: u64,
+    /// Measured power with zero active threads (mW, per core).
+    pub idle_mw: f64,
+    /// Measured power with four heavy-mix threads (mW, per core).
+    pub loaded_mw: f64,
+    /// Eq. 1's closed-form prediction (mW).
+    pub eq1_mw: f64,
+}
+
+/// The whole figure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig3 {
+    /// Sweep rows.
+    pub rows: Vec<Fig3Row>,
+    /// Fit of the loaded series: (intercept mW, slope mW/MHz, R²).
+    pub fit: (f64, f64, f64),
+}
+
+fn measure_core(f: Frequency, threads: Option<usize>, cycles: u64) -> f64 {
+    let mut config = CoreConfig::swallow(NodeId(0));
+    config.frequency = f;
+    let mut core = Core::new(config);
+    if let Some(t) = threads {
+        core.load_program(&heavy_mix_program(t)).expect("fits");
+    }
+    // Warm-up flushes the spawn phase out of the measurement window.
+    for _ in 0..1_000 {
+        core.tick(core.next_tick_at());
+    }
+    let e0 = core.ledger().total();
+    let t0 = core.next_tick_at();
+    for _ in 0..cycles {
+        core.tick(core.next_tick_at());
+    }
+    let span = core.next_tick_at().since(t0);
+    (core.ledger().total() - e0).over(span).as_milliwatts()
+}
+
+/// Runs the sweep. `cycles` sets the measurement window per point
+/// (20 000 is plenty; the model has no noise beyond startup effects).
+pub fn run(cycles: u64) -> Fig3 {
+    let model = swallow::energy::CorePowerModel::swallow();
+    let mut rows = Vec::new();
+    let mut fit = LinearFit::new();
+    for mhz in SWEEP_MHZ {
+        let f = Frequency::from_mhz(mhz);
+        let idle_mw = measure_core(f, None, cycles);
+        let loaded_mw = measure_core(f, Some(4), cycles);
+        let eq1_mw = model.eq1_power(f).as_milliwatts();
+        fit.push(mhz as f64, loaded_mw);
+        rows.push(Fig3Row {
+            mhz,
+            idle_mw,
+            loaded_mw,
+            eq1_mw,
+        });
+    }
+    let (intercept, slope) = fit.solve().expect("8 distinct points");
+    let r2 = fit.r_squared().expect("solvable");
+    Fig3 {
+        rows,
+        fit: (intercept, slope, r2),
+    }
+}
+
+impl fmt::Display for Fig3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 3 — power vs frequency (per core):")?;
+        writeln!(
+            f,
+            "{:>7} {:>12} {:>12} {:>12}",
+            "f (MHz)", "idle (mW)", "loaded (mW)", "Eq.1 (mW)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>7} {:>12.1} {:>12.1} {:>12.1}",
+                r.mhz, r.idle_mw, r.loaded_mw, r.eq1_mw
+            )?;
+        }
+        writeln!(
+            f,
+            "loaded fit: P = {:.1} + {:.3}·f mW (R² = {:.5}); paper: P = 46 + 0.30·f",
+            self.fit.0, self.fit.1, self.fit.2
+        )?;
+        let _ = TimeDelta::ZERO;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_eq1() {
+        let fig = run(8_000);
+        let (intercept, slope, r2) = fig.fit;
+        assert!((intercept - 46.0).abs() < 3.0, "intercept = {intercept}");
+        assert!((slope - 0.30).abs() < 0.02, "slope = {slope}");
+        assert!(r2 > 0.999, "r2 = {r2}");
+    }
+
+    #[test]
+    fn idle_line_is_below_loaded_everywhere() {
+        let fig = run(4_000);
+        for r in &fig.rows {
+            assert!(r.idle_mw < r.loaded_mw, "{r:?}");
+            assert!((r.loaded_mw - r.eq1_mw).abs() < 6.0, "{r:?}");
+        }
+        // End points match the paper's quoted values.
+        let p71 = fig.rows.first().expect("71 MHz");
+        assert!((p71.loaded_mw - 67.0).abs() < 4.0);
+        let p500 = fig.rows.last().expect("500 MHz");
+        assert!((p500.loaded_mw - 196.0).abs() < 5.0);
+        assert!((p500.idle_mw - 113.0).abs() < 3.0);
+    }
+}

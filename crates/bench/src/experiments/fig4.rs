@@ -1,0 +1,140 @@
+//! Fig. 4 — impact of voltage and frequency scaling (one core, loaded).
+//!
+//! The shipped boards are fixed at 1 V; the paper measures the minimum
+//! stable voltage at 71 MHz (0.60 V) and 500 MHz (0.95 V) and applies
+//! `P = C·V²·f`. We do the same — and additionally *verify* the scaling
+//! by running the simulated core with its power model re-biased to the
+//! DVFS voltage.
+
+use super::heavy_mix_program;
+use std::fmt;
+use swallow::energy::{CorePowerModel, DvfsTable};
+use swallow::isa::NodeId;
+use swallow::xcore::{Core, CoreConfig};
+use swallow::Frequency;
+
+/// One sweep point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fig4Row {
+    /// Clock in MHz.
+    pub mhz: u64,
+    /// Power at the fixed 1 V supply (mW, Eq. 1).
+    pub p_1v_mw: f64,
+    /// Minimum stable voltage at this clock (V).
+    pub volts: f64,
+    /// Power after voltage scaling (mW).
+    pub p_dvfs_mw: f64,
+    /// Simulated verification at the DVFS voltage (mW).
+    pub simulated_mw: f64,
+}
+
+/// The whole figure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig4 {
+    /// Sweep rows.
+    pub rows: Vec<Fig4Row>,
+}
+
+fn simulate_at(f: Frequency, model: CorePowerModel, cycles: u64) -> f64 {
+    let mut config = CoreConfig::swallow(NodeId(0));
+    config.frequency = f;
+    config.power = model;
+    let mut core = Core::new(config);
+    core.load_program(&heavy_mix_program(4)).expect("fits");
+    for _ in 0..1_000 {
+        core.tick(core.next_tick_at());
+    }
+    let e0 = core.ledger().total();
+    let t0 = core.next_tick_at();
+    for _ in 0..cycles {
+        core.tick(core.next_tick_at());
+    }
+    let span = core.next_tick_at().since(t0);
+    (core.ledger().total() - e0).over(span).as_milliwatts()
+}
+
+/// Runs the sweep over the Fig. 3 frequencies.
+pub fn run(cycles: u64) -> Fig4 {
+    let table = DvfsTable::swallow();
+    let nominal = CorePowerModel::swallow();
+    let rows = super::fig3::SWEEP_MHZ
+        .iter()
+        .map(|&mhz| {
+            let f = Frequency::from_mhz(mhz);
+            let p_1v = nominal.eq1_power(f);
+            let volts = table.voltage_at(f);
+            let p_dvfs = table.scale_power(p_1v, f);
+            let simulated = simulate_at(f, nominal.at_voltage(volts), cycles);
+            Fig4Row {
+                mhz,
+                p_1v_mw: p_1v.as_milliwatts(),
+                volts: volts.as_volts(),
+                p_dvfs_mw: p_dvfs.as_milliwatts(),
+                simulated_mw: simulated,
+            }
+        })
+        .collect();
+    Fig4 { rows }
+}
+
+impl fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 4 — DVFS impact (one core, four active threads):")?;
+        writeln!(
+            f,
+            "{:>7} {:>12} {:>7} {:>14} {:>14} {:>9}",
+            "f (MHz)", "P@1V (mW)", "V(f)", "P@DVFS (mW)", "simulated", "saving"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>7} {:>12.1} {:>6.2}V {:>14.1} {:>14.1} {:>8.0}%",
+                r.mhz,
+                r.p_1v_mw,
+                r.volts,
+                r.p_dvfs_mw,
+                r.simulated_mw,
+                (1.0 - r.p_dvfs_mw / r.p_1v_mw) * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dvfs_saves_64_percent_at_71mhz() {
+        let fig = run(4_000);
+        let r71 = fig.rows.first().expect("71 MHz row");
+        // 0.6 V -> V² = 0.36 of the 1 V power.
+        assert!((r71.p_dvfs_mw / r71.p_1v_mw - 0.36).abs() < 1e-6);
+        // ~24 mW at 71 MHz (Fig. 4's lower curve starts near 20-25 mW).
+        assert!((r71.p_dvfs_mw - 24.2).abs() < 1.0, "{}", r71.p_dvfs_mw);
+    }
+
+    #[test]
+    fn simulation_confirms_quadratic_scaling() {
+        let fig = run(6_000);
+        for r in &fig.rows {
+            assert!(
+                (r.simulated_mw - r.p_dvfs_mw).abs() / r.p_dvfs_mw < 0.03,
+                "{r:?}"
+            );
+            assert!(r.p_dvfs_mw < r.p_1v_mw);
+        }
+    }
+
+    #[test]
+    fn savings_shrink_with_frequency() {
+        let fig = run(2_000);
+        let saving = |r: &Fig4Row| 1.0 - r.p_dvfs_mw / r.p_1v_mw;
+        let first = saving(fig.rows.first().expect("first"));
+        let last = saving(fig.rows.last().expect("last"));
+        assert!(first > last, "{first} vs {last}");
+        // 500 MHz saving is 1 - 0.95² ≈ 9.75 %.
+        assert!((last - 0.0975).abs() < 0.01);
+    }
+}

@@ -1,0 +1,234 @@
+//! §V.C — communication latencies.
+//!
+//! The paper quotes: core-local word ≈50 ns (≈6 instructions), in-package
+//! word ≈40 instructions, package-to-package word 360 ns (≈45
+//! instructions), single token core-to-core 270 ns. We measure one-way
+//! word latency by ping-pong (RTT/2 over many iterations, so setup code
+//! amortises out) at each distance, and convert to "sending-thread
+//! instructions" at the single-thread rate of f/4.
+
+use std::fmt;
+use swallow::noc::routing::Layer;
+use swallow::{Assembler, GridSpec, NodeId, SystemBuilder, TimeDelta};
+use swallow_workloads::codegen::chanend_rid;
+
+/// One measured distance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyRow {
+    /// Distance label.
+    pub name: &'static str,
+    /// Measured one-way latency (ns).
+    pub one_way_ns: f64,
+    /// In sending-thread instructions (8 ns each at 500 MHz, 1 thread).
+    pub instructions: f64,
+    /// Paper's figure for comparison (ns; instruction counts × 8 ns).
+    pub paper_ns: f64,
+}
+
+/// The whole experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Latency {
+    /// One row per distance.
+    pub rows: Vec<LatencyRow>,
+}
+
+/// Ping-pong `iters` words between two chanends on (possibly) different
+/// cores; returns one-way ns.
+fn ping_pong(grid: GridSpec, a: NodeId, b: NodeId, iters: u32) -> f64 {
+    let mut system = SystemBuilder::new()
+        .slices(grid.slices_x, grid.slices_y)
+        .build()
+        .expect("valid grid");
+    if a == b {
+        // Two threads on one core.
+        let src = format!(
+            "
+                getr  r0, chanend
+                getr  r1, chanend
+                setd  r0, r1
+                setd  r1, r0
+                ldap  r2, echo
+                tspawn r3, r2, r1
+                getr  r4, timer
+                in    r5, r4
+                ldc   r6, {iters}
+            pp:
+                out   r0, r6
+                in    r7, r0
+                sub   r6, r6, 1
+                bt    r6, pp
+                in    r8, r4
+                sub   r8, r8, r5
+                print r8
+                freet
+            echo:
+                in    r5, r0
+                out   r0, r5
+                bu    echo
+            "
+        );
+        let program = Assembler::new().assemble(&src).expect("assembles");
+        system.load_program(a, &program).expect("fits");
+    } else {
+        let peer = chanend_rid(b, 0);
+        let initiator = format!(
+            "
+                getr  r0, chanend
+                ldc   r1, {peer}
+                setd  r0, r1
+                getr  r4, timer
+                in    r5, r4
+                ldc   r6, {iters}
+            pp:
+                out   r0, r6
+                in    r7, r0
+                sub   r6, r6, 1
+                bt    r6, pp
+                in    r8, r4
+                sub   r8, r8, r5
+                print r8
+                freet
+            "
+        );
+        let me = chanend_rid(a, 0);
+        let echo = format!(
+            "
+                getr  r0, chanend
+                ldc   r1, {me}
+                setd  r0, r1
+            el:
+                in    r5, r0
+                out   r0, r5
+                bu    el
+            "
+        );
+        system
+            .load_program(a, &Assembler::new().assemble(&initiator).expect("assembles"))
+            .expect("fits");
+        system
+            .load_program(b, &Assembler::new().assemble(&echo).expect("assembles"))
+            .expect("fits");
+    }
+    // Run until the initiator prints its tick count.
+    let deadline = TimeDelta::from_ms(100);
+    let start = system.now();
+    while system.output(a).is_empty() && system.now().since(start) < deadline {
+        system.machine_mut().step();
+    }
+    let ticks: f64 = system
+        .output(a)
+        .trim()
+        .parse()
+        .expect("initiator printed tick count");
+    // Timer ticks are 10 ns; RTT/2 per iteration.
+    ticks * 10.0 / iters as f64 / 2.0
+}
+
+/// Runs all distances; `iters` ping-pongs per distance.
+pub fn run(iters: u32) -> Latency {
+    let one = GridSpec::ONE_SLICE;
+    let two = GridSpec {
+        slices_x: 2,
+        slices_y: 1,
+    };
+    // Distances and paper anchors: 50 ns core-local, 40 instructions
+    // in-package (×8 ns), 45 instructions / 360 ns between packages.
+    let cases: [(&'static str, GridSpec, NodeId, NodeId, f64); 5] = [
+        ("core-local", one, NodeId(0), NodeId(0), 50.0),
+        (
+            "in-package (internal link)",
+            one,
+            one.node_at(0, 0, Layer::Vertical),
+            one.node_at(0, 0, Layer::Horizontal),
+            40.0 * 8.0,
+        ),
+        (
+            "package-to-package, vertical",
+            one,
+            one.node_at(0, 0, Layer::Vertical),
+            one.node_at(0, 1, Layer::Vertical),
+            45.0 * 8.0,
+        ),
+        (
+            "package-to-package, horizontal",
+            one,
+            one.node_at(0, 0, Layer::Horizontal),
+            one.node_at(1, 0, Layer::Horizontal),
+            45.0 * 8.0,
+        ),
+        (
+            "slice-to-slice (FFC)",
+            two,
+            two.node_at(3, 0, Layer::Horizontal),
+            two.node_at(4, 0, Layer::Horizontal),
+            // No separate paper figure: the FFC cable runs at the same
+            // 62.5 Mbit/s as on-board traces (Table I), so latency
+            // matches the package-to-package case; only energy differs.
+            45.0 * 8.0,
+        ),
+    ];
+    let rows = cases
+        .into_iter()
+        .map(|(name, grid, a, b, paper_ns)| {
+            let one_way_ns = ping_pong(grid, a, b, iters);
+            LatencyRow {
+                name,
+                one_way_ns,
+                instructions: one_way_ns / 8.0,
+                paper_ns,
+            }
+        })
+        .collect();
+    Latency { rows }
+}
+
+impl fmt::Display for Latency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "§V.C — one-way 32-bit word latency (ping-pong RTT/2):")?;
+        writeln!(
+            f,
+            "{:<32} {:>12} {:>14} {:>12}",
+            "Path", "meas (ns)", "instructions", "paper (ns)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<32} {:>12.0} {:>14.1} {:>12.0}",
+                r.name, r.one_way_ns, r.instructions, r.paper_ns
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_ladder_is_ordered() {
+        let lat = run(32);
+        let ns: Vec<f64> = lat.rows.iter().map(|r| r.one_way_ns).collect();
+        // local < in-package < off-package; all off-package paths run at
+        // the same Table I rate, so vertical ≈ horizontal ≈ FFC.
+        assert!(ns[0] < ns[1], "{ns:?}");
+        assert!(ns[1] < ns[2], "{ns:?}");
+        assert!((ns[2] - ns[3]).abs() / ns[2] < 0.1, "{ns:?}");
+        assert!((ns[2] - ns[4]).abs() / ns[2] < 0.1, "{ns:?}");
+    }
+
+    #[test]
+    fn magnitudes_are_in_the_papers_regime() {
+        let lat = run(32);
+        for r in &lat.rows {
+            // Same order of magnitude as the paper's figure (×/÷ 3).
+            assert!(
+                r.one_way_ns > r.paper_ns / 3.0 && r.one_way_ns < r.paper_ns * 3.0,
+                "{}: {} ns vs paper {} ns",
+                r.name,
+                r.one_way_ns,
+                r.paper_ns
+            );
+        }
+    }
+}

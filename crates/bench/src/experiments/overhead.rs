@@ -1,0 +1,148 @@
+//! §V.B — packet protocol overhead.
+//!
+//! "The overhead of packet data reduces throughput to approximately 87 %
+//! of the link speed, but is dependent upon the packet size." Each packet
+//! costs a three-token route header plus a closing END token, so payload
+//! efficiency is `4·P / (4·P + 4)` for a P-word packet. We sweep packet
+//! sizes over one link and measure both the token-level efficiency and
+//! the achieved wall-clock payload rate.
+
+use std::fmt;
+use swallow::{NodeId, SystemBuilder, TimeDelta};
+use swallow_workloads::traffic::{self, StreamSpec};
+
+/// One packet-size point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverheadRow {
+    /// Packet payload in 32-bit words.
+    pub packet_words: u32,
+    /// Measured payload tokens / total tokens.
+    pub token_efficiency: f64,
+    /// Achieved payload rate / configured link rate.
+    pub rate_efficiency: f64,
+    /// The closed-form `4P / (4P + 4)`.
+    pub model_efficiency: f64,
+}
+
+/// The whole experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Overhead {
+    /// One row per packet size.
+    pub rows: Vec<OverheadRow>,
+}
+
+/// Sweeps packet sizes, streaming `words` in total per point over the
+/// package-internal link pair of one package.
+pub fn run(words: u32) -> Overhead {
+    let sizes = [1u32, 2, 4, 8, 16, 32, 64];
+    let mut rows = Vec::new();
+    for packet_words in sizes {
+        let words = words.next_multiple_of(packet_words);
+        let mut system = SystemBuilder::new().build().expect("one slice");
+        traffic::stream(&StreamSpec {
+            src: NodeId(0),
+            dst: NodeId(8), // vertical neighbour: exactly one board link
+            words,
+            packet_words,
+        })
+        .expect("generates")
+        .apply(&mut system)
+        .expect("loads");
+        let t0 = system.now();
+        assert!(
+            system.run_until_quiescent(TimeDelta::from_ms(500)),
+            "stream did not drain at packet size {packet_words}"
+        );
+        let stats = system
+            .machine()
+            .fabric()
+            .link_stats()
+            .find(|s| s.from == NodeId(0) && s.to == NodeId(8))
+            .expect("link exists");
+        let total = stats.data_tokens + stats.ctrl_tokens + stats.header_tokens;
+        let token_efficiency = stats.data_tokens as f64 / total as f64;
+        let elapsed = system.now().since(t0).as_secs_f64();
+        let rate = stats.data_tokens as f64 * 8.0 / elapsed;
+        let link_rate = swallow::energy::WireClass::BoardVertical.data_rate().as_hz() as f64;
+        rows.push(OverheadRow {
+            packet_words,
+            token_efficiency,
+            rate_efficiency: rate / link_rate,
+            model_efficiency: (4 * packet_words) as f64 / (4 * packet_words + 4) as f64,
+        });
+    }
+    Overhead { rows }
+}
+
+impl fmt::Display for Overhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "§V.B — packet overhead (3-token header + END per packet); paper: ≈87% of link speed:"
+        )?;
+        writeln!(
+            f,
+            "{:>13} {:>16} {:>16} {:>16}",
+            "packet words", "token eff.", "achieved rate", "model 4P/(4P+4)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>13} {:>15.1}% {:>15.1}% {:>15.1}%",
+                r.packet_words,
+                r.token_efficiency * 100.0,
+                r.rate_efficiency * 100.0,
+                r.model_efficiency * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_grows_with_packet_size() {
+        let o = run(128);
+        for pair in o.rows.windows(2) {
+            assert!(pair[1].token_efficiency > pair[0].token_efficiency);
+        }
+        // Token accounting matches the closed form exactly.
+        for r in &o.rows {
+            assert!(
+                (r.token_efficiency - r.model_efficiency).abs() < 1e-9,
+                "{r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_regime_sits_near_eight_word_packets() {
+        // 87% falls between the 4-word (80%) and 8-word (88.9%) packets.
+        let o = run(128);
+        let eff = |p: u32| {
+            o.rows
+                .iter()
+                .find(|r| r.packet_words == p)
+                .expect("row")
+                .token_efficiency
+        };
+        assert!(eff(4) < 0.87 && eff(8) > 0.87);
+    }
+
+    #[test]
+    fn achieved_rate_tracks_token_efficiency() {
+        let o = run(256);
+        for r in &o.rows {
+            // Wall-clock rate is within a few points of the token
+            // efficiency (sender-side pipelining keeps the link busy).
+            assert!(
+                r.rate_efficiency > r.token_efficiency - 0.12
+                    && r.rate_efficiency <= r.token_efficiency + 0.02,
+                "{r:?}"
+            );
+        }
+    }
+}

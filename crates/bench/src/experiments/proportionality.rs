@@ -1,0 +1,128 @@
+//! §III — "Swallow is energy proportional".
+//!
+//! Fig. 3 shows proportionality in *frequency*; the other axis is *load*:
+//! power should scale linearly with the number of occupied issue slots.
+//! We sweep 0–4 heavy-mix threads on one core and check the measured
+//! powers sit on a straight line from the idle floor to the Eq. 1 point —
+//! the property that makes Eq. 2's thread scaling an energy statement too.
+
+use super::heavy_mix_program;
+use std::fmt;
+use swallow::isa::NodeId;
+use swallow::xcore::{Core, CoreConfig};
+use swallow::Frequency;
+use swallow_sim::stats::LinearFit;
+
+/// One load point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadRow {
+    /// Active heavy-mix threads (0–4 of the four issue slots).
+    pub threads: usize,
+    /// Measured power (mW).
+    pub measured_mw: f64,
+    /// Closed-form prediction (mW).
+    pub model_mw: f64,
+}
+
+/// The whole experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Proportionality {
+    /// Clock used.
+    pub frequency: Frequency,
+    /// One row per thread count.
+    pub rows: Vec<LoadRow>,
+    /// Fit: (intercept mW, slope mW/thread, R²).
+    pub fit: (f64, f64, f64),
+}
+
+/// Runs the load sweep at `f`, `cycles` measurement window per point.
+pub fn run(f: Frequency, cycles: u64) -> Proportionality {
+    let model = swallow::energy::CorePowerModel::swallow();
+    let mut rows = Vec::new();
+    let mut fit = LinearFit::new();
+    for threads in 0..=4usize {
+        let mut config = CoreConfig::swallow(NodeId(0));
+        config.frequency = f;
+        let mut core = Core::new(config);
+        if threads > 0 {
+            core.load_program(&heavy_mix_program(threads)).expect("fits");
+        }
+        for _ in 0..1_000 {
+            core.tick(core.next_tick_at());
+        }
+        let e0 = core.ledger().total();
+        let t0 = core.next_tick_at();
+        for _ in 0..cycles {
+            core.tick(core.next_tick_at());
+        }
+        let span = core.next_tick_at().since(t0);
+        let measured_mw = (core.ledger().total() - e0).over(span).as_milliwatts();
+        let model_mw = model.partial_load_power(f, threads as u32).as_milliwatts();
+        fit.push(threads as f64, measured_mw);
+        rows.push(LoadRow {
+            threads,
+            measured_mw,
+            model_mw,
+        });
+    }
+    let (intercept, slope) = fit.solve().expect("five points");
+    let r2 = fit.r_squared().expect("solvable");
+    Proportionality {
+        frequency: f,
+        rows,
+        fit: (intercept, slope, r2),
+    }
+}
+
+impl fmt::Display for Proportionality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "§III — energy proportionality in load at {} (one core):",
+            self.frequency
+        )?;
+        writeln!(f, "{:>8} {:>14} {:>12}", "threads", "measured (mW)", "model (mW)")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>8} {:>14.1} {:>12.1}",
+                r.threads, r.measured_mw, r.model_mw
+            )?;
+        }
+        writeln!(
+            f,
+            "fit: P = {:.1} + {:.1}·threads mW (R² = {:.5}) — linear from idle to Eq. 1",
+            self.fit.0, self.fit.1, self.fit.2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_is_linear_in_load() {
+        let p = run(Frequency::from_mhz(500), 12_000);
+        let (intercept, slope, r2) = p.fit;
+        // Idle floor 113 mW; each of four heavy threads adds ~20.75 mW.
+        assert!((intercept - 113.0).abs() < 2.0, "intercept = {intercept}");
+        assert!((slope - 20.75).abs() < 1.0, "slope = {slope}");
+        assert!(r2 > 0.999, "r2 = {r2}");
+        for r in &p.rows {
+            assert!(
+                (r.measured_mw - r.model_mw).abs() < 3.0,
+                "{r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn proportionality_holds_at_low_clock() {
+        let p = run(Frequency::from_mhz(100), 8_000);
+        assert!(p.fit.2 > 0.999, "r2 = {}", p.fit.2);
+        // End points: idle 59.4 mW to Eq. 1's 76 mW.
+        assert!((p.rows[0].measured_mw - 59.4).abs() < 1.5);
+        assert!((p.rows[4].measured_mw - 76.0).abs() < 1.5);
+    }
+}

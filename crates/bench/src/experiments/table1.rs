@@ -1,0 +1,186 @@
+//! Table I — per-bit energies of Swallow links.
+//!
+//! For each wire class, a stream crosses exactly one link of that class on
+//! a real machine; the fabric's per-link counters give the measured energy
+//! per payload bit (protocol headers amortised in) and the busy-time
+//! utilisation gives the achieved link power.
+
+use std::fmt;
+use swallow::energy::WireClass;
+use swallow::noc::routing::Layer;
+use swallow::{NodeId, SystemBuilder, TimeDelta};
+use swallow_workloads::traffic::{self, StreamSpec};
+
+/// One Table I row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Table1Row {
+    /// Wire class.
+    pub class: WireClass,
+    /// Configured data rate (bit/s).
+    pub rate_bps: u64,
+    /// Paper's energy per bit (pJ).
+    pub paper_pj_per_bit: f64,
+    /// Measured energy per payload bit (pJ), protocol included.
+    pub measured_pj_per_bit: f64,
+    /// Measured link power while busy (mW).
+    pub measured_power_mw: f64,
+    /// Paper's max link power (mW).
+    pub paper_power_mw: f64,
+}
+
+/// The whole table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table1 {
+    /// One row per wire class.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Paper values: (class, pJ/bit, max power mW).
+const PAPER: [(WireClass, f64, f64); 4] = [
+    (WireClass::OnChip, 5.6, 1.4),
+    (WireClass::BoardVertical, 212.8, 13.3),
+    (WireClass::BoardHorizontal, 201.6, 12.6),
+    (WireClass::OffBoardFfc, 10_880.0, 680.0),
+];
+
+fn endpoints_for(class: WireClass) -> (swallow::GridSpec, NodeId, NodeId) {
+    let one = swallow::GridSpec::ONE_SLICE;
+    match class {
+        // Core 0 <-> core 1 share a package: internal links.
+        WireClass::OnChip => (one, one.node_at(0, 0, Layer::Vertical), one.node_at(0, 0, Layer::Horizontal)),
+        // Vertically adjacent packages: a board trace.
+        WireClass::BoardVertical => (
+            one,
+            one.node_at(0, 0, Layer::Vertical),
+            one.node_at(0, 1, Layer::Vertical),
+        ),
+        // Horizontally adjacent packages.
+        WireClass::BoardHorizontal => (
+            one,
+            one.node_at(0, 0, Layer::Horizontal),
+            one.node_at(1, 0, Layer::Horizontal),
+        ),
+        // Crossing a slice boundary in a 2×1 grid.
+        WireClass::OffBoardFfc => {
+            let grid = swallow::GridSpec {
+                slices_x: 2,
+                slices_y: 1,
+            };
+            (
+                grid,
+                grid.node_at(3, 0, Layer::Horizontal),
+                grid.node_at(4, 0, Layer::Horizontal),
+            )
+        }
+    }
+}
+
+/// Streams `words` 32-bit words over one link of each class and reads the
+/// energy counters.
+pub fn run(words: u32) -> Table1 {
+    let mut rows = Vec::new();
+    for (class, paper_pj, paper_mw) in PAPER {
+        let (grid, src, dst) = endpoints_for(class);
+        let mut system = SystemBuilder::new()
+            .slices(grid.slices_x, grid.slices_y)
+            .build()
+            .expect("valid grid");
+        traffic::stream(&StreamSpec {
+            src,
+            dst,
+            words,
+            packet_words: 32,
+        })
+        .expect("generates")
+        .apply(&mut system)
+        .expect("loads");
+        let done = system.run_until_quiescent(TimeDelta::from_ms(200));
+        assert!(done, "stream did not drain for {}", class.name());
+        let stats = system
+            .machine()
+            .fabric()
+            .link_stats()
+            .filter(|s| s.from == src && s.to == dst)
+            .max_by_key(|s| s.data_tokens)
+            .expect("link exists");
+        let measured_pj = stats.energy_per_payload_bit().as_picojoules();
+        // Power while transmitting: energy over busy time.
+        let measured_mw = if stats.busy_time.is_zero() {
+            0.0
+        } else {
+            stats.energy.over(stats.busy_time).as_milliwatts()
+        };
+        rows.push(Table1Row {
+            class,
+            rate_bps: class.data_rate().as_hz(),
+            paper_pj_per_bit: paper_pj,
+            measured_pj_per_bit: measured_pj,
+            measured_power_mw: measured_mw,
+            paper_power_mw: paper_mw,
+        });
+    }
+    Table1 { rows }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table I — per-bit energies of Swallow links:")?;
+        writeln!(
+            f,
+            "{:<22} {:>12} {:>14} {:>14} {:>12} {:>12}",
+            "Link type", "rate", "pJ/bit meas", "pJ/bit paper", "mW meas", "mW paper"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<22} {:>7.1} Mbps {:>14.1} {:>14.1} {:>12.1} {:>12.1}",
+                r.class.name(),
+                r.rate_bps as f64 / 1e6,
+                r.measured_pj_per_bit,
+                r.paper_pj_per_bit,
+                r.measured_power_mw,
+                r.paper_power_mw
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_energies_track_table_i() {
+        let table = run(256);
+        for r in &table.rows {
+            // Protocol overhead (3-token header + END per 32-word packet)
+            // adds ≈3%; stay within 5% of the paper value.
+            let rel = (r.measured_pj_per_bit - r.paper_pj_per_bit) / r.paper_pj_per_bit;
+            assert!(
+                (0.0..0.05).contains(&rel),
+                "{}: measured {} vs paper {}",
+                r.class.name(),
+                r.measured_pj_per_bit,
+                r.paper_pj_per_bit
+            );
+            let rel = (r.measured_power_mw - r.paper_power_mw).abs() / r.paper_power_mw;
+            assert!(rel < 0.05, "{}: {} mW", r.class.name(), r.measured_power_mw);
+        }
+    }
+
+    #[test]
+    fn ffc_is_about_50x_board() {
+        let table = run(128);
+        let by = |c: WireClass| {
+            table
+                .rows
+                .iter()
+                .find(|r| r.class == c)
+                .expect("row")
+                .measured_pj_per_bit
+        };
+        let factor = by(WireClass::OffBoardFfc) / by(WireClass::BoardVertical);
+        assert!((45.0..=55.0).contains(&factor), "factor = {factor}");
+    }
+}

@@ -1,0 +1,161 @@
+//! The Ethernet bridge module (§V.E).
+//!
+//! The bridge attaches to a reserved South link and is addressable as an
+//! ordinary network node; it forwards everything between the Swallow
+//! network and a host. Each bridge sustains up to 80 Mbit/s of full-duplex
+//! data — the pacing modelled here — and is how programs and data enter
+//! and leave a physical Swallow machine.
+
+use std::collections::VecDeque;
+use swallow_isa::token::word_to_tokens;
+use swallow_isa::{ControlToken, NodeId, ResType, ResourceId, Token};
+use swallow_sim::{Time, TimeDelta};
+
+/// Bridge throughput cap per direction (bits per second).
+pub const BRIDGE_RATE_BPS: u64 = 80_000_000;
+
+/// Time the bridge needs per eight-bit token at 80 Mbit/s.
+pub const BRIDGE_TOKEN_TIME: TimeDelta = TimeDelta::from_ns(100);
+
+/// An Ethernet bridge: a pseudo-core whose "channel end 0" is the host.
+#[derive(Debug)]
+pub struct EthernetBridge {
+    node: NodeId,
+    now: Time,
+    next_tx: Time,
+    tx: VecDeque<(ResourceId, Token)>,
+    rx: Vec<Token>,
+}
+
+impl EthernetBridge {
+    /// Creates a bridge occupying the given network node.
+    pub fn new(node: NodeId) -> Self {
+        EthernetBridge {
+            node,
+            now: Time::ZERO,
+            next_tx: Time::ZERO,
+            tx: VecDeque::new(),
+            rx: Vec::new(),
+        }
+    }
+
+    /// The bridge's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The resource id cores aim `setd` at to reach the host.
+    pub fn chanend(&self) -> ResourceId {
+        ResourceId::new(self.node, 0, ResType::Chanend)
+    }
+
+    /// Updates the bridge's notion of time (drives the 80 Mbit/s pacing).
+    pub fn set_now(&mut self, now: Time) {
+        self.now = now;
+    }
+
+    /// True when pacing allows the next token out.
+    pub fn can_transmit(&self) -> bool {
+        self.next_tx <= self.now
+    }
+
+    /// Queues a 32-bit word for a destination chanend in the network.
+    pub fn send_word(&mut self, dest: ResourceId, word: u32) {
+        for t in word_to_tokens(word) {
+            self.tx.push_back((dest, t));
+        }
+    }
+
+    /// Queues a control token (e.g. END to close the route).
+    pub fn send_ct(&mut self, dest: ResourceId, ct: ControlToken) {
+        self.tx.push_back((dest, Token::Ctrl(ct)));
+    }
+
+    /// Tokens queued but not yet on the network.
+    pub fn tx_backlog(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Everything received from the network so far.
+    pub fn received(&self) -> &[Token] {
+        &self.rx
+    }
+
+    /// Received payload reassembled into words (control tokens skipped).
+    pub fn received_words(&self) -> Vec<u32> {
+        let bytes: Vec<u8> = self.rx.iter().filter_map(|t| t.data()).collect();
+        bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Clears the receive archive, returning its length.
+    pub fn drain_received(&mut self) -> usize {
+        let n = self.rx.len();
+        self.rx.clear();
+        n
+    }
+
+    // Endpoint hooks used by the machine's `CoreEndpoints` impl.
+
+    pub(crate) fn ep_tx_front(&self) -> Option<(ResourceId, Token)> {
+        if self.can_transmit() {
+            self.tx.front().copied()
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn ep_tx_pop(&mut self) -> Option<(ResourceId, Token)> {
+        if !self.can_transmit() {
+            return None;
+        }
+        let item = self.tx.pop_front()?;
+        self.next_tx = self.now + BRIDGE_TOKEN_TIME;
+        Some(item)
+    }
+
+    pub(crate) fn ep_deliver(&mut self, token: Token) {
+        self.rx.push(token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pacing_enforces_80mbps() {
+        let mut b = EthernetBridge::new(NodeId(16));
+        let dest = ResourceId::new(NodeId(0), 0, ResType::Chanend);
+        b.send_word(dest, 0xAABB_CCDD);
+        b.set_now(Time::ZERO);
+        assert!(b.ep_tx_pop().is_some());
+        // Second token refused until 100 ns later.
+        assert!(b.ep_tx_pop().is_none());
+        b.set_now(Time::from_ps(99_000));
+        assert!(b.ep_tx_pop().is_none());
+        b.set_now(Time::from_ps(100_000));
+        assert!(b.ep_tx_pop().is_some());
+    }
+
+    #[test]
+    fn word_reassembly() {
+        let mut b = EthernetBridge::new(NodeId(16));
+        for t in word_to_tokens(0x0102_0304) {
+            b.ep_deliver(t);
+        }
+        b.ep_deliver(Token::Ctrl(ControlToken::END));
+        assert_eq!(b.received_words(), vec![0x0102_0304]);
+        assert_eq!(b.drain_received(), 5);
+        assert!(b.received().is_empty());
+    }
+
+    #[test]
+    fn rate_constant_is_consistent() {
+        // 8 bits / 100 ns = 80 Mbit/s.
+        let bits_per_sec = 8.0 / BRIDGE_TOKEN_TIME.as_secs_f64();
+        assert!((bits_per_sec - BRIDGE_RATE_BPS as f64).abs() < 1.0);
+    }
+}

@@ -1,0 +1,412 @@
+//! A whole Swallow machine: cores + fabric + power tree + bridge.
+//!
+//! [`Machine`] owns everything `swallow-xcore`, `swallow-noc` and the
+//! power models provide, assembled per the [`topology`](crate::topology)
+//! rules, and advances them in lock-step. It is the engine under the
+//! public `swallow` crate's `SwallowSystem` facade.
+
+use crate::ethernet::EthernetBridge;
+use crate::power::{PowerMonitor, DEFAULT_MONITOR_WINDOW};
+use crate::topology::{build_topology, GridSpec, TopologyOptions};
+use std::fmt;
+use swallow_energy::{EnergyLedger, NodeCategory};
+use swallow_isa::{NodeId, Program, ResourceId, Token};
+use swallow_noc::{CoreEndpoints, Fabric, TableRouter};
+use swallow_sim::{Frequency, Time, TimeDelta};
+use swallow_xcore::{Core, CoreConfig, LoadError};
+
+/// Routing strategy selection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RouterKind {
+    /// The paper's vertical-first dimension-order routing (§V.A). Assumes
+    /// a fully wired lattice.
+    #[default]
+    VerticalFirst,
+    /// Breadth-first shortest paths — tolerant of faulted cables and
+    /// custom wirings.
+    ShortestPaths,
+}
+
+/// Machine configuration.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Machine size in slices.
+    pub grid: GridSpec,
+    /// Initial core clock for every core.
+    pub frequency: Frequency,
+    /// Routing strategy.
+    pub router: RouterKind,
+    /// Fit an Ethernet bridge on the south edge.
+    pub bridge: bool,
+    /// Package-internal link pairs (4 on real hardware; ablation knob).
+    pub internal_link_pairs: usize,
+    /// Fraction of inter-slice FFC cables that fail at assembly.
+    pub ffc_fault_rate: f64,
+    /// Seed for cable fault injection.
+    pub fault_seed: u64,
+    /// Power-monitor cadence.
+    pub monitor_window: TimeDelta,
+}
+
+impl MachineConfig {
+    /// One slice at the stock 500 MHz — the smallest real Swallow unit.
+    pub fn one_slice() -> Self {
+        MachineConfig {
+            grid: GridSpec::ONE_SLICE,
+            frequency: Frequency::from_mhz(500),
+            router: RouterKind::VerticalFirst,
+            bridge: false,
+            internal_link_pairs: crate::topology::INTERNAL_LINK_PAIRS,
+            ffc_fault_rate: 0.0,
+            fault_seed: 0,
+            monitor_window: DEFAULT_MONITOR_WINDOW,
+        }
+    }
+
+    /// A grid of `x × y` slices.
+    pub fn grid(x: u16, y: u16) -> Self {
+        MachineConfig {
+            grid: GridSpec {
+                slices_x: x,
+                slices_y: y,
+            },
+            ..Self::one_slice()
+        }
+    }
+}
+
+/// The core/bridge side of the fabric boundary.
+struct Endpoints {
+    cores: Vec<Core>,
+    bridge: Option<EthernetBridge>,
+    bridge_node: Option<NodeId>,
+}
+
+impl CoreEndpoints for Endpoints {
+    fn tx_pending(&self, node: NodeId) -> Vec<u8> {
+        if Some(node) == self.bridge_node {
+            let pending = self
+                .bridge
+                .as_ref()
+                .map(|b| b.ep_tx_front().is_some())
+                .unwrap_or(false);
+            return if pending { vec![0] } else { Vec::new() };
+        }
+        match self.cores.get(node.raw() as usize) {
+            Some(core) => core.tx_pending(),
+            None => Vec::new(),
+        }
+    }
+
+    fn tx_front(&self, node: NodeId, chanend: u8) -> Option<(ResourceId, Token)> {
+        if Some(node) == self.bridge_node {
+            return self.bridge.as_ref()?.ep_tx_front();
+        }
+        self.cores.get(node.raw() as usize)?.tx_front(chanend)
+    }
+
+    fn tx_pop(&mut self, node: NodeId, chanend: u8) -> Option<(ResourceId, Token)> {
+        if Some(node) == self.bridge_node {
+            return self.bridge.as_mut()?.ep_tx_pop();
+        }
+        self.cores.get_mut(node.raw() as usize)?.tx_pop(chanend)
+    }
+
+    fn can_accept(&self, node: NodeId, chanend: u8, n: usize) -> bool {
+        if Some(node) == self.bridge_node {
+            return true; // host memory backs the bridge
+        }
+        self.cores
+            .get(node.raw() as usize)
+            .map(|c| c.can_accept(chanend, n))
+            .unwrap_or(false)
+    }
+
+    fn deliver(&mut self, node: NodeId, chanend: u8, token: Token) -> bool {
+        if Some(node) == self.bridge_node {
+            if let Some(b) = self.bridge.as_mut() {
+                b.ep_deliver(token);
+                return true;
+            }
+            return false;
+        }
+        match self.cores.get_mut(node.raw() as usize) {
+            Some(core) => core.deliver(chanend, token).is_ok(),
+            None => false,
+        }
+    }
+}
+
+/// A fully assembled Swallow machine.
+///
+/// ```
+/// use swallow_board::{Machine, MachineConfig};
+/// let machine = Machine::new(MachineConfig::one_slice());
+/// assert_eq!(machine.core_count(), 16);
+/// ```
+pub struct Machine {
+    spec: GridSpec,
+    eps: Endpoints,
+    fabric: Fabric,
+    monitor: PowerMonitor,
+    now: Time,
+    base_period: TimeDelta,
+    faulted_cables: usize,
+}
+
+impl Machine {
+    /// Builds and wires a machine.
+    pub fn new(config: MachineConfig) -> Self {
+        let topo = build_topology(
+            config.grid,
+            &TopologyOptions {
+                bridge: config.bridge,
+                internal_link_pairs: config.internal_link_pairs,
+                ffc_fault_rate: config.ffc_fault_rate,
+                fault_seed: config.fault_seed,
+            },
+        );
+        let router: Box<dyn swallow_noc::Router> = match config.router {
+            RouterKind::VerticalFirst => Box::new(TableRouter::vertical_first(
+                &topo.coords,
+                topo.builder.link_descs(),
+            )),
+            RouterKind::ShortestPaths => Box::new(TableRouter::shortest_paths(
+                topo.builder.node_count(),
+                topo.builder.link_descs(),
+            )),
+        };
+        let bridge_node = topo.bridge;
+        let fabric = topo.builder.build(router);
+        let cores: Vec<Core> = config
+            .grid
+            .nodes()
+            .map(|node| {
+                let mut cc = CoreConfig::swallow(node);
+                cc.frequency = config.frequency;
+                Core::new(cc)
+            })
+            .collect();
+        let base_period = config.frequency.period();
+        Machine {
+            spec: config.grid,
+            eps: Endpoints {
+                cores,
+                bridge: bridge_node.map(EthernetBridge::new),
+                bridge_node,
+            },
+            fabric,
+            monitor: PowerMonitor::new(config.grid, config.monitor_window),
+            now: Time::ZERO,
+            base_period,
+            faulted_cables: topo.faulted_cables,
+        }
+    }
+
+    // --- structure ---------------------------------------------------------
+
+    /// Number of processor cores.
+    pub fn core_count(&self) -> usize {
+        self.eps.cores.len()
+    }
+
+    /// The machine's slice layout.
+    pub fn spec(&self) -> GridSpec {
+        self.spec
+    }
+
+    /// Inter-slice cables lost to fault injection.
+    pub fn faulted_cables(&self) -> usize {
+        self.faulted_cables
+    }
+
+    /// Access to one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a core node.
+    pub fn core(&self, node: NodeId) -> &Core {
+        &self.eps.cores[node.raw() as usize]
+    }
+
+    /// Mutable access to one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a core node.
+    pub fn core_mut(&mut self, node: NodeId) -> &mut Core {
+        &mut self.eps.cores[node.raw() as usize]
+    }
+
+    /// All core node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        self.spec.nodes()
+    }
+
+    /// The network fabric (statistics, link inspection).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The power monitor (rails, ADC traces, losses).
+    pub fn monitor(&self) -> &PowerMonitor {
+        &self.monitor
+    }
+
+    /// Mutable power monitor (to fit ADC boards).
+    pub fn monitor_mut(&mut self) -> &mut PowerMonitor {
+        &mut self.monitor
+    }
+
+    /// The Ethernet bridge, when fitted.
+    pub fn bridge(&self) -> Option<&EthernetBridge> {
+        self.eps.bridge.as_ref()
+    }
+
+    /// Mutable bridge access (to send/receive host data).
+    pub fn bridge_mut(&mut self) -> Option<&mut EthernetBridge> {
+        self.eps.bridge.as_mut()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    // --- boot ----------------------------------------------------------------
+
+    /// Loads a program onto one core and starts its thread 0.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError`] if the image exceeds the core's SRAM.
+    pub fn load_program(&mut self, node: NodeId, program: &Program) -> Result<(), LoadError> {
+        self.core_mut(node).load_program(program)
+    }
+
+    /// Loads the same program onto every core.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError`] if the image exceeds a core's SRAM.
+    pub fn load_program_all(&mut self, program: &Program) -> Result<(), LoadError> {
+        for core in &mut self.eps.cores {
+            core.load_program(program)?;
+        }
+        Ok(())
+    }
+
+    /// Changes one core's clock (per-core DFS, §III.B).
+    pub fn set_core_frequency(&mut self, node: NodeId, f: Frequency) {
+        self.core_mut(node).set_frequency(f);
+        let min_period = self
+            .eps
+            .cores
+            .iter()
+            .map(|c| c.frequency().period())
+            .min()
+            .expect("at least one core");
+        self.base_period = min_period;
+    }
+
+    // --- execution -------------------------------------------------------------
+
+    /// Advances the whole machine by one base clock period.
+    pub fn step(&mut self) {
+        self.now += self.base_period;
+        for core in &mut self.eps.cores {
+            // Cores may run slower than the base clock; tick on their edge.
+            while core.next_tick_at() <= self.now {
+                let at = core.next_tick_at();
+                core.tick(at);
+            }
+        }
+        if let Some(bridge) = self.eps.bridge.as_mut() {
+            bridge.set_now(self.now);
+        }
+        self.fabric.step(self.now, &mut self.eps);
+        if self.now >= self.monitor.next_update() {
+            self.monitor
+                .update(self.now, &mut self.eps.cores, &self.fabric);
+        }
+    }
+
+    /// Runs for a fixed span of simulated time.
+    pub fn run_for(&mut self, span: TimeDelta) {
+        let deadline = self.now + span;
+        while self.now < deadline {
+            self.step();
+        }
+    }
+
+    /// Runs until every core is quiescent and the network has drained, or
+    /// the budget expires. Returns true when quiescent.
+    pub fn run_until_quiescent(&mut self, budget: TimeDelta) -> bool {
+        let deadline = self.now + budget;
+        while self.now < deadline {
+            if self.is_quiescent() {
+                return true;
+            }
+            self.step();
+        }
+        self.is_quiescent()
+    }
+
+    /// True when no core can make progress and no token is in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.eps.cores.iter().all(|c| c.is_quiescent())
+            && self.fabric.is_idle()
+            && self
+                .eps
+                .bridge
+                .as_ref()
+                .map(|b| b.tx_backlog() == 0)
+                .unwrap_or(true)
+            && self
+                .eps
+                .cores
+                .iter()
+                .all(|c| c.tx_pending().is_empty())
+    }
+
+    // --- accounting ---------------------------------------------------------------
+
+    /// Total instructions retired machine-wide.
+    pub fn total_instret(&self) -> u64 {
+        self.eps.cores.iter().map(|c| c.instret()).sum()
+    }
+
+    /// The full energy ledger of one node: core-level categories plus the
+    /// node's share of link, conversion-loss and support energy.
+    pub fn node_ledger(&self, node: NodeId) -> EnergyLedger {
+        let mut ledger = *self.core(node).ledger();
+        ledger.charge(NodeCategory::Network, self.fabric.energy_from_node(node));
+        let slice = self.spec.slice_of(node);
+        let per_node = 1.0 / crate::topology::CORES_PER_SLICE as f64;
+        ledger.charge(
+            NodeCategory::Supply,
+            self.monitor.loss_energy(slice) * per_node,
+        );
+        ledger.charge(
+            NodeCategory::Other,
+            self.monitor.support_energy(slice) * per_node,
+        );
+        ledger
+    }
+
+    /// The machine-wide energy ledger.
+    pub fn machine_ledger(&self) -> EnergyLedger {
+        self.nodes().map(|n| self.node_ledger(n)).sum()
+    }
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("cores", &self.core_count())
+            .field("slices", &self.spec.slice_count())
+            .field("now", &self.now)
+            .field("links", &self.fabric.link_count())
+            .finish()
+    }
+}

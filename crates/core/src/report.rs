@@ -1,0 +1,179 @@
+//! Energy and performance reports.
+//!
+//! Energy transparency (§I) means a user can always answer "where did the
+//! joules go?". [`PowerReport`] renders the Fig. 2-style category
+//! breakdown for a run; [`PerfReport`] the throughput side (the paper's
+//! headline "up to 240 GIPS").
+
+use std::fmt;
+use swallow_board::Machine;
+use swallow_energy::{Energy, EnergyLedger, NodeCategory, Power};
+use swallow_sim::TimeDelta;
+
+/// Where a run's energy went.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerReport {
+    /// Per-category machine-wide energy (Fig. 2 categories).
+    pub ledger: EnergyLedger,
+    /// The span the report covers.
+    pub elapsed: TimeDelta,
+    /// Mean machine power over the span.
+    pub mean_power: Power,
+    /// Mean power per core (the paper's mW/core comparisons).
+    pub per_core: Power,
+}
+
+impl PowerReport {
+    /// Collects the report from a machine.
+    pub fn collect(machine: &Machine, elapsed: TimeDelta) -> Self {
+        let ledger = machine.machine_ledger();
+        let mean_power = ledger.total().over(elapsed);
+        let per_core = mean_power / machine.core_count().max(1) as f64;
+        PowerReport {
+            ledger,
+            elapsed,
+            mean_power,
+            per_core,
+        }
+    }
+
+    /// Energy in one category.
+    pub fn energy(&self, category: NodeCategory) -> Energy {
+        self.ledger.get(category)
+    }
+
+    /// Fraction of total energy in one category.
+    pub fn fraction(&self, category: NodeCategory) -> f64 {
+        self.ledger.fraction(category)
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "power report over {}:", self.elapsed)?;
+        for (cat, energy) in self.ledger.iter() {
+            writeln!(
+                f,
+                "  {:<26} {:>12}  {:>10}  ({:>5.1}%)",
+                cat.label(),
+                energy.to_string(),
+                energy.over(self.elapsed).to_string(),
+                self.fraction(cat) * 100.0,
+            )?;
+        }
+        writeln!(
+            f,
+            "  {:<26} {:>12}  {:>10}",
+            "Total",
+            self.ledger.total().to_string(),
+            self.mean_power.to_string()
+        )?;
+        write!(f, "  per core: {}", self.per_core)
+    }
+}
+
+/// What a run computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PerfReport {
+    /// Instructions retired machine-wide.
+    pub instret: u64,
+    /// The span the report covers.
+    pub elapsed: TimeDelta,
+    /// Number of cores.
+    pub cores: usize,
+}
+
+impl PerfReport {
+    /// Collects the report from a machine.
+    pub fn collect(machine: &Machine, elapsed: TimeDelta) -> Self {
+        PerfReport {
+            instret: machine.total_instret(),
+            elapsed,
+            cores: machine.core_count(),
+        }
+    }
+
+    /// Machine-wide instructions per second.
+    pub fn ips(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.instret as f64 / secs
+        }
+    }
+
+    /// Machine-wide throughput in GIPS (the paper's headline unit).
+    pub fn gips(&self) -> f64 {
+        self.ips() / 1e9
+    }
+}
+
+impl fmt::Display for PerfReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instructions on {} cores over {} = {:.3} GIPS",
+            self.instret,
+            self.cores,
+            self.elapsed,
+            self.gips()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemBuilder;
+    use swallow_isa::Assembler;
+
+    #[test]
+    fn reports_cover_a_busy_run() {
+        let mut sys = SystemBuilder::new().build().expect("builds");
+        let busy = Assembler::new()
+            .assemble("loop: add r1, r1, 1\n bu loop")
+            .expect("assembles");
+        sys.load_program_all(&busy).expect("fits");
+        sys.run_for(TimeDelta::from_us(20));
+
+        let perf = sys.perf_report();
+        // 16 cores × 125 MIPS (one thread each) = 2 GIPS.
+        assert!((perf.gips() - 2.0).abs() < 0.1, "gips = {}", perf.gips());
+
+        let power = sys.power_report();
+        let total_mw = power.mean_power.as_milliwatts();
+        // 16 single-thread cores sit between idle (113) and loaded (193),
+        // plus supply losses and support power.
+        assert!(
+            (2_000.0..4_000.0).contains(&total_mw),
+            "machine power = {total_mw} mW"
+        );
+        assert!(power.per_core.as_milliwatts() > 113.0);
+        let fractions: f64 = NodeCategory::ALL
+            .iter()
+            .map(|&c| power.fraction(c))
+            .sum();
+        assert!((fractions - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_includes_all_categories() {
+        let sys = SystemBuilder::new().build().expect("builds");
+        let text = sys.power_report().to_string();
+        for cat in NodeCategory::ALL {
+            assert!(text.contains(cat.label()));
+        }
+        let perf_text = sys.perf_report().to_string();
+        assert!(perf_text.contains("GIPS"));
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let sys = SystemBuilder::new().build().expect("builds");
+        let perf = sys.perf_report();
+        assert_eq!(perf.ips(), 0.0);
+        let power = sys.power_report();
+        assert_eq!(power.mean_power, Power::ZERO);
+    }
+}

@@ -1,0 +1,279 @@
+//! The system facade: building and driving a Swallow machine.
+
+use crate::report::{PerfReport, PowerReport};
+use std::fmt;
+use swallow_board::{Machine, MachineConfig, RouterKind};
+use swallow_isa::{NodeId, Program};
+use swallow_sim::{Frequency, Time, TimeDelta};
+use swallow_xcore::LoadError;
+
+/// Error from [`SystemBuilder::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum BuildError {
+    /// A grid dimension was zero.
+    EmptyGrid,
+    /// Fault rate outside `[0, 1]`.
+    BadFaultRate(f64),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::EmptyGrid => write!(f, "grid must have at least one slice"),
+            BuildError::BadFaultRate(r) => write!(f, "fault rate {r} outside [0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builds a [`SwallowSystem`].
+///
+/// ```
+/// use swallow::SystemBuilder;
+/// # fn main() -> Result<(), swallow::BuildError> {
+/// let system = SystemBuilder::new()
+///     .slices(2, 1)
+///     .frequency_mhz(400)
+///     .build()?;
+/// assert_eq!(system.core_count(), 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SystemBuilder {
+    config: MachineConfig,
+}
+
+impl SystemBuilder {
+    /// A single 16-core slice at the stock 500 MHz.
+    pub fn new() -> Self {
+        SystemBuilder {
+            config: MachineConfig::one_slice(),
+        }
+    }
+
+    /// Machine size in slices (x × y).
+    pub fn slices(mut self, x: u16, y: u16) -> Self {
+        self.config.grid = swallow_board::GridSpec {
+            slices_x: x,
+            slices_y: y,
+        };
+        self
+    }
+
+    /// Core clock for every core.
+    pub fn frequency(mut self, f: Frequency) -> Self {
+        self.config.frequency = f;
+        self
+    }
+
+    /// Core clock in megahertz (convenience).
+    pub fn frequency_mhz(self, mhz: u64) -> Self {
+        self.frequency(Frequency::from_mhz(mhz))
+    }
+
+    /// Routing strategy (default: the paper's vertical-first).
+    pub fn router(mut self, kind: RouterKind) -> Self {
+        self.config.router = kind;
+        self
+    }
+
+    /// Fit an Ethernet bridge on the south edge (§V.E).
+    pub fn bridge(mut self) -> Self {
+        self.config.bridge = true;
+        self
+    }
+
+    /// Inject inter-slice cable faults (connector yield, §IV.B).
+    /// Implies nothing about routing: pair with
+    /// [`RouterKind::ShortestPaths`] to route around faults.
+    pub fn ffc_faults(mut self, rate: f64, seed: u64) -> Self {
+        self.config.ffc_fault_rate = rate;
+        self.config.fault_seed = seed;
+        self
+    }
+
+    /// Power-monitor cadence (default 1 µs, the ADC all-channel rate).
+    pub fn monitor_window(mut self, window: TimeDelta) -> Self {
+        self.config.monitor_window = window;
+        self
+    }
+
+    /// Assembles the machine.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] for an empty grid or out-of-range fault rate.
+    pub fn build(self) -> Result<SwallowSystem, BuildError> {
+        if self.config.grid.slices_x == 0 || self.config.grid.slices_y == 0 {
+            return Err(BuildError::EmptyGrid);
+        }
+        if !(0.0..=1.0).contains(&self.config.ffc_fault_rate) {
+            return Err(BuildError::BadFaultRate(self.config.ffc_fault_rate));
+        }
+        Ok(SwallowSystem {
+            machine: Machine::new(self.config),
+            started: None,
+        })
+    }
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        SystemBuilder::new()
+    }
+}
+
+/// A running Swallow machine.
+///
+/// Thin ergonomics over [`Machine`]: program loading, run control, output
+/// collection and the energy/performance reports. Use
+/// [`SwallowSystem::machine`] / [`machine_mut`](SwallowSystem::machine_mut)
+/// for full access to cores, fabric statistics and the power monitor.
+pub struct SwallowSystem {
+    machine: Machine,
+    started: Option<Time>,
+}
+
+impl SwallowSystem {
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.machine.core_count()
+    }
+
+    /// All core node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        self.machine.nodes()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.machine.now()
+    }
+
+    /// Time spent running since the first `run_*` call.
+    pub fn elapsed(&self) -> TimeDelta {
+        match self.started {
+            Some(t0) => self.machine.now().since(t0),
+            None => TimeDelta::ZERO,
+        }
+    }
+
+    /// Loads a program onto one core.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError`] if the image exceeds the core's 64 KiB SRAM.
+    pub fn load_program(&mut self, node: NodeId, program: &Program) -> Result<(), LoadError> {
+        self.machine.load_program(node, program)
+    }
+
+    /// Loads the same program onto every core.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError`] if the image exceeds a core's SRAM.
+    pub fn load_program_all(&mut self, program: &Program) -> Result<(), LoadError> {
+        self.machine.load_program_all(program)
+    }
+
+    /// Runs for a fixed span of simulated time.
+    pub fn run_for(&mut self, span: TimeDelta) {
+        self.mark_started();
+        self.machine.run_for(span);
+    }
+
+    /// Runs until the machine is quiescent or the budget expires; returns
+    /// true when quiescent.
+    pub fn run_until_quiescent(&mut self, budget: TimeDelta) -> bool {
+        self.mark_started();
+        self.machine.run_until_quiescent(budget)
+    }
+
+    fn mark_started(&mut self) {
+        if self.started.is_none() {
+            self.started = Some(self.machine.now());
+        }
+    }
+
+    /// Text a core printed via hostcalls.
+    pub fn output(&self, node: NodeId) -> &str {
+        self.machine.core(node).output()
+    }
+
+    /// The first trap recorded on any core, if one occurred.
+    pub fn first_trap(&self) -> Option<(NodeId, swallow_xcore::Trap)> {
+        self.machine
+            .nodes()
+            .find_map(|n| self.machine.core(n).trap().map(|t| (n, t)))
+    }
+
+    /// Builds the energy report over the elapsed run.
+    pub fn power_report(&self) -> PowerReport {
+        PowerReport::collect(&self.machine, self.elapsed())
+    }
+
+    /// Builds the performance report over the elapsed run.
+    pub fn perf_report(&self) -> PerfReport {
+        PerfReport::collect(&self.machine, self.elapsed())
+    }
+
+    /// The underlying machine (cores, fabric, power monitor, bridge).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+}
+
+impl fmt::Debug for SwallowSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SwallowSystem")
+            .field("cores", &self.core_count())
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow_isa::Assembler;
+
+    #[test]
+    fn builder_validates() {
+        assert_eq!(
+            SystemBuilder::new().slices(0, 1).build().err(),
+            Some(BuildError::EmptyGrid)
+        );
+        assert_eq!(
+            SystemBuilder::new().ffc_faults(1.5, 0).build().err(),
+            Some(BuildError::BadFaultRate(1.5))
+        );
+        assert!(SystemBuilder::new().build().is_ok());
+    }
+
+    #[test]
+    fn elapsed_starts_at_first_run() {
+        let mut sys = SystemBuilder::new().build().expect("builds");
+        assert_eq!(sys.elapsed(), TimeDelta::ZERO);
+        sys.run_for(TimeDelta::from_us(1));
+        assert!(sys.elapsed() >= TimeDelta::from_us(1));
+    }
+
+    #[test]
+    fn first_trap_surfaces() {
+        let mut sys = SystemBuilder::new().build().expect("builds");
+        let bad = Assembler::new()
+            .assemble("ldc r0, 2\n ldw r1, r0[0]\n freet")
+            .expect("assembles");
+        sys.load_program(NodeId(5), &bad).expect("fits");
+        sys.run_until_quiescent(TimeDelta::from_us(10));
+        let (node, _trap) = sys.first_trap().expect("trapped");
+        assert_eq!(node, NodeId(5));
+    }
+}

@@ -1,0 +1,294 @@
+//! The power-measurement daughter-board (§II).
+//!
+//! Each slice exposes five shunt-resistor sense points (one per SMPS). The
+//! measurement daughter-board amplifies the differential voltages and
+//! digitises them at up to 2 MS/s for a single channel, or 1 MS/s when all
+//! supplies are sampled simultaneously. Crucially, the samples can be
+//! consumed *on the Swallow slice itself* — a program can measure its own
+//! power and adapt — or streamed out over the Ethernet bridge.
+//!
+//! This module models the board's configuration limits and sample traces;
+//! the live wiring to simulated supplies happens in `swallow-board`.
+
+use crate::units::Power;
+use std::fmt;
+use swallow_sim::{Frequency, Time, TimeDelta};
+
+/// Number of sense channels (one per SMPS: four 1 V rails + one 3.3 V rail).
+pub const CHANNELS: usize = 5;
+/// Maximum sample rate with a single channel enabled.
+pub const MAX_SINGLE_RATE_HZ: u64 = 2_000_000;
+/// Maximum sample rate with more than one channel enabled.
+pub const MAX_SIMULTANEOUS_RATE_HZ: u64 = 1_000_000;
+
+/// ADC configuration error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdcError {
+    /// No channel was enabled.
+    NoChannels,
+    /// The requested rate exceeds the hardware capability.
+    RateTooHigh {
+        /// Requested sample rate.
+        requested: Frequency,
+        /// Maximum for the enabled channel count.
+        limit: Frequency,
+    },
+}
+
+impl fmt::Display for AdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdcError::NoChannels => write!(f, "no ADC channel enabled"),
+            AdcError::RateTooHigh { requested, limit } => {
+                write!(f, "sample rate {requested} exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdcError {}
+
+/// A validated ADC configuration.
+///
+/// ```
+/// use swallow_energy::AdcConfig;
+/// use swallow_sim::Frequency;
+///
+/// // All five supplies at 1 MS/s is the fastest simultaneous mode.
+/// let cfg = AdcConfig::new([true; 5], Frequency::from_mhz(1)).expect("valid");
+/// assert_eq!(cfg.enabled_channels(), 5);
+/// // 2 MS/s is only possible on a single channel.
+/// assert!(AdcConfig::new([true; 5], Frequency::from_mhz(2)).is_err());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdcConfig {
+    channels: [bool; CHANNELS],
+    rate: Frequency,
+}
+
+impl AdcConfig {
+    /// Validates and creates a configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`AdcError::NoChannels`] when all channels are disabled;
+    /// [`AdcError::RateTooHigh`] when `rate` exceeds 2 MS/s (one channel)
+    /// or 1 MS/s (several channels).
+    pub fn new(channels: [bool; CHANNELS], rate: Frequency) -> Result<Self, AdcError> {
+        let enabled = channels.iter().filter(|&&c| c).count();
+        if enabled == 0 {
+            return Err(AdcError::NoChannels);
+        }
+        let limit_hz = if enabled == 1 {
+            MAX_SINGLE_RATE_HZ
+        } else {
+            MAX_SIMULTANEOUS_RATE_HZ
+        };
+        if rate.as_hz() > limit_hz {
+            return Err(AdcError::RateTooHigh {
+                requested: rate,
+                limit: Frequency::from_hz(limit_hz),
+            });
+        }
+        Ok(AdcConfig { channels, rate })
+    }
+
+    /// All five channels at the fastest simultaneous rate.
+    pub fn all_channels_max() -> Self {
+        AdcConfig::new([true; CHANNELS], Frequency::from_hz(MAX_SIMULTANEOUS_RATE_HZ))
+            .expect("static configuration is valid")
+    }
+
+    /// Single-channel capture at the fastest rate.
+    pub fn single_channel_max(channel: usize) -> Option<Self> {
+        if channel >= CHANNELS {
+            return None;
+        }
+        let mut channels = [false; CHANNELS];
+        channels[channel] = true;
+        Some(
+            AdcConfig::new(channels, Frequency::from_hz(MAX_SINGLE_RATE_HZ))
+                .expect("static configuration is valid"),
+        )
+    }
+
+    /// Number of enabled channels.
+    pub fn enabled_channels(&self) -> usize {
+        self.channels.iter().filter(|&&c| c).count()
+    }
+
+    /// Whether a channel is enabled.
+    pub fn is_enabled(&self, channel: usize) -> bool {
+        self.channels.get(channel).copied().unwrap_or(false)
+    }
+
+    /// The configured sample rate.
+    pub fn rate(&self) -> Frequency {
+        self.rate
+    }
+
+    /// The sampling period.
+    pub fn period(&self) -> TimeDelta {
+        self.rate.period()
+    }
+}
+
+/// A captured power trace for one channel.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SampleTrace {
+    samples: Vec<(Time, Power)>,
+}
+
+impl SampleTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        SampleTrace::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, at: Time, power: Power) {
+        self.samples.push((at, power));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were captured.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterates `(time, power)` in capture order.
+    pub fn iter(&self) -> impl Iterator<Item = (Time, Power)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// Arithmetic mean of the captured power (zero when empty).
+    pub fn mean_power(&self) -> Power {
+        if self.samples.is_empty() {
+            return Power::ZERO;
+        }
+        let sum: f64 = self.samples.iter().map(|(_, p)| p.as_watts()).sum();
+        Power::from_watts(sum / self.samples.len() as f64)
+    }
+
+    /// The largest captured power (zero when empty).
+    pub fn peak_power(&self) -> Power {
+        self.samples
+            .iter()
+            .map(|&(_, p)| p)
+            .fold(Power::ZERO, |a, b| if b > a { b } else { a })
+    }
+}
+
+/// The measurement daughter-board: a validated configuration plus one
+/// trace per enabled channel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdcBoard {
+    config: AdcConfig,
+    traces: [SampleTrace; CHANNELS],
+    next_sample: Time,
+}
+
+impl AdcBoard {
+    /// Creates a board with the given configuration.
+    pub fn new(config: AdcConfig) -> Self {
+        AdcBoard {
+            config,
+            traces: Default::default(),
+            next_sample: Time::ZERO,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AdcConfig {
+        &self.config
+    }
+
+    /// The time at which the next sample is due.
+    pub fn next_sample_due(&self) -> Time {
+        self.next_sample
+    }
+
+    /// Records one simultaneous sample of all enabled channels.
+    ///
+    /// `powers` supplies the instantaneous power of each channel; disabled
+    /// channels are skipped. Advances the due time by one sample period.
+    pub fn sample(&mut self, at: Time, powers: &[Power; CHANNELS]) {
+        for ch in 0..CHANNELS {
+            if self.config.is_enabled(ch) {
+                self.traces[ch].push(at, powers[ch]);
+            }
+        }
+        self.next_sample = at + self.config.period();
+    }
+
+    /// The captured trace for a channel.
+    pub fn trace(&self, channel: usize) -> Option<&SampleTrace> {
+        self.traces.get(channel)
+    }
+
+    /// Sum of mean powers across enabled channels (the slice input power
+    /// seen by the measurement system).
+    pub fn total_mean_power(&self) -> Power {
+        (0..CHANNELS)
+            .filter(|&ch| self.config.is_enabled(ch))
+            .map(|ch| self.traces[ch].mean_power())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_limits_follow_channel_count() {
+        assert!(AdcConfig::new([true; 5], Frequency::from_mhz(1)).is_ok());
+        assert!(AdcConfig::new([true; 5], Frequency::from_mhz(2)).is_err());
+        let single = AdcConfig::single_channel_max(0).expect("channel 0 exists");
+        assert_eq!(single.rate().as_hz(), 2_000_000);
+        assert_eq!(AdcConfig::single_channel_max(5), None);
+        assert_eq!(
+            AdcConfig::new([false; 5], Frequency::from_mhz(1)),
+            Err(AdcError::NoChannels)
+        );
+    }
+
+    #[test]
+    fn sampling_fills_only_enabled_channels() {
+        let mut channels = [false; CHANNELS];
+        channels[1] = true;
+        channels[3] = true;
+        let cfg = AdcConfig::new(channels, Frequency::from_khz(500)).expect("valid");
+        let mut board = AdcBoard::new(cfg);
+        let mut powers = [Power::ZERO; CHANNELS];
+        powers[1] = Power::from_milliwatts(100.0);
+        powers[3] = Power::from_milliwatts(50.0);
+        board.sample(Time::ZERO, &powers);
+        board.sample(Time::from_ps(2_000_000), &powers);
+        assert_eq!(board.trace(1).expect("in range").len(), 2);
+        assert_eq!(board.trace(0).expect("in range").len(), 0);
+        assert!((board.total_mean_power().as_milliwatts() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn next_sample_advances_by_period() {
+        let cfg = AdcConfig::all_channels_max();
+        let mut board = AdcBoard::new(cfg);
+        board.sample(Time::ZERO, &[Power::ZERO; CHANNELS]);
+        assert_eq!(board.next_sample_due(), Time::from_ps(1_000_000)); // 1 MS/s = 1 us
+    }
+
+    #[test]
+    fn trace_statistics() {
+        let mut trace = SampleTrace::new();
+        assert_eq!(trace.mean_power(), Power::ZERO);
+        trace.push(Time::ZERO, Power::from_milliwatts(10.0));
+        trace.push(Time::from_ps(1), Power::from_milliwatts(30.0));
+        assert!((trace.mean_power().as_milliwatts() - 20.0).abs() < 1e-9);
+        assert!((trace.peak_power().as_milliwatts() - 30.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,175 @@
+//! Dynamic voltage and frequency scaling (Fig. 4).
+//!
+//! The shipped Swallow boards run at a fixed 1 V, but the paper measures
+//! the minimum stable voltage at two operating points — 0.60 V at 71 MHz
+//! and 0.95 V at 500 MHz — and computes the attainable DVFS savings from
+//! `P = C·V²·f`. [`DvfsTable`] interpolates that voltage/frequency
+//! relationship and applies the quadratic scaling.
+
+use crate::units::{Power, Voltage};
+use swallow_sim::Frequency;
+
+/// A point on the measured minimum-voltage curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DvfsPoint {
+    /// Clock frequency of the operating point.
+    pub frequency: Frequency,
+    /// Minimum stable core voltage at that frequency.
+    pub voltage: Voltage,
+}
+
+/// The measured voltage/frequency table, linearly interpolated.
+///
+/// ```
+/// use swallow_energy::DvfsTable;
+/// use swallow_sim::Frequency;
+///
+/// let table = DvfsTable::swallow();
+/// let v = table.voltage_at(Frequency::from_mhz(71));
+/// assert!((v.as_volts() - 0.60).abs() < 1e-9);
+/// let v = table.voltage_at(Frequency::from_mhz(500));
+/// assert!((v.as_volts() - 0.95).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DvfsTable {
+    points: Vec<DvfsPoint>,
+}
+
+impl DvfsTable {
+    /// The two experimentally determined Swallow operating points (§III.B).
+    pub fn swallow() -> Self {
+        DvfsTable::new(vec![
+            DvfsPoint {
+                frequency: Frequency::from_mhz(71),
+                voltage: Voltage::from_volts(0.60),
+            },
+            DvfsPoint {
+                frequency: Frequency::from_mhz(500),
+                voltage: Voltage::from_volts(0.95),
+            },
+        ])
+        .expect("static table is well-formed")
+    }
+
+    /// Builds a table from measured points.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when fewer than one point is supplied or points are
+    /// not strictly increasing in frequency.
+    pub fn new(mut points: Vec<DvfsPoint>) -> Option<Self> {
+        if points.is_empty() {
+            return None;
+        }
+        points.sort_by_key(|p| p.frequency.as_hz());
+        if points
+            .windows(2)
+            .any(|w| w[0].frequency.as_hz() == w[1].frequency.as_hz())
+        {
+            return None;
+        }
+        Some(DvfsTable { points })
+    }
+
+    /// The minimum stable voltage at `f`, linearly interpolated and
+    /// clamped to the end points.
+    pub fn voltage_at(&self, f: Frequency) -> Voltage {
+        let hz = f.as_hz() as f64;
+        let first = self.points.first().expect("non-empty");
+        let last = self.points.last().expect("non-empty");
+        if hz <= first.frequency.as_hz() as f64 {
+            return first.voltage;
+        }
+        if hz >= last.frequency.as_hz() as f64 {
+            return last.voltage;
+        }
+        for w in self.points.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let lo_hz = lo.frequency.as_hz() as f64;
+            let hi_hz = hi.frequency.as_hz() as f64;
+            if hz <= hi_hz {
+                let t = (hz - lo_hz) / (hi_hz - lo_hz);
+                let volts = lo.voltage.as_volts() + t * (hi.voltage.as_volts() - lo.voltage.as_volts());
+                return Voltage::from_volts(volts);
+            }
+        }
+        last.voltage
+    }
+
+    /// Scales a power measured at 1 V to the DVFS voltage for `f`
+    /// (`P = C·V²·f`, with the same `f`, so only `V²` changes).
+    pub fn scale_power(&self, power_at_1v: Power, f: Frequency) -> Power {
+        power_at_1v * self.voltage_at(f).squared()
+    }
+}
+
+/// Whether a core runs at a fixed voltage or tracks the DVFS table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VoltageScaling {
+    /// Fixed supply (the shipped Swallow configuration: 1 V).
+    Fixed(Voltage),
+    /// Voltage follows frequency per the table (newer xCORE devices).
+    Dvfs(DvfsTable),
+}
+
+impl VoltageScaling {
+    /// The nominal fixed-1 V Swallow configuration.
+    pub fn swallow_fixed() -> Self {
+        VoltageScaling::Fixed(Voltage::from_volts(1.0))
+    }
+
+    /// The effective voltage at clock `f`.
+    pub fn voltage_at(&self, f: Frequency) -> Voltage {
+        match self {
+            VoltageScaling::Fixed(v) => *v,
+            VoltageScaling::Dvfs(table) => table.voltage_at(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation_is_linear_between_anchors() {
+        let t = DvfsTable::swallow();
+        // Midpoint of 71..500 MHz = 285.5 MHz -> midpoint voltage 0.775 V.
+        let v = t.voltage_at(Frequency::from_khz(285_500));
+        assert!((v.as_volts() - 0.775).abs() < 1e-9, "v = {v}");
+    }
+
+    #[test]
+    fn clamps_outside_measured_range() {
+        let t = DvfsTable::swallow();
+        assert_eq!(t.voltage_at(Frequency::from_mhz(10)).as_volts(), 0.60);
+        assert_eq!(t.voltage_at(Frequency::from_mhz(600)).as_volts(), 0.95);
+    }
+
+    #[test]
+    fn fig4_savings_at_71mhz() {
+        // Fig. 4: at 71 MHz, scaling from 1 V to 0.6 V cuts power to 36 %.
+        let t = DvfsTable::swallow();
+        let p1v = Power::from_milliwatts(67.3); // Eq. 1 at 71 MHz
+        let scaled = t.scale_power(p1v, Frequency::from_mhz(71));
+        assert!((scaled.as_milliwatts() - 67.3 * 0.36).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_degenerate_tables() {
+        assert!(DvfsTable::new(vec![]).is_none());
+        let p = DvfsPoint {
+            frequency: Frequency::from_mhz(100),
+            voltage: Voltage::from_volts(0.7),
+        };
+        assert!(DvfsTable::new(vec![p, p]).is_none());
+    }
+
+    #[test]
+    fn voltage_scaling_selector() {
+        let fixed = VoltageScaling::swallow_fixed();
+        assert_eq!(fixed.voltage_at(Frequency::from_mhz(71)).as_volts(), 1.0);
+        let dvfs = VoltageScaling::Dvfs(DvfsTable::swallow());
+        assert_eq!(dvfs.voltage_at(Frequency::from_mhz(71)).as_volts(), 0.60);
+    }
+}

@@ -1,0 +1,38 @@
+//! Energy and power models for the Swallow platform.
+//!
+//! Swallow's defining feature is *energy transparency*: a predictable
+//! relationship between software execution and hardware energy consumption
+//! (§I of the paper). This crate is that relationship, factored into:
+//!
+//! * [`units`] — strongly-typed [`Energy`], [`Power`], [`Voltage`] and
+//!   [`Capacitance`] quantities,
+//! * [`core_power`] — the per-core power model calibrated against Eq. 1
+//!   (`Pc = 46 + 0.30·f` mW under load) and the Fig. 3 idle line, with
+//!   per-instruction-class energies in the style of Kerrison et al.
+//!   (ACM TECS 2015, the paper's ref. 4),
+//! * [`dvfs`] — the voltage/frequency table behind Fig. 4 (0.60 V floor at
+//!   71 MHz, 0.95 V at 500 MHz) and the `P = C·V²·f` scaling rule,
+//! * [`link`] — per-bit link energies from Table I, derived from wire-class
+//!   capacitance (which is the physical knob the paper identifies: the
+//!   30 cm FFC cable's capacitance costs 50× the on-board energy),
+//! * [`supply`] — the switch-mode supplies whose conversion losses turn a
+//!   3.1 W slice into a ≈4.5 W slice (§III.A),
+//! * [`account`] — the per-node energy ledger behind the Fig. 2 breakdown,
+//! * [`adc`] — the measurement daughter-board (2 MS/s single-channel,
+//!   1 MS/s all-channel) and its sample traces.
+
+pub mod account;
+pub mod adc;
+pub mod core_power;
+pub mod dvfs;
+pub mod link;
+pub mod supply;
+pub mod units;
+
+pub use account::{EnergyLedger, NodeCategory};
+pub use adc::{AdcBoard, AdcConfig, AdcError, SampleTrace};
+pub use core_power::CorePowerModel;
+pub use dvfs::{DvfsTable, VoltageScaling};
+pub use link::{WireClass, WireParams};
+pub use supply::Smps;
+pub use units::{Capacitance, Energy, Power, Voltage};

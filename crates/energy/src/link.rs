@@ -1,0 +1,200 @@
+//! Per-bit link energy by wire class (Table I).
+//!
+//! The XS1 five-wire link protocol needs only four wire transitions per
+//! byte of data (§II) — half the worst case of a naïve serial link. Energy
+//! per transition is set by the driven wire's capacitance and swing
+//! (`E = C·V²`), so energy per bit is
+//!
+//! ```text
+//! E/bit = (4 transitions / 8 bits) · C·V² = C·V²/2
+//! ```
+//!
+//! The capacitances below are chosen so the four Swallow wire classes land
+//! on the measured Table I values; they are physically plausible (11 pF of
+//! package-internal routing, ≈40 pF of PCB trace, ≈2 nF for 30 cm of FFC
+//! ribbon — the cable capacitance the paper blames for the 50× jump).
+
+use crate::units::{Capacitance, Energy, Voltage};
+use swallow_sim::Frequency;
+
+/// Wire transitions per byte of payload under the five-wire protocol.
+pub const TRANSITIONS_PER_BYTE: f64 = 4.0;
+
+/// The four physical wire classes of a Swallow system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WireClass {
+    /// Links inside an XS1-L2A package (core↔core).
+    OnChip,
+    /// Board traces between vertically adjacent chips on a slice.
+    BoardVertical,
+    /// Board traces between horizontally adjacent chips on a slice.
+    BoardHorizontal,
+    /// 30 cm flexible flat cable between slices.
+    OffBoardFfc,
+}
+
+impl WireClass {
+    /// All wire classes, nearest first.
+    pub const ALL: [WireClass; 4] = [
+        WireClass::OnChip,
+        WireClass::BoardVertical,
+        WireClass::BoardHorizontal,
+        WireClass::OffBoardFfc,
+    ];
+
+    /// Human-readable name matching Table I's rows.
+    pub const fn name(self) -> &'static str {
+        match self {
+            WireClass::OnChip => "On-chip",
+            WireClass::BoardVertical => "On-board, vertical",
+            WireClass::BoardHorizontal => "On-board, horizontal",
+            WireClass::OffBoardFfc => "Off-board, 30cm FFC",
+        }
+    }
+
+    /// The physical parameters of this class in the Swallow configuration.
+    pub fn swallow_params(self) -> WireParams {
+        match self {
+            // On-chip: 1 V swing, 11.2 pF → 5.6 pJ/bit at 250 Mbit/s.
+            WireClass::OnChip => WireParams::new(
+                Capacitance::from_picofarads(11.2),
+                Voltage::from_volts(1.0),
+                Frequency::from_mhz(250),
+            ),
+            // Board traces: 3.3 V I/O swing. 212.8 pJ/bit ⇒ 39.08 pF.
+            WireClass::BoardVertical => WireParams::new(
+                Capacitance::from_picofarads(2.0 * 212.8 / (3.3 * 3.3)),
+                Voltage::from_volts(3.3),
+                Frequency::from_khz(62_500),
+            ),
+            // 201.6 pJ/bit ⇒ 37.02 pF.
+            WireClass::BoardHorizontal => WireParams::new(
+                Capacitance::from_picofarads(2.0 * 201.6 / (3.3 * 3.3)),
+                Voltage::from_volts(3.3),
+                Frequency::from_khz(62_500),
+            ),
+            // 10 880 pJ/bit ⇒ ≈2 nF of ribbon cable.
+            WireClass::OffBoardFfc => WireParams::new(
+                Capacitance::from_picofarads(2.0 * 10_880.0 / (3.3 * 3.3)),
+                Voltage::from_volts(3.3),
+                Frequency::from_khz(62_500),
+            ),
+        }
+    }
+
+    /// Energy per transmitted bit in the Swallow configuration.
+    pub fn energy_per_bit(self) -> Energy {
+        self.swallow_params().energy_per_bit()
+    }
+
+    /// The configured data rate in the Swallow system (Table I column 2).
+    pub fn data_rate(self) -> Frequency {
+        self.swallow_params().rate
+    }
+}
+
+/// Physical parameters of a link wire class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WireParams {
+    /// Capacitance driven per wire transition.
+    pub capacitance: Capacitance,
+    /// Signal swing.
+    pub voltage: Voltage,
+    /// Configured bit rate (bits per second, expressed as a frequency).
+    pub rate: Frequency,
+}
+
+impl WireParams {
+    /// Creates wire parameters.
+    pub fn new(capacitance: Capacitance, voltage: Voltage, rate: Frequency) -> Self {
+        WireParams {
+            capacitance,
+            voltage,
+            rate,
+        }
+    }
+
+    /// Energy per transmitted bit: `C·V²/2` (four transitions per byte).
+    pub fn energy_per_bit(&self) -> Energy {
+        self.capacitance.transition_energy(self.voltage) * (TRANSITIONS_PER_BYTE / 8.0)
+    }
+
+    /// Energy per 8-bit token.
+    pub fn energy_per_token(&self) -> Energy {
+        self.energy_per_bit() * 8.0
+    }
+
+    /// Worst-case link power: every bit slot busy at the configured rate.
+    pub fn max_power(&self) -> crate::units::Power {
+        crate::units::Power::from_watts(
+            self.energy_per_bit().as_joules() * self.rate.as_hz() as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I of the paper, verbatim: (class, rate bit/s, pJ/bit).
+    const TABLE_I: [(WireClass, u64, f64); 4] = [
+        (WireClass::OnChip, 250_000_000, 5.6),
+        (WireClass::BoardVertical, 62_500_000, 212.8),
+        (WireClass::BoardHorizontal, 62_500_000, 201.6),
+        (WireClass::OffBoardFfc, 62_500_000, 10_880.0),
+    ];
+
+    #[test]
+    fn energy_per_bit_matches_table_i() {
+        for (class, rate, pj_per_bit) in TABLE_I {
+            let e = class.energy_per_bit().as_picojoules();
+            assert!(
+                (e - pj_per_bit).abs() / pj_per_bit < 0.005,
+                "{}: {e} pJ/bit vs Table I {pj_per_bit}",
+                class.name()
+            );
+            assert_eq!(class.data_rate().as_hz(), rate);
+        }
+    }
+
+    #[test]
+    fn max_link_power_matches_table_i() {
+        // Table I column 3: 1.4 mW, 13.3 mW, 12.6 mW, 680 mW.
+        let expect = [1.4, 13.3, 12.6, 680.0];
+        for (class, mw) in WireClass::ALL.into_iter().zip(expect) {
+            let p = class.swallow_params().max_power().as_milliwatts();
+            assert!(
+                (p - mw).abs() / mw < 0.01,
+                "{}: {p} mW vs Table I {mw}",
+                class.name()
+            );
+        }
+    }
+
+    #[test]
+    fn off_board_is_roughly_50x_on_board() {
+        let on_board = WireClass::BoardVertical.energy_per_bit().as_picojoules();
+        let off_board = WireClass::OffBoardFfc.energy_per_bit().as_picojoules();
+        let factor = off_board / on_board;
+        assert!((45.0..=55.0).contains(&factor), "factor = {factor}");
+    }
+
+    #[test]
+    fn token_energy_is_eight_bits() {
+        let p = WireClass::OnChip.swallow_params();
+        let ratio = p.energy_per_token().as_joules() / p.energy_per_bit().as_joules();
+        assert!((ratio - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitances_are_physically_plausible() {
+        // ≈2 nF for 30 cm of FFC (≈66 pF/cm), tens of pF for PCB traces,
+        // ≈11 pF inside the package.
+        let ffc = WireClass::OffBoardFfc.swallow_params().capacitance;
+        assert!((1.5e-9..2.5e-9).contains(&ffc.as_farads()), "ffc = {ffc}");
+        let pcb = WireClass::BoardVertical.swallow_params().capacitance;
+        assert!((20e-12..60e-12).contains(&pcb.as_farads()), "pcb = {pcb}");
+        let chip = WireClass::OnChip.swallow_params().capacitance;
+        assert!((5e-12..20e-12).contains(&chip.as_farads()), "chip = {chip}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests of the energy models: unit arithmetic, monotonicity of
+//! the power models, DVFS interpolation invariants.
+
+use proptest::prelude::*;
+use swallow_energy::{CorePowerModel, DvfsTable, Energy, EnergyLedger, NodeCategory, Power, Smps, Voltage};
+use swallow_sim::{Frequency, TimeDelta};
+
+proptest! {
+    /// Power × time = energy; energy / time = power (round trip).
+    #[test]
+    fn power_energy_round_trip(mw in 0.0f64..10_000.0, us in 1u64..1_000_000) {
+        let p = Power::from_milliwatts(mw);
+        let span = TimeDelta::from_us(us);
+        let e = p * span;
+        let back = e.over(span);
+        prop_assert!((back.as_milliwatts() - mw).abs() < 1e-9 * mw.max(1.0));
+    }
+
+    /// Eq. 1 power is strictly increasing in frequency and always above
+    /// the idle line, which is always above static power.
+    #[test]
+    fn core_power_is_monotonic(mhz1 in 10u64..500, mhz2 in 10u64..500) {
+        prop_assume!(mhz1 < mhz2);
+        let m = CorePowerModel::swallow();
+        let (f1, f2) = (Frequency::from_mhz(mhz1), Frequency::from_mhz(mhz2));
+        prop_assert!(m.eq1_power(f1).as_watts() < m.eq1_power(f2).as_watts());
+        prop_assert!(m.idle_power(f1).as_watts() < m.eq1_power(f1).as_watts());
+        prop_assert!(m.static_power().as_watts() <= m.idle_power(f1).as_watts());
+    }
+
+    /// Partial load interpolates monotonically between idle and Eq. 1.
+    #[test]
+    fn partial_load_is_monotonic(mhz in 10u64..500) {
+        let m = CorePowerModel::swallow();
+        let f = Frequency::from_mhz(mhz);
+        let mut last = 0.0;
+        for threads in 0..=4 {
+            let p = m.partial_load_power(f, threads).as_watts();
+            prop_assert!(p >= last);
+            last = p;
+        }
+    }
+
+    /// DVFS voltage is monotone in frequency and clamped to the measured
+    /// end points; scaled power never exceeds the 1 V power.
+    #[test]
+    fn dvfs_voltage_monotone(mhz1 in 1u64..800, mhz2 in 1u64..800) {
+        prop_assume!(mhz1 <= mhz2);
+        let t = DvfsTable::swallow();
+        let v1 = t.voltage_at(Frequency::from_mhz(mhz1)).as_volts();
+        let v2 = t.voltage_at(Frequency::from_mhz(mhz2)).as_volts();
+        prop_assert!(v1 <= v2 + 1e-12);
+        prop_assert!((0.60..=0.95).contains(&v1));
+        let p = Power::from_milliwatts(100.0);
+        let scaled = t.scale_power(p, Frequency::from_mhz(mhz1));
+        prop_assert!(scaled.as_watts() <= p.as_watts());
+    }
+
+    /// Voltage scaling of slot energies is exactly quadratic.
+    #[test]
+    fn slot_energy_scales_with_v_squared(volts in 0.3f64..1.2) {
+        let nominal = CorePowerModel::swallow();
+        let scaled = nominal.at_voltage(Voltage::from_volts(volts));
+        for class in swallow_isa::EnergyClass::ALL {
+            let a = nominal.slot_energy(class).as_joules();
+            let b = scaled.slot_energy(class).as_joules();
+            if a > 0.0 {
+                prop_assert!((b / a - volts * volts).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// SMPS input power exceeds output and loss is consistent.
+    #[test]
+    fn smps_conservation(mw in 0.0f64..20_000.0) {
+        let s = Smps::swallow_core_rail();
+        let out = Power::from_milliwatts(mw);
+        let input = s.input_power(out);
+        prop_assert!(input.as_watts() >= out.as_watts());
+        let sum = (out + s.loss(out)).as_watts();
+        prop_assert!((input.as_watts() - sum).abs() < 1e-12);
+    }
+
+    /// Ledger fractions always sum to 1 for non-empty ledgers, and
+    /// merging preserves totals.
+    #[test]
+    fn ledger_invariants(
+        charges in proptest::collection::vec((0usize..5, 0.0f64..1e3), 1..40)
+    ) {
+        let mut a = EnergyLedger::new();
+        let mut b = EnergyLedger::new();
+        for (i, &(cat, nj)) in charges.iter().enumerate() {
+            let target = if i % 2 == 0 { &mut a } else { &mut b };
+            target.charge(NodeCategory::ALL[cat], Energy::from_nanojoules(nj));
+        }
+        let merged = a + b;
+        let total = merged.total().as_joules();
+        let parts: f64 = NodeCategory::ALL
+            .iter()
+            .map(|&c| merged.get(c).as_joules())
+            .sum();
+        prop_assert!((total - parts).abs() <= 1e-15 * total.max(1.0));
+        if total > 0.0 {
+            let fracs: f64 = NodeCategory::ALL.iter().map(|&c| merged.fraction(c)).sum();
+            prop_assert!((fracs - 1.0).abs() < 1e-9);
+        }
+    }
+}

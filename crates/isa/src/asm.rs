@@ -1,0 +1,890 @@
+//! A two-pass textual assembler.
+//!
+//! The accepted syntax is the same as the disassembler's output (see
+//! [`Instr`]'s `Display` impl), plus labels, comments and data directives:
+//!
+//! ```text
+//! # comments run to end of line (also `//` and `;`)
+//!         .entry main          # set the entry point (default: address 0)
+//! table:  .word 0x1234         # emit a raw data word (value or label)
+//!         .space 4             # emit 4 zero words
+//! main:
+//!         ldc   r0, 10
+//! loop:   sub   r0, r0, 1
+//!         bt    r0, loop       # branch targets: label or .+N / .-N
+//!         freet
+//! ```
+//!
+//! Immediates may be decimal, `0x` hex, `0b` binary or `'c'` character
+//! literals. `mov d, s` is accepted as sugar for `add d, s, 0`.
+
+use crate::encode::{encode, encode_wide_ldc};
+use crate::instr::{ControlToken, HostcallFn, Instr, MemOffset, ResType};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An assembly error, with the 1-based source line where it occurred.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl AsmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// The assembler. Stateless; one instance can assemble many programs.
+///
+/// ```
+/// use swallow_isa::Assembler;
+/// # fn main() -> Result<(), swallow_isa::AsmError> {
+/// let program = Assembler::new().assemble("nop\nfreet")?;
+/// assert_eq!(program.words().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Assembler;
+
+impl Assembler {
+    /// Creates an assembler.
+    pub fn new() -> Self {
+        Assembler
+    }
+
+    /// Assembles `source` into a loadable [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] carrying the offending line number for
+    /// syntax errors, unknown mnemonics/labels, duplicate labels, and
+    /// out-of-range immediates or branch offsets.
+    pub fn assemble(&self, source: &str) -> Result<Program, AsmError> {
+        let items = parse_items(source)?;
+
+        // Pass 1: lay out items and collect label addresses.
+        let mut labels: BTreeMap<String, u32> = BTreeMap::new();
+        let mut word_addr = 0u32;
+        for item in &items {
+            for label in &item.labels {
+                if labels.insert(label.clone(), word_addr * 4).is_some() {
+                    return Err(AsmError::new(item.line, format!("duplicate label `{label}`")));
+                }
+            }
+            word_addr += item.size_words(&labels);
+        }
+
+        // Pass 2: resolve and emit.
+        let mut words = Vec::with_capacity(word_addr as usize);
+        let mut entry: Option<(usize, String)> = None;
+        for item in &items {
+            let at = words.len() as u32;
+            match &item.body {
+                Body::None => {}
+                Body::Entry(label) => {
+                    if entry.is_some() {
+                        return Err(AsmError::new(item.line, "duplicate .entry directive"));
+                    }
+                    entry = Some((item.line, label.clone()));
+                }
+                Body::Word(value) => {
+                    let v = resolve_value(value, &labels, item.line)?;
+                    words.push(v);
+                }
+                Body::Space(n) => {
+                    words.extend(std::iter::repeat(0).take(*n as usize));
+                }
+                Body::Op(mnemonic, operands) => {
+                    // `ldc d, label` was laid out as two words in pass 1
+                    // (the label value was still unknown); keep the wide
+                    // form even if the resolved address fits 16 bits.
+                    let wide_label = mnemonic == "ldc"
+                        && operands.len() == 2
+                        && parse_imm(&operands[1]).is_none();
+                    let instr = lower(item.line, mnemonic, operands, &labels, at)?;
+                    if let (true, Instr::Ldc { d, imm }) = (wide_label, instr) {
+                        words.extend_from_slice(encode_wide_ldc(d, imm).words());
+                    } else {
+                        let enc = encode(&instr)
+                            .map_err(|e| AsmError::new(item.line, e.to_string()))?;
+                        words.extend_from_slice(enc.words());
+                    }
+                }
+            }
+        }
+
+        let entry_addr = match entry {
+            None => 0,
+            Some((line, label)) => *labels
+                .get(&label)
+                .ok_or_else(|| AsmError::new(line, format!("unknown entry label `{label}`")))?,
+        };
+        Ok(Program::from_parts(words, entry_addr, labels))
+    }
+}
+
+#[derive(Debug)]
+enum Body {
+    /// A label-only (or empty) line.
+    None,
+    Entry(String),
+    Word(Value),
+    Space(u32),
+    Op(String, Vec<String>),
+}
+
+#[derive(Debug)]
+enum Value {
+    Imm(i64),
+    Sym(String),
+}
+
+#[derive(Debug)]
+struct Item {
+    line: usize,
+    labels: Vec<String>,
+    body: Body,
+}
+
+impl Item {
+    fn size_words(&self, _labels: &BTreeMap<String, u32>) -> u32 {
+        match &self.body {
+            Body::None | Body::Entry(_) => 0,
+            Body::Word(_) => 1,
+            Body::Space(n) => *n,
+            Body::Op(m, operands) => {
+                if m == "ldc" {
+                    // Wide constants and label references take an extension
+                    // word; the choice must be deterministic in pass 1.
+                    if let Some(text) = operands.get(1) {
+                        match parse_imm(text) {
+                            Some(v) if (0..=0xFFFF).contains(&v) => 1,
+                            _ => 2,
+                        }
+                    } else {
+                        1
+                    }
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for marker in ["#", "//", ";"] {
+        if let Some(pos) = line.find(marker) {
+            end = end.min(pos);
+        }
+    }
+    &line[..end]
+}
+
+fn is_label_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+fn parse_items(source: &str) -> Result<Vec<Item>, AsmError> {
+    let mut items = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut rest = strip_comment(raw).trim();
+        let mut labels = Vec::new();
+        // Leading `name:` labels (several may stack on one line).
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let head = head.trim();
+            if head.is_empty() || !head.chars().all(is_label_char) || head.starts_with('.') {
+                break;
+            }
+            labels.push(head.to_owned());
+            rest = tail[1..].trim();
+        }
+        let body = if rest.is_empty() {
+            Body::None
+        } else if let Some(dir) = rest.strip_prefix('.') {
+            parse_directive(line_no, dir)?
+        } else {
+            let (mnemonic, args) = match rest.split_once(char::is_whitespace) {
+                Some((m, a)) => (m, a.trim()),
+                None => (rest, ""),
+            };
+            let operands: Vec<String> = if args.is_empty() {
+                Vec::new()
+            } else {
+                args.split(',').map(|s| s.trim().to_owned()).collect()
+            };
+            if operands.iter().any(|o| o.is_empty()) {
+                return Err(AsmError::new(line_no, "empty operand"));
+            }
+            Body::Op(mnemonic.to_ascii_lowercase(), operands)
+        };
+        if labels.is_empty() && matches!(body, Body::None) {
+            continue;
+        }
+        items.push(Item {
+            line: line_no,
+            labels,
+            body,
+        });
+    }
+    Ok(items)
+}
+
+fn parse_directive(line: usize, dir: &str) -> Result<Body, AsmError> {
+    let (name, arg) = match dir.split_once(char::is_whitespace) {
+        Some((n, a)) => (n, a.trim()),
+        None => (dir, ""),
+    };
+    match name {
+        "word" => {
+            if let Some(v) = parse_imm(arg) {
+                Ok(Body::Word(Value::Imm(v)))
+            } else if !arg.is_empty() && arg.chars().all(is_label_char) {
+                Ok(Body::Word(Value::Sym(arg.to_owned())))
+            } else {
+                Err(AsmError::new(line, format!("bad .word operand `{arg}`")))
+            }
+        }
+        "space" => match parse_imm(arg) {
+            Some(n) if (0..=(1 << 16)).contains(&n) => Ok(Body::Space(n as u32)),
+            _ => Err(AsmError::new(line, format!("bad .space count `{arg}`"))),
+        },
+        "entry" => {
+            if arg.is_empty() {
+                Err(AsmError::new(line, ".entry requires a label"))
+            } else {
+                Ok(Body::Entry(arg.to_owned()))
+            }
+        }
+        other => Err(AsmError::new(line, format!("unknown directive `.{other}`"))),
+    }
+}
+
+fn resolve_value(
+    value: &Value,
+    labels: &BTreeMap<String, u32>,
+    line: usize,
+) -> Result<u32, AsmError> {
+    match value {
+        Value::Imm(v) => imm_to_u32(*v).ok_or_else(|| {
+            AsmError::new(line, format!("value {v} does not fit in 32 bits"))
+        }),
+        Value::Sym(name) => labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| AsmError::new(line, format!("unknown label `{name}`"))),
+    }
+}
+
+fn imm_to_u32(v: i64) -> Option<u32> {
+    if (0..=u32::MAX as i64).contains(&v) {
+        Some(v as u32)
+    } else if (i32::MIN as i64..0).contains(&v) {
+        Some(v as i32 as u32)
+    } else {
+        None
+    }
+}
+
+/// Parses an immediate: decimal, hex (`0x`), binary (`0b`) or `'c'`.
+fn parse_imm(text: &str) -> Option<i64> {
+    let text = text.trim();
+    if let Some(ch) = text.strip_prefix('\'') {
+        let ch = ch.strip_suffix('\'')?;
+        let mut chars = ch.chars();
+        let c = chars.next()?;
+        if chars.next().is_some() {
+            return None;
+        }
+        return Some(c as i64);
+    }
+    let (neg, digits) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
+        i64::from_str_radix(&hex.replace('_', ""), 16).ok()?
+    } else if let Some(bin) = digits.strip_prefix("0b").or_else(|| digits.strip_prefix("0B")) {
+        i64::from_str_radix(&bin.replace('_', ""), 2).ok()?
+    } else {
+        digits.replace('_', "").parse::<i64>().ok()?
+    };
+    Some(if neg { -value } else { value })
+}
+
+struct Ctx<'a> {
+    line: usize,
+    labels: &'a BTreeMap<String, u32>,
+    /// Word address of this (single-word) instruction.
+    at: u32,
+}
+
+impl Ctx<'_> {
+    fn err(&self, msg: impl Into<String>) -> AsmError {
+        AsmError::new(self.line, msg)
+    }
+
+    fn reg(&self, text: &str) -> Result<Reg, AsmError> {
+        text.parse::<Reg>()
+            .map_err(|_| self.err(format!("expected register, found `{text}`")))
+    }
+
+    fn imm_range(&self, text: &str, lo: i64, hi: i64) -> Result<i64, AsmError> {
+        let v = parse_imm(text)
+            .ok_or_else(|| self.err(format!("expected immediate, found `{text}`")))?;
+        if (lo..=hi).contains(&v) {
+            Ok(v)
+        } else {
+            Err(self.err(format!("immediate {v} out of range {lo}..={hi}")))
+        }
+    }
+
+    /// Branch target: label or `.+N` / `.-N`, as a word offset from pc+1.
+    fn target(&self, text: &str) -> Result<i32, AsmError> {
+        if let Some(rel) = text.strip_prefix('.') {
+            let v = parse_imm(rel.strip_prefix('+').unwrap_or(rel))
+                .ok_or_else(|| self.err(format!("bad relative target `{text}`")))?;
+            return i32::try_from(v).map_err(|_| self.err("relative target out of range"));
+        }
+        let addr = self
+            .labels
+            .get(text)
+            .ok_or_else(|| self.err(format!("unknown label `{text}`")))?;
+        let target_word = (addr / 4) as i64;
+        let next = self.at as i64 + 1;
+        i32::try_from(target_word - next).map_err(|_| self.err("branch target out of range"))
+    }
+
+    /// Memory operand `base[index]` where index is a register or immediate.
+    fn mem(&self, text: &str) -> Result<(Reg, MemOffset), AsmError> {
+        let open = text
+            .find('[')
+            .ok_or_else(|| self.err(format!("expected `base[index]`, found `{text}`")))?;
+        if !text.ends_with(']') {
+            return Err(self.err(format!("expected `base[index]`, found `{text}`")));
+        }
+        let base = self.reg(text[..open].trim())?;
+        let inner = text[open + 1..text.len() - 1].trim();
+        if let Ok(reg) = inner.parse::<Reg>() {
+            Ok((base, MemOffset::Reg(reg)))
+        } else {
+            let v = self.imm_range(inner, i16::MIN as i64, i16::MAX as i64)?;
+            Ok((base, MemOffset::Imm(v as i16)))
+        }
+    }
+
+    fn control_token(&self, text: &str) -> Result<ControlToken, AsmError> {
+        match text {
+            "end" => Ok(ControlToken::END),
+            "pause" => Ok(ControlToken::PAUSE),
+            "ack" => Ok(ControlToken::ACK),
+            "nack" => Ok(ControlToken::NACK),
+            other => Ok(ControlToken(self.imm_range(other, 0, 255)? as u8)),
+        }
+    }
+}
+
+fn expect_arity(line: usize, mnemonic: &str, ops: &[String], n: usize) -> Result<(), AsmError> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        Err(AsmError::new(
+            line,
+            format!("`{mnemonic}` expects {n} operand(s), found {}", ops.len()),
+        ))
+    }
+}
+
+#[allow(clippy::too_many_lines)] // A flat mnemonic table reads better split than clever.
+fn lower(
+    line: usize,
+    mnemonic: &str,
+    ops: &[String],
+    labels: &BTreeMap<String, u32>,
+    at: u32,
+) -> Result<Instr, AsmError> {
+    let cx = Ctx { line, labels, at };
+    let arity = |n| expect_arity(line, mnemonic, ops, n);
+
+    // Helper closures keep each arm one line.
+    let reg3 = |cons: fn(Reg, Reg, Reg) -> Instr| -> Result<Instr, AsmError> {
+        arity(3)?;
+        Ok(cons(cx.reg(&ops[0])?, cx.reg(&ops[1])?, cx.reg(&ops[2])?))
+    };
+    let reg2 = |cons: fn(Reg, Reg) -> Instr| -> Result<Instr, AsmError> {
+        arity(2)?;
+        Ok(cons(cx.reg(&ops[0])?, cx.reg(&ops[1])?))
+    };
+    // Third operand is a register or an immediate.
+    let reg3_or_imm = |rc: fn(Reg, Reg, Reg) -> Instr,
+                       ic: fn(Reg, Reg, u16) -> Instr,
+                       hi: i64|
+     -> Result<Instr, AsmError> {
+        arity(3)?;
+        let d = cx.reg(&ops[0])?;
+        let a = cx.reg(&ops[1])?;
+        if let Ok(b) = ops[2].parse::<Reg>() {
+            Ok(rc(d, a, b))
+        } else {
+            Ok(ic(d, a, cx.imm_range(&ops[2], 0, hi)? as u16))
+        }
+    };
+
+    let instr = match mnemonic {
+        "nop" => {
+            arity(0)?;
+            Instr::Nop
+        }
+        "add" => reg3_or_imm(
+            |d, a, b| Instr::Add { d, a, b },
+            |d, a, imm| Instr::AddI { d, a, imm },
+            0xFFFF,
+        )?,
+        "sub" => reg3_or_imm(
+            |d, a, b| Instr::Sub { d, a, b },
+            |d, a, imm| Instr::SubI { d, a, imm },
+            0xFFFF,
+        )?,
+        "eq" => reg3_or_imm(
+            |d, a, b| Instr::Eq { d, a, b },
+            |d, a, imm| Instr::EqI { d, a, imm },
+            0xFFFF,
+        )?,
+        "shl" => reg3_or_imm(
+            |d, a, b| Instr::Shl { d, a, b },
+            |d, a, imm| Instr::ShlI { d, a, imm: imm as u8 },
+            31,
+        )?,
+        "shr" => reg3_or_imm(
+            |d, a, b| Instr::Shr { d, a, b },
+            |d, a, imm| Instr::ShrI { d, a, imm: imm as u8 },
+            31,
+        )?,
+        "ashr" => reg3_or_imm(
+            |d, a, b| Instr::Ashr { d, a, b },
+            |d, a, imm| Instr::AshrI { d, a, imm: imm as u8 },
+            31,
+        )?,
+        "mul" => reg3(|d, a, b| Instr::Mul { d, a, b })?,
+        "divs" => reg3(|d, a, b| Instr::Divs { d, a, b })?,
+        "divu" => reg3(|d, a, b| Instr::Divu { d, a, b })?,
+        "rems" => reg3(|d, a, b| Instr::Rems { d, a, b })?,
+        "remu" => reg3(|d, a, b| Instr::Remu { d, a, b })?,
+        "and" => reg3(|d, a, b| Instr::And { d, a, b })?,
+        "or" => reg3(|d, a, b| Instr::Or { d, a, b })?,
+        "xor" => reg3(|d, a, b| Instr::Xor { d, a, b })?,
+        "lss" => reg3(|d, a, b| Instr::Lss { d, a, b })?,
+        "lsu" => reg3(|d, a, b| Instr::Lsu { d, a, b })?,
+        "neg" => reg2(|d, a| Instr::Neg { d, a })?,
+        "not" => reg2(|d, a| Instr::Not { d, a })?,
+        "clz" => reg2(|d, a| Instr::Clz { d, a })?,
+        "byterev" => reg2(|d, a| Instr::Byterev { d, a })?,
+        "bitrev" => reg2(|d, a| Instr::Bitrev { d, a })?,
+        "mov" => {
+            arity(2)?;
+            Instr::AddI {
+                d: cx.reg(&ops[0])?,
+                a: cx.reg(&ops[1])?,
+                imm: 0,
+            }
+        }
+        "mkmsk" => {
+            arity(2)?;
+            let d = cx.reg(&ops[0])?;
+            if let Ok(s) = ops[1].parse::<Reg>() {
+                Instr::MkMsk { d, s }
+            } else {
+                Instr::MkMskI {
+                    d,
+                    width: cx.imm_range(&ops[1], 0, 32)? as u8,
+                }
+            }
+        }
+        "sext" => {
+            arity(2)?;
+            Instr::Sext {
+                r: cx.reg(&ops[0])?,
+                bits: cx.imm_range(&ops[1], 1, 32)? as u8,
+            }
+        }
+        "zext" => {
+            arity(2)?;
+            Instr::Zext {
+                r: cx.reg(&ops[0])?,
+                bits: cx.imm_range(&ops[1], 1, 32)? as u8,
+            }
+        }
+        "ldc" => {
+            arity(2)?;
+            let d = cx.reg(&ops[0])?;
+            if let Some(v) = parse_imm(&ops[1]) {
+                let imm = imm_to_u32(v)
+                    .ok_or_else(|| cx.err(format!("constant {v} does not fit in 32 bits")))?;
+                Instr::Ldc { d, imm }
+            } else {
+                let addr = labels
+                    .get(ops[1].as_str())
+                    .ok_or_else(|| cx.err(format!("unknown label `{}`", ops[1])))?;
+                Instr::Ldc { d, imm: *addr }
+            }
+        }
+        "ldw" | "ld16s" | "ld8u" => {
+            arity(2)?;
+            let d = cx.reg(&ops[0])?;
+            let (base, off) = cx.mem(&ops[1])?;
+            match mnemonic {
+                "ldw" => Instr::Ldw { d, base, off },
+                "ld16s" => Instr::Ld16s { d, base, off },
+                _ => Instr::Ld8u { d, base, off },
+            }
+        }
+        "stw" | "st16" | "st8" => {
+            arity(2)?;
+            let s = cx.reg(&ops[0])?;
+            let (base, off) = cx.mem(&ops[1])?;
+            match mnemonic {
+                "stw" => Instr::Stw { s, base, off },
+                "st16" => Instr::St16 { s, base, off },
+                _ => Instr::St8 { s, base, off },
+            }
+        }
+        "ldaw" => {
+            arity(2)?;
+            let d = cx.reg(&ops[0])?;
+            let (base, off) = cx.mem(&ops[1])?;
+            match off {
+                MemOffset::Imm(imm) => Instr::Ldaw { d, base, imm },
+                MemOffset::Reg(_) => {
+                    return Err(cx.err("ldaw requires an immediate index"));
+                }
+            }
+        }
+        "ldap" => {
+            arity(2)?;
+            Instr::Ldap {
+                d: cx.reg(&ops[0])?,
+                off: cx.target(&ops[1])?,
+            }
+        }
+        "bu" => {
+            arity(1)?;
+            Instr::Bu { off: cx.target(&ops[0])? }
+        }
+        "bl" => {
+            arity(1)?;
+            Instr::Bl { off: cx.target(&ops[0])? }
+        }
+        "bt" => {
+            arity(2)?;
+            Instr::Bt {
+                s: cx.reg(&ops[0])?,
+                off: cx.target(&ops[1])?,
+            }
+        }
+        "bf" => {
+            arity(2)?;
+            Instr::Bf {
+                s: cx.reg(&ops[0])?,
+                off: cx.target(&ops[1])?,
+            }
+        }
+        "bau" => {
+            arity(1)?;
+            Instr::Bau { s: cx.reg(&ops[0])? }
+        }
+        "ret" => {
+            arity(0)?;
+            Instr::Ret
+        }
+        "getr" => {
+            arity(2)?;
+            let d = cx.reg(&ops[0])?;
+            let ty = ResType::ALL
+                .into_iter()
+                .find(|t| t.keyword() == ops[1])
+                .ok_or_else(|| cx.err(format!("unknown resource type `{}`", ops[1])))?;
+            Instr::GetR { d, ty }
+        }
+        "freer" => {
+            arity(1)?;
+            Instr::FreeR { r: cx.reg(&ops[0])? }
+        }
+        "tspawn" => reg3(|d, entry, arg| Instr::TSpawn { d, entry, arg })?,
+        "freet" => {
+            arity(0)?;
+            Instr::FreeT
+        }
+        "msync" => {
+            arity(1)?;
+            Instr::MSync { r: cx.reg(&ops[0])? }
+        }
+        "ssync" => {
+            arity(1)?;
+            Instr::SSync { r: cx.reg(&ops[0])? }
+        }
+        "setd" => reg2(|r, s| Instr::SetD { r, s })?,
+        "out" => reg2(|r, s| Instr::Out { r, s })?,
+        "outt" => reg2(|r, s| Instr::OutT { r, s })?,
+        "in" => reg2(|d, r| Instr::In { d, r })?,
+        "int" => reg2(|d, r| Instr::InT { d, r })?,
+        "testct" => reg2(|d, r| Instr::TestCt { d, r })?,
+        "tmwait" => reg2(|r, s| Instr::TmWait { r, s })?,
+        "outct" => {
+            arity(2)?;
+            Instr::OutCt {
+                r: cx.reg(&ops[0])?,
+                ct: cx.control_token(&ops[1])?,
+            }
+        }
+        "chkct" => {
+            arity(2)?;
+            Instr::ChkCt {
+                r: cx.reg(&ops[0])?,
+                ct: cx.control_token(&ops[1])?,
+            }
+        }
+        "waiteu" => {
+            arity(0)?;
+            Instr::Waiteu
+        }
+        "setv" => {
+            arity(2)?;
+            Instr::SetV {
+                r: cx.reg(&ops[0])?,
+                off: cx.target(&ops[1])?,
+            }
+        }
+        "eeu" => {
+            arity(1)?;
+            Instr::Eeu { r: cx.reg(&ops[0])? }
+        }
+        "edu" => {
+            arity(1)?;
+            Instr::Edu { r: cx.reg(&ops[0])? }
+        }
+        "clre" => {
+            arity(0)?;
+            Instr::ClrE
+        }
+        "print" => {
+            arity(1)?;
+            Instr::Hostcall {
+                func: HostcallFn::PrintInt,
+                s: cx.reg(&ops[0])?,
+            }
+        }
+        "printc" => {
+            arity(1)?;
+            Instr::Hostcall {
+                func: HostcallFn::PrintChar,
+                s: cx.reg(&ops[0])?,
+            }
+        }
+        "halt" => {
+            arity(0)?;
+            Instr::Hostcall {
+                func: HostcallFn::Halt,
+                s: Reg::R0,
+            }
+        }
+        other => {
+            return Err(AsmError::new(line, format!("unknown mnemonic `{other}`")));
+        }
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::decode;
+    use crate::reg::Reg::*;
+
+    fn asm(src: &str) -> Program {
+        Assembler::new().assemble(src).expect("assembles")
+    }
+
+    fn first(src: &str) -> Instr {
+        let p = asm(src);
+        decode(p.words()).expect("decodes").0
+    }
+
+    #[test]
+    fn assembles_every_mnemonic_family() {
+        let src = "
+            start:
+                nop
+                add   r0, r1, r2
+                add   r0, r1, 7
+                sub   r3, r3, 1
+                mul   r4, r5, r6
+                divu  r7, r8, r9
+                and   r0, r1, r2
+                shl   r0, r1, 3
+                shl   r0, r1, r2
+                eq    r0, r1, 0
+                lss   r0, r1, r2
+                neg   r0, r1
+                clz   r2, r3
+                mkmsk r0, 8
+                mkmsk r0, r1
+                sext  r0, 8
+                zext  r0, 16
+                mov   r5, r6
+                ldc   r0, 0x1234
+                ldc   r1, 100000
+                ldc   r2, start
+                ldw   r0, r1[2]
+                ldw   r0, r1[r2]
+                stw   r0, sp[0]
+                ld8u  r0, r1[r2]
+                st16  r0, r1[-4]
+                ldaw  r0, sp[-2]
+                ldap  r11, start
+                bu    start
+                bt    r0, start
+                bf    r0, .+2
+                bl    start
+                bau   lr
+                ret
+                getr  r0, chanend
+                getr  r1, timer
+                getr  r2, probe
+                freer r0
+                tspawn r0, r1, r2
+                msync r3
+                ssync r3
+                setd  r0, r1
+                out   r0, r1
+                outt  r0, r1
+                outct r0, end
+                outct r0, 9
+                in    r1, r0
+                int   r1, r0
+                chkct r0, pause
+                testct r1, r0
+                tmwait r0, r1
+                waiteu
+                print r0
+                printc r1
+                halt
+                freet
+        ";
+        let p = asm(src);
+        // 56 instructions + 2 extension words (ldc 100000, ldc start-as-label).
+        assert_eq!(p.words().len(), 58);
+    }
+
+    #[test]
+    fn branch_offsets_are_relative_to_next_instruction() {
+        let p = asm("loop: nop\n bu loop");
+        let (i, _) = p.decode_at(4).expect("decodes");
+        assert_eq!(i, Instr::Bu { off: -2 });
+        let p = asm("bu after\n nop\n after: nop");
+        let (i, _) = p.decode_at(0).expect("decodes");
+        assert_eq!(i, Instr::Bu { off: 1 });
+    }
+
+    #[test]
+    fn branch_over_wide_ldc_accounts_for_extension_word() {
+        let p = asm("bu target\n ldc r0, 0x12345678\n target: nop");
+        // ldc takes 2 words, so the branch must skip 2.
+        let (i, _) = p.decode_at(0).expect("decodes");
+        assert_eq!(i, Instr::Bu { off: 2 });
+        assert_eq!(p.symbol("target"), Some(12));
+    }
+
+    #[test]
+    fn label_references_resolve_to_byte_addresses() {
+        let p = asm("nop\n data: .word 42\n ldc r0, data");
+        assert_eq!(p.symbol("data"), Some(4));
+        let (i, _) = p.decode_at(8).expect("decodes");
+        assert_eq!(i, Instr::Ldc { d: R0, imm: 4 });
+    }
+
+    #[test]
+    fn immediates_in_all_bases() {
+        assert_eq!(first("ldc r0, 0x10"), Instr::Ldc { d: R0, imm: 16 });
+        assert_eq!(first("ldc r0, 0b101"), Instr::Ldc { d: R0, imm: 5 });
+        assert_eq!(first("ldc r0, 'A'"), Instr::Ldc { d: R0, imm: 65 });
+        assert_eq!(first("ldc r0, -1"), Instr::Ldc { d: R0, imm: u32::MAX });
+        assert_eq!(first("ldc r0, 1_000"), Instr::Ldc { d: R0, imm: 1000 });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = Assembler::new()
+            .assemble("nop\nbogus r0")
+            .expect_err("should fail");
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+
+        let err = Assembler::new()
+            .assemble("x: nop\nx: nop")
+            .expect_err("duplicate");
+        assert!(err.message.contains("duplicate label"));
+
+        let err = Assembler::new()
+            .assemble("bu nowhere")
+            .expect_err("unknown label");
+        assert!(err.message.contains("nowhere"));
+
+        let err = Assembler::new()
+            .assemble("add r0, r1, 99999")
+            .expect_err("range");
+        assert!(err.message.contains("out of range"));
+
+        let err = Assembler::new()
+            .assemble("add r0, r1")
+            .expect_err("arity");
+        assert!(err.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = asm("# header\n  // also\n; and this\n nop # trailing\n");
+        assert_eq!(p.words().len(), 1);
+    }
+
+    #[test]
+    fn space_directive_emits_zeros() {
+        let p = asm("buf: .space 3\n nop");
+        assert_eq!(p.words()[..3], [0, 0, 0]);
+        assert_eq!(p.words().len(), 4);
+    }
+
+    #[test]
+    fn word_directive_accepts_labels() {
+        let p = asm("a: nop\n tbl: .word a\n .word 0xFFFF_FFFF");
+        assert_eq!(p.words()[1], 0);
+        assert_eq!(p.words()[2], u32::MAX);
+    }
+
+    #[test]
+    fn empty_source_yields_empty_program() {
+        let p = asm("");
+        assert!(p.words().is_empty());
+        assert_eq!(p.entry(), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! `swallow-asm` — assemble and disassemble Swallow program images.
+//!
+//! ```text
+//! swallow_asm build  prog.s  prog.img    # assemble to a binary image
+//! swallow_asm dump   prog.img            # disassemble an image
+//! swallow_asm check  prog.s              # assemble, report size/symbols
+//! ```
+//!
+//! Image format: little-endian `u32` words — exactly what the boot
+//! loader writes into SRAM at address 0 (entry point in the first word
+//! of a 2-word header: `[magic "SWLW", entry]`).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use swallow_isa::{Assembler, Program};
+
+/// Magic word identifying an image file.
+const MAGIC: u32 = u32::from_le_bytes(*b"SWLW");
+
+fn encode_image(program: &Program) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + program.words().len() * 4);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&program.entry().to_le_bytes());
+    for w in program.words() {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+fn decode_image(bytes: &[u8]) -> Result<Program, String> {
+    if bytes.len() < 8 || bytes.len() % 4 != 0 {
+        return Err("image truncated or unaligned".into());
+    }
+    let word = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().expect("bounds"));
+    if word(0) != MAGIC {
+        return Err("bad magic (not a Swallow image)".into());
+    }
+    let entry = word(4);
+    let words: Vec<u32> = (8..bytes.len()).step_by(4).map(word).collect();
+    Ok(Program::from_parts(words, entry, BTreeMap::new()))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, src, out] if cmd == "build" => {
+            let text = std::fs::read_to_string(src).map_err(|e| format!("{src}: {e}"))?;
+            let program = Assembler::new().assemble(&text).map_err(|e| e.to_string())?;
+            std::fs::write(out, encode_image(&program)).map_err(|e| format!("{out}: {e}"))?;
+            println!(
+                "{out}: {} bytes, entry {:#x}",
+                program.len_bytes(),
+                program.entry()
+            );
+            Ok(())
+        }
+        [cmd, img] if cmd == "dump" => {
+            let bytes = std::fs::read(img).map_err(|e| format!("{img}: {e}"))?;
+            let program = decode_image(&bytes)?;
+            print!("{}", program.disassemble());
+            Ok(())
+        }
+        [cmd, src] if cmd == "check" => {
+            let text = std::fs::read_to_string(src).map_err(|e| format!("{src}: {e}"))?;
+            let program = Assembler::new().assemble(&text).map_err(|e| e.to_string())?;
+            println!(
+                "ok: {} bytes ({} words), entry {:#x}",
+                program.len_bytes(),
+                program.words().len(),
+                program.entry()
+            );
+            for (name, addr) in program.symbols() {
+                println!("  {addr:#06x} {name}");
+            }
+            Ok(())
+        }
+        _ => Err("usage: swallow_asm build <src> <img> | dump <img> | check <src>".into()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("swallow_asm: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

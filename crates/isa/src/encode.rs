@@ -1,0 +1,532 @@
+//! Binary instruction encoding.
+//!
+//! The real XS1 mixes 16-bit and 32-bit instruction formats with a prefix
+//! mechanism for large immediates. This reproduction uses a simplified
+//! regular layout (documented in `DESIGN.md` §5): every instruction is one
+//! 32-bit word, with a second *extension word* for 32-bit constants:
+//!
+//! ```text
+//!  31       24 23    20 19    16 15                    0
+//! +-----------+--------+--------+-----------------------+
+//! |  opcode   | field A| field B|        imm16          |
+//! +-----------+--------+--------+-----------------------+
+//! ```
+//!
+//! Field A/B hold register indices; `imm16` holds immediates, branch
+//! offsets (as `i16`, in words) or a third register index in its low
+//! nibble. Nothing downstream of the assembler/loader depends on the exact
+//! bit layout, so swapping in a bit-exact XS1 encoder would be a local
+//! change.
+
+use crate::instr::{ControlToken, HostcallFn, Instr, MemOffset, ResType};
+use crate::reg::Reg;
+use std::fmt;
+
+/// An encoded instruction: one or two 32-bit words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Encoded {
+    words: [u32; 2],
+    len: u8,
+}
+
+impl Encoded {
+    fn one(w: u32) -> Self {
+        Encoded { words: [w, 0], len: 1 }
+    }
+
+    fn two(w: u32, ext: u32) -> Self {
+        Encoded {
+            words: [w, ext],
+            len: 2,
+        }
+    }
+
+    /// The encoded words.
+    pub fn words(&self) -> &[u32] {
+        &self.words[..self.len as usize]
+    }
+
+    /// Number of 32-bit words (1 or 2).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Always false; an encoding has at least one word.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Error from encoding an instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A branch/address offset does not fit the 16-bit offset field.
+    OffsetOutOfRange {
+        /// The offending offset, in words.
+        offset: i32,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::OffsetOutOfRange { offset } => {
+                write!(f, "branch offset {offset} words does not fit in 16 bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Error from decoding a word stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Register field held an out-of-range index.
+    BadRegister(u8),
+    /// Unknown resource-type code in a `getr`.
+    BadResType(u8),
+    /// Unknown hostcall function code.
+    BadHostcall(u16),
+    /// The stream ended inside a two-word instruction.
+    Truncated,
+    /// Decode address out of bounds or unaligned.
+    BadAddress(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::BadRegister(r) => write!(f, "invalid register index {r}"),
+            DecodeError::BadResType(c) => write!(f, "unknown resource type code {c:#x}"),
+            DecodeError::BadHostcall(c) => write!(f, "unknown hostcall function {c}"),
+            DecodeError::Truncated => write!(f, "instruction stream truncated"),
+            DecodeError::BadAddress(a) => write!(f, "invalid instruction address {a:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcode bytes. Grouped to mirror `Instr`.
+mod op {
+    pub const NOP: u8 = 0x00;
+    pub const ADD: u8 = 0x01;
+    pub const SUB: u8 = 0x02;
+    pub const MUL: u8 = 0x03;
+    pub const DIVS: u8 = 0x04;
+    pub const DIVU: u8 = 0x05;
+    pub const REMS: u8 = 0x06;
+    pub const REMU: u8 = 0x07;
+    pub const AND: u8 = 0x08;
+    pub const OR: u8 = 0x09;
+    pub const XOR: u8 = 0x0A;
+    pub const SHL: u8 = 0x0B;
+    pub const SHR: u8 = 0x0C;
+    pub const ASHR: u8 = 0x0D;
+    pub const EQ: u8 = 0x0E;
+    pub const LSS: u8 = 0x0F;
+    pub const LSU: u8 = 0x10;
+    pub const NEG: u8 = 0x11;
+    pub const NOT: u8 = 0x12;
+    pub const CLZ: u8 = 0x13;
+    pub const BYTEREV: u8 = 0x14;
+    pub const BITREV: u8 = 0x15;
+    pub const ADDI: u8 = 0x16;
+    pub const SUBI: u8 = 0x17;
+    pub const EQI: u8 = 0x18;
+    pub const SHLI: u8 = 0x19;
+    pub const SHRI: u8 = 0x1A;
+    pub const ASHRI: u8 = 0x1B;
+    pub const MKMSKI: u8 = 0x1C;
+    pub const MKMSK: u8 = 0x1D;
+    pub const SEXT: u8 = 0x1E;
+    pub const ZEXT: u8 = 0x1F;
+    pub const LDC16: u8 = 0x20;
+    pub const LDC32: u8 = 0x21;
+    pub const LDW_R: u8 = 0x22;
+    pub const LDW_I: u8 = 0x23;
+    pub const STW_R: u8 = 0x24;
+    pub const STW_I: u8 = 0x25;
+    pub const LD16S_R: u8 = 0x26;
+    pub const LD16S_I: u8 = 0x27;
+    pub const LD8U_R: u8 = 0x28;
+    pub const LD8U_I: u8 = 0x29;
+    pub const ST16_R: u8 = 0x2A;
+    pub const ST16_I: u8 = 0x2B;
+    pub const ST8_R: u8 = 0x2C;
+    pub const ST8_I: u8 = 0x2D;
+    pub const LDAW: u8 = 0x2E;
+    pub const LDAP: u8 = 0x2F;
+    pub const BU: u8 = 0x30;
+    pub const BT: u8 = 0x31;
+    pub const BF: u8 = 0x32;
+    pub const BL: u8 = 0x33;
+    pub const BAU: u8 = 0x34;
+    pub const RET: u8 = 0x35;
+    pub const GETR: u8 = 0x36;
+    pub const FREER: u8 = 0x37;
+    pub const TSPAWN: u8 = 0x38;
+    pub const FREET: u8 = 0x39;
+    pub const MSYNC: u8 = 0x3A;
+    pub const SSYNC: u8 = 0x3B;
+    pub const SETD: u8 = 0x3C;
+    pub const OUT: u8 = 0x3D;
+    pub const OUTT: u8 = 0x3E;
+    pub const OUTCT: u8 = 0x3F;
+    pub const IN: u8 = 0x40;
+    pub const INT: u8 = 0x41;
+    pub const CHKCT: u8 = 0x42;
+    pub const TESTCT: u8 = 0x43;
+    pub const TMWAIT: u8 = 0x44;
+    pub const WAITEU: u8 = 0x45;
+    pub const HOSTCALL: u8 = 0x46;
+    pub const SETV: u8 = 0x47;
+    pub const EEU: u8 = 0x48;
+    pub const EDU: u8 = 0x49;
+    pub const CLRE: u8 = 0x4A;
+}
+
+fn word(opcode: u8, a: u8, b: u8, imm16: u16) -> u32 {
+    ((opcode as u32) << 24) | ((a as u32 & 0xF) << 20) | ((b as u32 & 0xF) << 16) | imm16 as u32
+}
+
+fn off16(off: i32) -> Result<u16, EncodeError> {
+    i16::try_from(off)
+        .map(|v| v as u16)
+        .map_err(|_| EncodeError::OffsetOutOfRange { offset: off })
+}
+
+fn r(reg: Reg) -> u8 {
+    reg.index() as u8
+}
+
+/// Encodes an instruction.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::OffsetOutOfRange`] when a branch or `ldap`
+/// offset exceeds ±32767 words.
+pub fn encode(instr: &Instr) -> Result<Encoded, EncodeError> {
+    use Instr::*;
+    let enc = match *instr {
+        Nop => Encoded::one(word(op::NOP, 0, 0, 0)),
+        Add { d, a, b } => Encoded::one(word(op::ADD, r(d), r(a), r(b) as u16)),
+        Sub { d, a, b } => Encoded::one(word(op::SUB, r(d), r(a), r(b) as u16)),
+        Mul { d, a, b } => Encoded::one(word(op::MUL, r(d), r(a), r(b) as u16)),
+        Divs { d, a, b } => Encoded::one(word(op::DIVS, r(d), r(a), r(b) as u16)),
+        Divu { d, a, b } => Encoded::one(word(op::DIVU, r(d), r(a), r(b) as u16)),
+        Rems { d, a, b } => Encoded::one(word(op::REMS, r(d), r(a), r(b) as u16)),
+        Remu { d, a, b } => Encoded::one(word(op::REMU, r(d), r(a), r(b) as u16)),
+        And { d, a, b } => Encoded::one(word(op::AND, r(d), r(a), r(b) as u16)),
+        Or { d, a, b } => Encoded::one(word(op::OR, r(d), r(a), r(b) as u16)),
+        Xor { d, a, b } => Encoded::one(word(op::XOR, r(d), r(a), r(b) as u16)),
+        Shl { d, a, b } => Encoded::one(word(op::SHL, r(d), r(a), r(b) as u16)),
+        Shr { d, a, b } => Encoded::one(word(op::SHR, r(d), r(a), r(b) as u16)),
+        Ashr { d, a, b } => Encoded::one(word(op::ASHR, r(d), r(a), r(b) as u16)),
+        Eq { d, a, b } => Encoded::one(word(op::EQ, r(d), r(a), r(b) as u16)),
+        Lss { d, a, b } => Encoded::one(word(op::LSS, r(d), r(a), r(b) as u16)),
+        Lsu { d, a, b } => Encoded::one(word(op::LSU, r(d), r(a), r(b) as u16)),
+        Neg { d, a } => Encoded::one(word(op::NEG, r(d), r(a), 0)),
+        Not { d, a } => Encoded::one(word(op::NOT, r(d), r(a), 0)),
+        Clz { d, a } => Encoded::one(word(op::CLZ, r(d), r(a), 0)),
+        Byterev { d, a } => Encoded::one(word(op::BYTEREV, r(d), r(a), 0)),
+        Bitrev { d, a } => Encoded::one(word(op::BITREV, r(d), r(a), 0)),
+        AddI { d, a, imm } => Encoded::one(word(op::ADDI, r(d), r(a), imm)),
+        SubI { d, a, imm } => Encoded::one(word(op::SUBI, r(d), r(a), imm)),
+        EqI { d, a, imm } => Encoded::one(word(op::EQI, r(d), r(a), imm)),
+        ShlI { d, a, imm } => Encoded::one(word(op::SHLI, r(d), r(a), imm as u16)),
+        ShrI { d, a, imm } => Encoded::one(word(op::SHRI, r(d), r(a), imm as u16)),
+        AshrI { d, a, imm } => Encoded::one(word(op::ASHRI, r(d), r(a), imm as u16)),
+        MkMskI { d, width } => Encoded::one(word(op::MKMSKI, r(d), 0, width as u16)),
+        MkMsk { d, s } => Encoded::one(word(op::MKMSK, r(d), r(s), 0)),
+        Sext { r: reg, bits } => Encoded::one(word(op::SEXT, r(reg), 0, bits as u16)),
+        Zext { r: reg, bits } => Encoded::one(word(op::ZEXT, r(reg), 0, bits as u16)),
+        Ldc { d, imm } => {
+            if imm <= u16::MAX as u32 {
+                Encoded::one(word(op::LDC16, r(d), 0, imm as u16))
+            } else {
+                Encoded::two(word(op::LDC32, r(d), 0, 0), imm)
+            }
+        }
+        Ldw { d, base, off } => Encoded::one(mem_word(op::LDW_R, op::LDW_I, d, base, off)),
+        Stw { s, base, off } => Encoded::one(mem_word(op::STW_R, op::STW_I, s, base, off)),
+        Ld16s { d, base, off } => Encoded::one(mem_word(op::LD16S_R, op::LD16S_I, d, base, off)),
+        Ld8u { d, base, off } => Encoded::one(mem_word(op::LD8U_R, op::LD8U_I, d, base, off)),
+        St16 { s, base, off } => Encoded::one(mem_word(op::ST16_R, op::ST16_I, s, base, off)),
+        St8 { s, base, off } => Encoded::one(mem_word(op::ST8_R, op::ST8_I, s, base, off)),
+        Ldaw { d, base, imm } => Encoded::one(word(op::LDAW, r(d), r(base), imm as u16)),
+        Ldap { d, off } => Encoded::one(word(op::LDAP, r(d), 0, off16(off)?)),
+        Bu { off } => Encoded::one(word(op::BU, 0, 0, off16(off)?)),
+        Bt { s, off } => Encoded::one(word(op::BT, r(s), 0, off16(off)?)),
+        Bf { s, off } => Encoded::one(word(op::BF, r(s), 0, off16(off)?)),
+        Bl { off } => Encoded::one(word(op::BL, 0, 0, off16(off)?)),
+        Bau { s } => Encoded::one(word(op::BAU, r(s), 0, 0)),
+        Ret => Encoded::one(word(op::RET, 0, 0, 0)),
+        GetR { d, ty } => Encoded::one(word(op::GETR, r(d), 0, ty.code() as u16)),
+        FreeR { r: reg } => Encoded::one(word(op::FREER, r(reg), 0, 0)),
+        TSpawn { d, entry, arg } => Encoded::one(word(op::TSPAWN, r(d), r(entry), r(arg) as u16)),
+        FreeT => Encoded::one(word(op::FREET, 0, 0, 0)),
+        MSync { r: reg } => Encoded::one(word(op::MSYNC, r(reg), 0, 0)),
+        SSync { r: reg } => Encoded::one(word(op::SSYNC, r(reg), 0, 0)),
+        SetD { r: reg, s } => Encoded::one(word(op::SETD, r(reg), r(s), 0)),
+        Out { r: reg, s } => Encoded::one(word(op::OUT, r(reg), r(s), 0)),
+        OutT { r: reg, s } => Encoded::one(word(op::OUTT, r(reg), r(s), 0)),
+        OutCt { r: reg, ct } => Encoded::one(word(op::OUTCT, r(reg), 0, ct.0 as u16)),
+        In { d, r: reg } => Encoded::one(word(op::IN, r(d), r(reg), 0)),
+        InT { d, r: reg } => Encoded::one(word(op::INT, r(d), r(reg), 0)),
+        ChkCt { r: reg, ct } => Encoded::one(word(op::CHKCT, r(reg), 0, ct.0 as u16)),
+        TestCt { d, r: reg } => Encoded::one(word(op::TESTCT, r(d), r(reg), 0)),
+        TmWait { r: reg, s } => Encoded::one(word(op::TMWAIT, r(reg), r(s), 0)),
+        Waiteu => Encoded::one(word(op::WAITEU, 0, 0, 0)),
+        SetV { r: reg, off } => Encoded::one(word(op::SETV, r(reg), 0, off16(off)?)),
+        Eeu { r: reg } => Encoded::one(word(op::EEU, r(reg), 0, 0)),
+        Edu { r: reg } => Encoded::one(word(op::EDU, r(reg), 0, 0)),
+        ClrE => Encoded::one(word(op::CLRE, 0, 0, 0)),
+        Hostcall { func, s } => {
+            let code = match func {
+                HostcallFn::PrintInt => 0,
+                HostcallFn::PrintChar => 1,
+                HostcallFn::Halt => 2,
+            };
+            Encoded::one(word(op::HOSTCALL, r(s), 0, code))
+        }
+    };
+    Ok(enc)
+}
+
+/// Encodes `ldc d, imm` in the two-word wide form unconditionally.
+///
+/// The assembler uses this for label references: layout (pass 1) must fix
+/// the instruction's size before the label's value is known, so it always
+/// reserves the extension word.
+pub fn encode_wide_ldc(d: Reg, imm: u32) -> Encoded {
+    Encoded::two(word(op::LDC32, r(d), 0, 0), imm)
+}
+
+fn mem_word(op_r: u8, op_i: u8, data: Reg, base: Reg, off: MemOffset) -> u32 {
+    match off {
+        MemOffset::Reg(idx) => word(op_r, r(data), r(base), r(idx) as u16),
+        MemOffset::Imm(imm) => word(op_i, r(data), r(base), imm as u16),
+    }
+}
+
+fn reg_field(value: u8) -> Result<Reg, DecodeError> {
+    Reg::from_index(value as usize).ok_or(DecodeError::BadRegister(value))
+}
+
+/// Decodes one instruction from `words`, returning it with the number of
+/// words consumed (1 or 2).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for unknown opcodes, bad register fields or a
+/// truncated two-word instruction.
+pub fn decode(words: &[u32]) -> Result<(Instr, usize), DecodeError> {
+    use Instr::*;
+    let w = *words.first().ok_or(DecodeError::Truncated)?;
+    let opcode = (w >> 24) as u8;
+    let fa = ((w >> 20) & 0xF) as u8;
+    let fb = ((w >> 16) & 0xF) as u8;
+    let imm16 = (w & 0xFFFF) as u16;
+    let a = || reg_field(fa);
+    let b = || reg_field(fb);
+    let c = || reg_field((imm16 & 0xF) as u8);
+    let soff = || imm16 as i16 as i32;
+
+    let instr = match opcode {
+        op::NOP => Nop,
+        op::ADD => Add { d: a()?, a: b()?, b: c()? },
+        op::SUB => Sub { d: a()?, a: b()?, b: c()? },
+        op::MUL => Mul { d: a()?, a: b()?, b: c()? },
+        op::DIVS => Divs { d: a()?, a: b()?, b: c()? },
+        op::DIVU => Divu { d: a()?, a: b()?, b: c()? },
+        op::REMS => Rems { d: a()?, a: b()?, b: c()? },
+        op::REMU => Remu { d: a()?, a: b()?, b: c()? },
+        op::AND => And { d: a()?, a: b()?, b: c()? },
+        op::OR => Or { d: a()?, a: b()?, b: c()? },
+        op::XOR => Xor { d: a()?, a: b()?, b: c()? },
+        op::SHL => Shl { d: a()?, a: b()?, b: c()? },
+        op::SHR => Shr { d: a()?, a: b()?, b: c()? },
+        op::ASHR => Ashr { d: a()?, a: b()?, b: c()? },
+        op::EQ => Eq { d: a()?, a: b()?, b: c()? },
+        op::LSS => Lss { d: a()?, a: b()?, b: c()? },
+        op::LSU => Lsu { d: a()?, a: b()?, b: c()? },
+        op::NEG => Neg { d: a()?, a: b()? },
+        op::NOT => Not { d: a()?, a: b()? },
+        op::CLZ => Clz { d: a()?, a: b()? },
+        op::BYTEREV => Byterev { d: a()?, a: b()? },
+        op::BITREV => Bitrev { d: a()?, a: b()? },
+        op::ADDI => AddI { d: a()?, a: b()?, imm: imm16 },
+        op::SUBI => SubI { d: a()?, a: b()?, imm: imm16 },
+        op::EQI => EqI { d: a()?, a: b()?, imm: imm16 },
+        op::SHLI => ShlI { d: a()?, a: b()?, imm: imm16 as u8 },
+        op::SHRI => ShrI { d: a()?, a: b()?, imm: imm16 as u8 },
+        op::ASHRI => AshrI { d: a()?, a: b()?, imm: imm16 as u8 },
+        op::MKMSKI => MkMskI { d: a()?, width: imm16 as u8 },
+        op::MKMSK => MkMsk { d: a()?, s: b()? },
+        op::SEXT => Sext { r: a()?, bits: imm16 as u8 },
+        op::ZEXT => Zext { r: a()?, bits: imm16 as u8 },
+        op::LDC16 => Ldc { d: a()?, imm: imm16 as u32 },
+        op::LDC32 => {
+            let ext = *words.get(1).ok_or(DecodeError::Truncated)?;
+            return Ok((Ldc { d: a()?, imm: ext }, 2));
+        }
+        op::LDW_R => Ldw { d: a()?, base: b()?, off: MemOffset::Reg(c()?) },
+        op::LDW_I => Ldw { d: a()?, base: b()?, off: MemOffset::Imm(imm16 as i16) },
+        op::STW_R => Stw { s: a()?, base: b()?, off: MemOffset::Reg(c()?) },
+        op::STW_I => Stw { s: a()?, base: b()?, off: MemOffset::Imm(imm16 as i16) },
+        op::LD16S_R => Ld16s { d: a()?, base: b()?, off: MemOffset::Reg(c()?) },
+        op::LD16S_I => Ld16s { d: a()?, base: b()?, off: MemOffset::Imm(imm16 as i16) },
+        op::LD8U_R => Ld8u { d: a()?, base: b()?, off: MemOffset::Reg(c()?) },
+        op::LD8U_I => Ld8u { d: a()?, base: b()?, off: MemOffset::Imm(imm16 as i16) },
+        op::ST16_R => St16 { s: a()?, base: b()?, off: MemOffset::Reg(c()?) },
+        op::ST16_I => St16 { s: a()?, base: b()?, off: MemOffset::Imm(imm16 as i16) },
+        op::ST8_R => St8 { s: a()?, base: b()?, off: MemOffset::Reg(c()?) },
+        op::ST8_I => St8 { s: a()?, base: b()?, off: MemOffset::Imm(imm16 as i16) },
+        op::LDAW => Ldaw { d: a()?, base: b()?, imm: imm16 as i16 },
+        op::LDAP => Ldap { d: a()?, off: soff() },
+        op::BU => Bu { off: soff() },
+        op::BT => Bt { s: a()?, off: soff() },
+        op::BF => Bf { s: a()?, off: soff() },
+        op::BL => Bl { off: soff() },
+        op::BAU => Bau { s: a()? },
+        op::RET => Ret,
+        op::GETR => GetR {
+            d: a()?,
+            ty: ResType::from_code(imm16 as u8).ok_or(DecodeError::BadResType(imm16 as u8))?,
+        },
+        op::FREER => FreeR { r: a()? },
+        op::TSPAWN => TSpawn { d: a()?, entry: b()?, arg: c()? },
+        op::FREET => FreeT,
+        op::MSYNC => MSync { r: a()? },
+        op::SSYNC => SSync { r: a()? },
+        op::SETD => SetD { r: a()?, s: b()? },
+        op::OUT => Out { r: a()?, s: b()? },
+        op::OUTT => OutT { r: a()?, s: b()? },
+        op::OUTCT => OutCt { r: a()?, ct: ControlToken(imm16 as u8) },
+        op::IN => In { d: a()?, r: b()? },
+        op::INT => InT { d: a()?, r: b()? },
+        op::CHKCT => ChkCt { r: a()?, ct: ControlToken(imm16 as u8) },
+        op::TESTCT => TestCt { d: a()?, r: b()? },
+        op::TMWAIT => TmWait { r: a()?, s: b()? },
+        op::WAITEU => Waiteu,
+        op::SETV => SetV { r: a()?, off: soff() },
+        op::EEU => Eeu { r: a()? },
+        op::EDU => Edu { r: a()? },
+        op::CLRE => ClrE,
+        op::HOSTCALL => Hostcall {
+            func: match imm16 {
+                0 => HostcallFn::PrintInt,
+                1 => HostcallFn::PrintChar,
+                2 => HostcallFn::Halt,
+                other => return Err(DecodeError::BadHostcall(other)),
+            },
+            s: a()?,
+        },
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok((instr, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg::*;
+
+    fn round_trip(i: Instr) {
+        let enc = encode(&i).expect("encodes");
+        let (back, n) = decode(enc.words()).expect("decodes");
+        assert_eq!(back, i, "round trip failed for {i}");
+        assert_eq!(n, enc.len());
+    }
+
+    #[test]
+    fn round_trips_representative_instructions() {
+        use Instr::*;
+        for i in [
+            Nop,
+            Add { d: R0, a: R1, b: R2 },
+            Divu { d: R11, a: SP, b: LR },
+            Neg { d: R3, a: R4 },
+            AddI { d: R0, a: R0, imm: 65535 },
+            ShlI { d: R1, a: R2, imm: 31 },
+            MkMskI { d: R5, width: 17 },
+            Sext { r: R7, bits: 8 },
+            Ldc { d: R0, imm: 42 },
+            Ldc { d: R0, imm: 0xDEAD_BEEF },
+            Ldw { d: R1, base: SP, off: MemOffset::Imm(-3) },
+            Ldw { d: R1, base: R2, off: MemOffset::Reg(R3) },
+            Stw { s: R9, base: R10, off: MemOffset::Imm(100) },
+            St8 { s: R0, base: R1, off: MemOffset::Reg(R2) },
+            Ldaw { d: R0, base: SP, imm: -8 },
+            Ldap { d: R11, off: -200 },
+            Bu { off: -1 },
+            Bt { s: R4, off: 32000 },
+            Bf { s: R4, off: -32000 },
+            Bl { off: 12 },
+            Bau { s: LR },
+            Ret,
+            GetR { d: R2, ty: ResType::PowerProbe },
+            FreeR { r: R2 },
+            TSpawn { d: R0, entry: R1, arg: R2 },
+            FreeT,
+            MSync { r: R6 },
+            SSync { r: R6 },
+            SetD { r: R1, s: R2 },
+            Out { r: R1, s: R2 },
+            OutT { r: R1, s: R2 },
+            OutCt { r: R1, ct: ControlToken::END },
+            In { d: R3, r: R1 },
+            InT { d: R3, r: R1 },
+            ChkCt { r: R1, ct: ControlToken::PAUSE },
+            TestCt { d: R0, r: R1 },
+            TmWait { r: R5, s: R6 },
+            Waiteu,
+            Hostcall { func: HostcallFn::PrintInt, s: R0 },
+            Hostcall { func: HostcallFn::Halt, s: R0 },
+        ] {
+            round_trip(i);
+        }
+    }
+
+    #[test]
+    fn wide_constants_use_extension_word() {
+        let small = encode(&Instr::Ldc { d: R0, imm: 0xFFFF }).expect("encodes");
+        assert_eq!(small.len(), 1);
+        let wide = encode(&Instr::Ldc { d: R0, imm: 0x1_0000 }).expect("encodes");
+        assert_eq!(wide.len(), 2);
+        assert_eq!(wide.words()[1], 0x1_0000);
+    }
+
+    #[test]
+    fn out_of_range_offset_rejected() {
+        assert_eq!(
+            encode(&Instr::Bu { off: 40_000 }),
+            Err(EncodeError::OffsetOutOfRange { offset: 40_000 })
+        );
+        assert!(encode(&Instr::Bu { off: -32_768 }).is_ok());
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0xFFu32 << 24]), Err(DecodeError::BadOpcode(0xFF)));
+        // ldc32 missing its extension word
+        let wide = encode(&Instr::Ldc { d: R0, imm: 1 << 20 }).expect("encodes");
+        assert_eq!(decode(&wide.words()[..1]), Err(DecodeError::Truncated));
+        // add with register field 15
+        let bad = (op_add() << 24) | (0xF << 20);
+        assert_eq!(decode(&[bad]), Err(DecodeError::BadRegister(15)));
+        // getr with a bogus resource code
+        let bad_getr = (0x36u32 << 24) | 0x000F;
+        assert_eq!(decode(&[bad_getr]), Err(DecodeError::BadResType(0xF)));
+    }
+
+    fn op_add() -> u32 {
+        0x01
+    }
+}

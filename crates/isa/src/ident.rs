@@ -1,0 +1,135 @@
+//! Architectural identifiers: nodes, resources and threads.
+//!
+//! XS1 resources are named by 32-bit identifiers that embed the owning
+//! node, so a channel end's identifier is *globally routable*: `setd` on
+//! any core can aim at it. This is the property that lets Swallow treat
+//! the whole 480-core machine as one resource space.
+
+use crate::instr::ResType;
+use std::fmt;
+
+/// A network node (one core + its switch). The 16-bit space matches the
+/// XS1 architecture's limit of 2¹⁶ interconnected cores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The raw 16-bit value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A hardware thread index within a core (0–7 on the XS1-L).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u8);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A globally routable resource identifier:
+/// `[node:16][index:8][type:8]`.
+///
+/// ```
+/// use swallow_isa::{NodeId, ResourceId, ResType};
+/// let rid = ResourceId::new(NodeId(7), 3, ResType::Chanend);
+/// assert_eq!(rid.node(), NodeId(7));
+/// assert_eq!(rid.index(), 3);
+/// assert_eq!(rid.res_type(), Some(ResType::Chanend));
+/// assert_eq!(ResourceId::from_raw(rid.raw()), rid);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(u32);
+
+impl ResourceId {
+    /// The invalid identifier returned by a failed `getr` (all ones).
+    pub const INVALID: ResourceId = ResourceId(u32::MAX);
+
+    /// Builds an identifier from its parts.
+    pub const fn new(node: NodeId, index: u8, ty: ResType) -> Self {
+        ResourceId(((node.0 as u32) << 16) | ((index as u32) << 8) | ty.code() as u32)
+    }
+
+    /// Reinterprets a raw register value as a resource identifier.
+    pub const fn from_raw(raw: u32) -> Self {
+        ResourceId(raw)
+    }
+
+    /// The raw 32-bit value (what `getr` writes into a register).
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The owning node.
+    pub const fn node(self) -> NodeId {
+        NodeId((self.0 >> 16) as u16)
+    }
+
+    /// The per-node resource index.
+    pub const fn index(self) -> u8 {
+        (self.0 >> 8) as u8
+    }
+
+    /// The resource type, if the type code is valid.
+    pub fn res_type(self) -> Option<ResType> {
+        ResType::from_code(self.0 as u8)
+    }
+
+    /// True for the `INVALID` sentinel.
+    pub const fn is_invalid(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_invalid() {
+            return write!(f, "res(invalid)");
+        }
+        match self.res_type() {
+            Some(ty) => write!(f, "{}.{}{}", self.node(), ty.keyword(), self.index()),
+            None => write!(f, "res({:#010x})", self.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packs_and_unpacks_fields() {
+        for node in [0u16, 1, 255, 65535] {
+            for index in [0u8, 7, 31, 255] {
+                for ty in ResType::ALL {
+                    let rid = ResourceId::new(NodeId(node), index, ty);
+                    assert_eq!(rid.node(), NodeId(node));
+                    assert_eq!(rid.index(), index);
+                    assert_eq!(rid.res_type(), Some(ty));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_sentinel() {
+        assert!(ResourceId::INVALID.is_invalid());
+        assert!(!ResourceId::new(NodeId(0), 0, ResType::Chanend).is_invalid());
+        assert_eq!(ResourceId::INVALID.to_string(), "res(invalid)");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let rid = ResourceId::new(NodeId(3), 5, ResType::Chanend);
+        assert_eq!(rid.to_string(), "n3.chanend5");
+    }
+}

@@ -1,0 +1,50 @@
+//! XS1-style instruction set architecture for the Swallow platform model.
+//!
+//! The XMOS XS1-L used by Swallow executes a compact RISC ISA with
+//! ISA-level primitives for channel I/O, timers, locks and thread
+//! management. This crate defines a faithful *subset* of that ISA:
+//!
+//! * [`Instr`] — the instruction set (ALU, memory, control flow, resource
+//!   and channel operations),
+//! * [`Reg`] — the architectural register file (`r0`–`r11`, `sp`, `lr`),
+//! * [`encode()`](encode())/[`decode()`](decode()) — a simplified 32-bit encoding
+//!   (the real XS1 mixes 16/32-bit formats; see `DESIGN.md` §5),
+//! * [`Assembler`] — a two-pass textual assembler with labels and data
+//!   directives,
+//! * [`timing`] — fixed per-instruction issue timing (the property that
+//!   makes the platform time-deterministic) and energy classes for the
+//!   Kerrison-style instruction-level energy model.
+//!
+//! ```
+//! use swallow_isa::{Assembler, Instr, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Assembler::new().assemble(
+//!     "    ldc   r0, 10
+//!      loop:
+//!          sub   r0, r0, 1
+//!          bt    r0, loop
+//!          freet",
+//! )?;
+//! assert_eq!(program.decode_at(0)?.0, Instr::Ldc { d: Reg::R0, imm: 10 });
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod encode;
+pub mod ident;
+pub mod instr;
+pub mod program;
+pub mod reg;
+pub mod timing;
+pub mod token;
+
+pub use asm::{AsmError, Assembler};
+pub use encode::{decode, encode, DecodeError, EncodeError, Encoded};
+pub use ident::{NodeId, ResourceId, ThreadId};
+pub use instr::{ControlToken, HostcallFn, Instr, MemOffset, ResType};
+pub use program::Program;
+pub use reg::Reg;
+pub use timing::{issue_cycles, EnergyClass};
+pub use token::Token;

@@ -1,0 +1,169 @@
+//! An assembled program image.
+//!
+//! A [`Program`] is a flat vector of 32-bit words (code and data
+//! interleaved, as produced by the [assembler](crate::Assembler)), an entry
+//! point and a symbol table. Images are position-zero: the Swallow boot
+//! loader places them at SRAM address 0 on each target core.
+
+use crate::encode::{decode, DecodeError};
+use crate::instr::Instr;
+use std::collections::BTreeMap;
+
+/// An assembled, loadable program image.
+///
+/// ```
+/// use swallow_isa::Assembler;
+/// # fn main() -> Result<(), swallow_isa::AsmError> {
+/// let p = Assembler::new().assemble("start: nop\n bu start")?;
+/// assert_eq!(p.symbol("start"), Some(0));
+/// assert_eq!(p.len_bytes(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    words: Vec<u32>,
+    entry: u32,
+    symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Builds a program from raw parts. Used by the assembler; also handy
+    /// for hand-crafted images in tests.
+    pub fn from_parts(words: Vec<u32>, entry: u32, symbols: BTreeMap<String, u32>) -> Self {
+        Program {
+            words,
+            entry,
+            symbols,
+        }
+    }
+
+    /// The image as 32-bit words.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Image size in bytes.
+    pub fn len_bytes(&self) -> u32 {
+        (self.words.len() * 4) as u32
+    }
+
+    /// Entry-point byte address.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Looks up a label's byte address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols in name order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.symbols.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Decodes the instruction at byte address `addr`.
+    ///
+    /// Returns the instruction and its size in words.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unaligned or out-of-range addresses and for words that do
+    /// not decode (e.g. data sections).
+    pub fn decode_at(&self, addr: u32) -> Result<(Instr, usize), DecodeError> {
+        if addr % 4 != 0 {
+            return Err(DecodeError::BadAddress(addr));
+        }
+        let idx = (addr / 4) as usize;
+        if idx >= self.words.len() {
+            return Err(DecodeError::BadAddress(addr));
+        }
+        decode(&self.words[idx..])
+    }
+
+    /// Disassembles the whole image, best-effort: data words that do not
+    /// decode are rendered as `.word`.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        let mut addr_to_label: BTreeMap<u32, &str> = BTreeMap::new();
+        for (name, addr) in &self.symbols {
+            addr_to_label.insert(*addr, name);
+        }
+        let mut idx = 0usize;
+        while idx < self.words.len() {
+            let addr = (idx * 4) as u32;
+            if let Some(label) = addr_to_label.get(&addr) {
+                out.push_str(label);
+                out.push_str(":\n");
+            }
+            match decode(&self.words[idx..]) {
+                Ok((instr, n)) => {
+                    out.push_str(&format!("    {instr}\n"));
+                    idx += n;
+                }
+                Err(_) => {
+                    out.push_str(&format!("    .word {:#010x}\n", self.words[idx]));
+                    idx += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::reg::Reg;
+
+    #[test]
+    fn decode_at_validates_addresses() {
+        let p = Assembler::new().assemble("nop\nnop").expect("assembles");
+        assert!(p.decode_at(0).is_ok());
+        assert!(p.decode_at(4).is_ok());
+        assert_eq!(p.decode_at(2), Err(DecodeError::BadAddress(2)));
+        assert_eq!(p.decode_at(8), Err(DecodeError::BadAddress(8)));
+    }
+
+    #[test]
+    fn entry_defaults_to_zero_and_follows_directive() {
+        let p = Assembler::new().assemble("nop").expect("assembles");
+        assert_eq!(p.entry(), 0);
+        let p = Assembler::new()
+            .assemble("data: .word 7\n.entry main\nmain: nop")
+            .expect("assembles");
+        assert_eq!(p.entry(), 4);
+        assert_eq!(p.symbol("data"), Some(0));
+    }
+
+    #[test]
+    fn disassemble_round_trips_through_assembler() {
+        let src = "
+            start:
+                ldc   r0, 5
+                ldc   r1, 100000
+            loop:
+                sub   r0, r0, 1
+                bt    r0, loop
+                freet
+        ";
+        let p1 = Assembler::new().assemble(src).expect("assembles");
+        let p2 = Assembler::new()
+            .assemble(&p1.disassemble())
+            .expect("reassembles");
+        assert_eq!(p1.words(), p2.words());
+    }
+
+    #[test]
+    fn data_words_render_as_directives() {
+        let p = Assembler::new()
+            .assemble("tbl: .word 0xFF000000\n nop")
+            .expect("assembles");
+        let text = p.disassemble();
+        assert!(text.contains(".word 0xff000000"), "{text}");
+        assert!(text.contains("nop"));
+        let _ = Reg::R0; // silence unused import in cfg(test) builds
+    }
+}

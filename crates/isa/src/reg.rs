@@ -1,0 +1,153 @@
+//! The architectural register file.
+//!
+//! XS1 threads each own twelve general-purpose registers plus the stack
+//! pointer and link register (the real core also has `dp`/`cp` data/constant
+//! pool pointers, which this subset folds into general addressing).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One architectural register: `r0`–`r11`, `sp` or `lr`.
+///
+/// ```
+/// use swallow_isa::Reg;
+/// assert_eq!("r3".parse::<Reg>().expect("valid"), Reg::R3);
+/// assert_eq!(Reg::SP.index(), 12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Reg {
+    /// General-purpose register 0 (argument/return by convention).
+    R0,
+    /// General-purpose register 1.
+    R1,
+    /// General-purpose register 2.
+    R2,
+    /// General-purpose register 3.
+    R3,
+    /// General-purpose register 4.
+    R4,
+    /// General-purpose register 5.
+    R5,
+    /// General-purpose register 6.
+    R6,
+    /// General-purpose register 7.
+    R7,
+    /// General-purpose register 8.
+    R8,
+    /// General-purpose register 9.
+    R9,
+    /// General-purpose register 10.
+    R10,
+    /// General-purpose register 11.
+    R11,
+    /// Stack pointer.
+    SP,
+    /// Link register (return address).
+    LR,
+}
+
+/// Number of architectural registers per thread.
+pub const REG_COUNT: usize = 14;
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; REG_COUNT] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::SP,
+        Reg::LR,
+    ];
+
+    /// The register's index in the register file (0–13).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a register from its file index.
+    ///
+    /// Returns `None` for indices 14 and above.
+    pub fn from_index(index: usize) -> Option<Reg> {
+        Self::ALL.get(index).copied()
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::SP => write!(f, "sp"),
+            Reg::LR => write!(f, "lr"),
+            other => write!(f, "r{}", other.index()),
+        }
+    }
+}
+
+/// Error from parsing a register name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseRegError(pub String);
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sp" => return Ok(Reg::SP),
+            "lr" => return Ok(Reg::LR),
+            _ => {}
+        }
+        if let Some(num) = s.strip_prefix('r') {
+            if let Ok(n) = num.parse::<usize>() {
+                if n < 12 {
+                    return Ok(Reg::ALL[n]);
+                }
+            }
+        }
+        Err(ParseRegError(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_round_trip() {
+        for reg in Reg::ALL {
+            let text = reg.to_string();
+            assert_eq!(text.parse::<Reg>().expect("round trip"), reg);
+        }
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for (i, reg) in Reg::ALL.iter().enumerate() {
+            assert_eq!(reg.index(), i);
+            assert_eq!(Reg::from_index(i), Some(*reg));
+        }
+        assert_eq!(Reg::from_index(14), None);
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        for bad in ["r12", "r13", "r99", "x0", "", "pc", "R0"] {
+            assert!(bad.parse::<Reg>().is_err(), "{bad} should not parse");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Fixed instruction timing and energy classification.
+//!
+//! Time-determinism is the headline property of the XS1-L (Table II of the
+//! paper: it is the only surveyed core that is time-deterministic *and*
+//! scalable). In this model every instruction completes in a fixed number
+//! of issue slots — one for everything except the iterative divider — and
+//! there is no cache, so no timing variance exists anywhere in the core.
+//!
+//! [`EnergyClass`] buckets instructions the way the Kerrison et al. energy
+//! model (ACM TECS 2015, the paper's ref. 4) does: by functional unit
+//! activity. The per-class energy *values* live in `swallow-energy`; the
+//! classification is a property of the ISA and lives here.
+
+use crate::instr::Instr;
+
+/// Number of issue slots the thread occupies for one instruction.
+///
+/// All instructions take one slot except the 32-cycle iterative divider
+/// (`divs`/`divu`/`rems`/`remu`), matching the XS1's "fixed instruction
+/// completion time for most instructions".
+///
+/// ```
+/// use swallow_isa::{issue_cycles, Instr, Reg};
+/// assert_eq!(issue_cycles(&Instr::Nop), 1);
+/// assert_eq!(
+///     issue_cycles(&Instr::Divu { d: Reg::R0, a: Reg::R1, b: Reg::R2 }),
+///     32
+/// );
+/// ```
+pub fn issue_cycles(instr: &Instr) -> u32 {
+    match instr {
+        Instr::Divs { .. } | Instr::Divu { .. } | Instr::Rems { .. } | Instr::Remu { .. } => 32,
+        _ => 1,
+    }
+}
+
+/// Energy classification of an instruction (functional-unit activity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EnergyClass {
+    /// No datapath activity beyond fetch (nop, waiteu).
+    Idle,
+    /// Single-cycle ALU operation.
+    Alu,
+    /// Multiplier activity.
+    Mul,
+    /// Iterative divider activity (per cycle).
+    Div,
+    /// SRAM access (load/store).
+    Mem,
+    /// Branch/control transfer.
+    Branch,
+    /// Channel-end / network-interface activity.
+    Comm,
+    /// Resource management (allocate, free, synchronise).
+    Resource,
+}
+
+impl EnergyClass {
+    /// All classes, in ascending typical-energy order.
+    pub const ALL: [EnergyClass; 8] = [
+        EnergyClass::Idle,
+        EnergyClass::Alu,
+        EnergyClass::Branch,
+        EnergyClass::Resource,
+        EnergyClass::Comm,
+        EnergyClass::Mul,
+        EnergyClass::Mem,
+        EnergyClass::Div,
+    ];
+
+    /// Classifies an instruction.
+    pub fn of(instr: &Instr) -> EnergyClass {
+        use Instr::*;
+        match instr {
+            Nop | Waiteu => EnergyClass::Idle,
+            Mul { .. } => EnergyClass::Mul,
+            Divs { .. } | Divu { .. } | Rems { .. } | Remu { .. } => EnergyClass::Div,
+            Ldw { .. } | Stw { .. } | Ld16s { .. } | Ld8u { .. } | St16 { .. } | St8 { .. } => {
+                EnergyClass::Mem
+            }
+            Bu { .. } | Bt { .. } | Bf { .. } | Bl { .. } | Bau { .. } | Ret => EnergyClass::Branch,
+            GetR { .. } | FreeR { .. } | FreeT | TSpawn { .. } | MSync { .. } | SSync { .. } => {
+                EnergyClass::Resource
+            }
+            SetD { .. } | Out { .. } | OutT { .. } | OutCt { .. } | In { .. } | InT { .. }
+            | ChkCt { .. } | TestCt { .. } | TmWait { .. } | SetV { .. } | Eeu { .. }
+            | Edu { .. } | ClrE => EnergyClass::Comm,
+            Hostcall { .. } => EnergyClass::Resource,
+            _ => EnergyClass::Alu,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::MemOffset;
+    use crate::reg::Reg::*;
+
+    #[test]
+    fn only_divides_are_multi_cycle() {
+        use Instr::*;
+        let singles = [
+            Nop,
+            Add { d: R0, a: R1, b: R2 },
+            Mul { d: R0, a: R1, b: R2 },
+            Ldw { d: R0, base: R1, off: MemOffset::Imm(0) },
+            Bu { off: 0 },
+            Out { r: R0, s: R1 },
+        ];
+        for i in singles {
+            assert_eq!(issue_cycles(&i), 1, "{i}");
+        }
+        assert_eq!(issue_cycles(&Instr::Divs { d: R0, a: R1, b: R2 }), 32);
+        assert_eq!(issue_cycles(&Instr::Remu { d: R0, a: R1, b: R2 }), 32);
+    }
+
+    #[test]
+    fn classes_cover_expected_instructions() {
+        use Instr::*;
+        assert_eq!(EnergyClass::of(&Nop), EnergyClass::Idle);
+        assert_eq!(EnergyClass::of(&Add { d: R0, a: R1, b: R2 }), EnergyClass::Alu);
+        assert_eq!(EnergyClass::of(&Ldc { d: R0, imm: 1 }), EnergyClass::Alu);
+        assert_eq!(EnergyClass::of(&Mul { d: R0, a: R1, b: R2 }), EnergyClass::Mul);
+        assert_eq!(
+            EnergyClass::of(&Stw { s: R0, base: R1, off: MemOffset::Imm(0) }),
+            EnergyClass::Mem
+        );
+        assert_eq!(EnergyClass::of(&Ret), EnergyClass::Branch);
+        assert_eq!(EnergyClass::of(&Out { r: R0, s: R1 }), EnergyClass::Comm);
+        assert_eq!(EnergyClass::of(&FreeT), EnergyClass::Resource);
+    }
+}

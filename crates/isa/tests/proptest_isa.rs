@@ -1,0 +1,120 @@
+//! Property tests over the ISA: encode/decode and assemble/disassemble are
+//! mutually inverse for arbitrary instructions.
+
+use proptest::prelude::*;
+use swallow_isa::{decode, encode, Assembler, ControlToken, HostcallFn, Instr, MemOffset, Reg, ResType};
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0usize..14).prop_map(|i| Reg::from_index(i).expect("valid index"))
+}
+
+fn any_mem_offset() -> impl Strategy<Value = MemOffset> {
+    prop_oneof![
+        any_reg().prop_map(MemOffset::Reg),
+        any::<i16>().prop_map(MemOffset::Imm),
+    ]
+}
+
+fn any_res_type() -> impl Strategy<Value = ResType> {
+    prop_oneof![
+        Just(ResType::Chanend),
+        Just(ResType::Timer),
+        Just(ResType::Sync),
+        Just(ResType::Lock),
+        Just(ResType::PowerProbe),
+    ]
+}
+
+fn any_ct() -> impl Strategy<Value = ControlToken> {
+    any::<u8>().prop_map(ControlToken)
+}
+
+fn any_off() -> impl Strategy<Value = i32> {
+    (i16::MIN as i32)..=(i16::MAX as i32)
+}
+
+fn any_instr() -> impl Strategy<Value = Instr> {
+    let r = any_reg;
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Ret),
+        Just(Instr::FreeT),
+        Just(Instr::Waiteu),
+        (r(), r(), r()).prop_map(|(d, a, b)| Instr::Add { d, a, b }),
+        (r(), r(), r()).prop_map(|(d, a, b)| Instr::Sub { d, a, b }),
+        (r(), r(), r()).prop_map(|(d, a, b)| Instr::Mul { d, a, b }),
+        (r(), r(), r()).prop_map(|(d, a, b)| Instr::Divs { d, a, b }),
+        (r(), r(), r()).prop_map(|(d, a, b)| Instr::Xor { d, a, b }),
+        (r(), r(), r()).prop_map(|(d, a, b)| Instr::Lsu { d, a, b }),
+        (r(), r()).prop_map(|(d, a)| Instr::Neg { d, a }),
+        (r(), r()).prop_map(|(d, a)| Instr::Clz { d, a }),
+        (r(), r(), any::<u16>()).prop_map(|(d, a, imm)| Instr::AddI { d, a, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(d, a, imm)| Instr::EqI { d, a, imm }),
+        (r(), r(), 0u8..32).prop_map(|(d, a, imm)| Instr::ShlI { d, a, imm }),
+        (r(), 0u8..=32).prop_map(|(d, width)| Instr::MkMskI { d, width }),
+        (r(), 1u8..=32).prop_map(|(r, bits)| Instr::Sext { r, bits }),
+        (r(), any::<u32>()).prop_map(|(d, imm)| Instr::Ldc { d, imm }),
+        (r(), r(), any_mem_offset()).prop_map(|(d, base, off)| Instr::Ldw { d, base, off }),
+        (r(), r(), any_mem_offset()).prop_map(|(s, base, off)| Instr::Stw { s, base, off }),
+        (r(), r(), any_mem_offset()).prop_map(|(d, base, off)| Instr::Ld8u { d, base, off }),
+        (r(), r(), any_mem_offset()).prop_map(|(s, base, off)| Instr::St16 { s, base, off }),
+        (r(), r(), any::<i16>()).prop_map(|(d, base, imm)| Instr::Ldaw { d, base, imm }),
+        (r(), any_off()).prop_map(|(d, off)| Instr::Ldap { d, off }),
+        any_off().prop_map(|off| Instr::Bu { off }),
+        (r(), any_off()).prop_map(|(s, off)| Instr::Bt { s, off }),
+        (r(), any_off()).prop_map(|(s, off)| Instr::Bf { s, off }),
+        any_off().prop_map(|off| Instr::Bl { off }),
+        r().prop_map(|s| Instr::Bau { s }),
+        (r(), any_res_type()).prop_map(|(d, ty)| Instr::GetR { d, ty }),
+        r().prop_map(|r| Instr::FreeR { r }),
+        (r(), r(), r()).prop_map(|(d, entry, arg)| Instr::TSpawn { d, entry, arg }),
+        r().prop_map(|r| Instr::MSync { r }),
+        r().prop_map(|r| Instr::SSync { r }),
+        (r(), r()).prop_map(|(r, s)| Instr::SetD { r, s }),
+        (r(), r()).prop_map(|(r, s)| Instr::Out { r, s }),
+        (r(), r()).prop_map(|(r, s)| Instr::OutT { r, s }),
+        (r(), any_ct()).prop_map(|(r, ct)| Instr::OutCt { r, ct }),
+        (r(), r()).prop_map(|(d, r)| Instr::In { d, r }),
+        (r(), r()).prop_map(|(d, r)| Instr::InT { d, r }),
+        (r(), any_ct()).prop_map(|(r, ct)| Instr::ChkCt { r, ct }),
+        (r(), r()).prop_map(|(d, r)| Instr::TestCt { d, r }),
+        (r(), r()).prop_map(|(r, s)| Instr::TmWait { r, s }),
+        (r(), any_off()).prop_map(|(r, off)| Instr::SetV { r, off }),
+        r().prop_map(|r| Instr::Eeu { r }),
+        r().prop_map(|r| Instr::Edu { r }),
+        Just(Instr::ClrE),
+        r().prop_map(|s| Instr::Hostcall { func: HostcallFn::PrintInt, s }),
+        r().prop_map(|s| Instr::Hostcall { func: HostcallFn::PrintChar, s }),
+    ]
+}
+
+proptest! {
+    /// decode(encode(i)) == i for every instruction.
+    #[test]
+    fn encode_decode_round_trip(instr in any_instr()) {
+        let enc = encode(&instr).expect("encodable");
+        let (back, n) = decode(enc.words()).expect("decodable");
+        prop_assert_eq!(back, instr);
+        prop_assert_eq!(n, enc.len());
+    }
+
+    /// assemble(print(i)) encodes back to i — the disassembler emits valid
+    /// assembler input. Hostcall::Halt is excluded: `halt` ignores its
+    /// register operand, so it is not injective (prints identically for
+    /// every source register).
+    #[test]
+    fn print_parse_round_trip(instr in any_instr()) {
+        let text = instr.to_string();
+        let program = Assembler::new()
+            .assemble(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
+        let (back, _) = decode(program.words()).expect("decodable");
+        prop_assert_eq!(back, instr, "source was `{}`", text);
+    }
+
+    /// Arbitrary garbage words either decode or return an error; never panic.
+    #[test]
+    fn decode_never_panics(words in proptest::collection::vec(any::<u32>(), 1..4)) {
+        let _ = decode(&words);
+    }
+}

@@ -1,0 +1,554 @@
+//! The switching fabric.
+//!
+//! One switch per core (§IV.D); switches are connected by directed
+//! [`links`](crate::link) and exchange eight-bit tokens. The model is
+//! token-accurate:
+//!
+//! * **Wormhole routing**: an output link is *owned* by the flow (source
+//!   channel end) whose packet is crossing it, from the three-token route
+//!   header until an END/PAUSE control token passes. A route that is never
+//!   closed becomes a dedicated circuit (§V.B).
+//! * **Credit flow control**: a token is only launched when the receiving
+//!   side has buffer space for it (window = [`RX_CAPACITY`]); head-of-line
+//!   blocking in the input queues is what produces the contention effects
+//!   of §V.D.
+//! * **Link aggregation**: when the router offers several links in one
+//!   direction, a new packet takes the first link not owned by another
+//!   flow.
+//! * **Energy**: every token (header included) charges the wire-class
+//!   energy from Table I to its link.
+//!
+//! The fabric is advanced by [`Fabric::step`], typically once per core
+//! clock; token rates are enforced by per-link `busy_until` timestamps, so
+//! the step cadence only bounds reaction latency, not bandwidth.
+
+use crate::endpoints::CoreEndpoints;
+use crate::link::{Direction, LinkId, LinkParams, HEADER_TOKENS};
+use crate::routing::{LinkDesc, Router};
+use std::collections::{HashMap, VecDeque};
+use swallow_energy::Energy;
+use swallow_isa::{NodeId, ResType, ResourceId, Token};
+use swallow_sim::{Time, TimeDelta};
+
+/// Receive-buffer capacity per link input port (the credit window).
+pub const RX_CAPACITY: usize = 8;
+/// Capacity of the core-local loopback queue.
+pub const LOOPBACK_CAPACITY: usize = 8;
+/// Latency of the core-local loopback path (§V.C: data reaches the network
+/// hardware in three core cycles; a core-local word lands in ≈50 ns
+/// including instruction overhead).
+pub const LOOPBACK_DELAY: TimeDelta = TimeDelta::from_ns(6);
+
+struct Link {
+    from: NodeId,
+    to: NodeId,
+    dir: Direction,
+    params: LinkParams,
+    busy_until: Time,
+    owner: Option<u32>,
+    /// Tokens on the wire: (arrival time, token, flow, destination).
+    /// The destination is captured at injection — like the route header
+    /// on real hardware — so a later `setd` on the source chanend cannot
+    /// divert tokens already in flight.
+    in_flight: VecDeque<(Time, Token, u32, ResourceId)>,
+    /// Tokens received, awaiting forwarding by the `to` switch.
+    rx: VecDeque<(Token, u32, ResourceId)>,
+    data_tokens: u64,
+    ctrl_tokens: u64,
+    header_tokens: u64,
+    energy: Energy,
+    busy_time: TimeDelta,
+}
+
+impl Link {
+    /// Remaining credit: tokens we may launch without overrunning the
+    /// receiver.
+    fn credit(&self) -> usize {
+        RX_CAPACITY.saturating_sub(self.in_flight.len() + self.rx.len())
+    }
+}
+
+/// Public per-link statistics snapshot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkStats {
+    /// Link identity.
+    pub id: LinkId,
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Compass tag.
+    pub dir: Direction,
+    /// Payload (data) tokens carried.
+    pub data_tokens: u64,
+    /// Control tokens carried.
+    pub ctrl_tokens: u64,
+    /// Route-header tokens carried.
+    pub header_tokens: u64,
+    /// Energy dissipated on the wires.
+    pub energy: Energy,
+    /// Total time the link spent transmitting.
+    pub busy_time: TimeDelta,
+}
+
+impl LinkStats {
+    /// Energy per *payload* bit actually delivered (headers amortised in).
+    pub fn energy_per_payload_bit(&self) -> Energy {
+        let bits = self.data_tokens * 8;
+        if bits == 0 {
+            Energy::ZERO
+        } else {
+            Energy::from_joules(self.energy.as_joules() / bits as f64)
+        }
+    }
+}
+
+enum TxResult {
+    Started,
+    Busy,
+    Unroutable,
+}
+
+/// Builds a [`Fabric`].
+///
+/// ```
+/// use swallow_noc::{FabricBuilder, Direction, LinkParams, TableRouter};
+/// use swallow_energy::WireClass;
+/// use swallow_isa::NodeId;
+///
+/// let mut b = FabricBuilder::new(2);
+/// b.link_two_way(
+///     NodeId(0),
+///     NodeId(1),
+///     Direction::East,
+///     LinkParams::from_class(WireClass::OnChip),
+/// );
+/// let router = TableRouter::shortest_paths(2, b.link_descs());
+/// let fabric = b.build(Box::new(router));
+/// assert_eq!(fabric.link_count(), 2);
+/// ```
+pub struct FabricBuilder {
+    nodes: usize,
+    links: Vec<Link>,
+    descs: Vec<LinkDesc>,
+}
+
+impl FabricBuilder {
+    /// A fabric over `nodes` switches (node ids `0..nodes`).
+    pub fn new(nodes: usize) -> Self {
+        FabricBuilder {
+            nodes,
+            links: Vec::new(),
+            descs: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Adds one directed link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn link_one_way(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        dir: Direction,
+        params: LinkParams,
+    ) -> LinkId {
+        assert!(
+            (from.raw() as usize) < self.nodes && (to.raw() as usize) < self.nodes,
+            "link endpoint out of range"
+        );
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            from,
+            to,
+            dir,
+            params,
+            busy_until: Time::ZERO,
+            owner: None,
+            in_flight: VecDeque::new(),
+            rx: VecDeque::new(),
+            data_tokens: 0,
+            ctrl_tokens: 0,
+            header_tokens: 0,
+            energy: Energy::ZERO,
+            busy_time: TimeDelta::ZERO,
+        });
+        self.descs.push(LinkDesc { id, from, to, dir });
+        id
+    }
+
+    /// Adds a link pair `a→b` (tagged `dir`) and `b→a` (opposite tag).
+    pub fn link_two_way(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        dir: Direction,
+        params: LinkParams,
+    ) -> (LinkId, LinkId) {
+        let ab = self.link_one_way(a, b, dir, params);
+        let ba = self.link_one_way(b, a, dir.opposite(), params);
+        (ab, ba)
+    }
+
+    /// The topology so far (for router construction).
+    pub fn link_descs(&self) -> &[LinkDesc] {
+        &self.descs
+    }
+
+    /// Finalises the fabric with a routing strategy.
+    pub fn build(self, router: Box<dyn Router>) -> Fabric {
+        let mut incoming = vec![Vec::new(); self.nodes];
+        let mut outgoing = vec![Vec::new(); self.nodes];
+        for d in &self.descs {
+            outgoing[d.from.raw() as usize].push(d.id);
+            incoming[d.to.raw() as usize].push(d.id);
+        }
+        Fabric {
+            nodes: self.nodes,
+            links: self.links,
+            incoming,
+            outgoing,
+            router,
+            loopback: (0..self.nodes).map(|_| VecDeque::new()).collect(),
+            dest_owner: HashMap::new(),
+            sticky: HashMap::new(),
+            unroutable: 0,
+        }
+    }
+}
+
+/// The live network.
+pub struct Fabric {
+    nodes: usize,
+    links: Vec<Link>,
+    incoming: Vec<Vec<LinkId>>,
+    outgoing: Vec<Vec<LinkId>>,
+    router: Box<dyn Router>,
+    /// Core-local deliveries in flight: (arrival, dest chanend, token, flow).
+    loopback: Vec<VecDeque<(Time, u8, Token, u32)>>,
+    /// Per destination chanend: the flow whose packet currently owns
+    /// delivery (wormhole ownership of the final hop). Key: node<<8 | ch.
+    dest_owner: HashMap<u32, u32>,
+    /// Sticky link binding: once a flow has carried a packet towards a
+    /// destination over some link out of a switch, its later packets to
+    /// the same destination use the same link. This preserves a channel's
+    /// token order end-to-end (XS1 channels are serial); link aggregation
+    /// balances *distinct* flows across parallel links, which is exactly
+    /// how §V.B describes its use.
+    sticky: HashMap<(u32, NodeId, NodeId), LinkId>,
+    unroutable: u64,
+}
+
+impl Fabric {
+    /// Number of switches.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Tokens dropped because no route existed (should stay zero on a
+    /// well-formed system; asserted by tests).
+    pub fn unroutable_tokens(&self) -> u64 {
+        self.unroutable
+    }
+
+    /// True when no token is on a wire, in a receive queue or in a
+    /// loopback queue.
+    pub fn is_idle(&self) -> bool {
+        self.links
+            .iter()
+            .all(|l| l.in_flight.is_empty() && l.rx.is_empty())
+            && self.loopback.iter().all(|q| q.is_empty())
+    }
+
+    /// Per-link statistics.
+    pub fn link_stats(&self) -> impl Iterator<Item = LinkStats> + '_ {
+        self.links.iter().enumerate().map(|(i, l)| LinkStats {
+            id: LinkId(i as u32),
+            from: l.from,
+            to: l.to,
+            dir: l.dir,
+            data_tokens: l.data_tokens,
+            ctrl_tokens: l.ctrl_tokens,
+            header_tokens: l.header_tokens,
+            energy: l.energy,
+            busy_time: l.busy_time,
+        })
+    }
+
+    /// Total wire energy dissipated so far.
+    pub fn total_energy(&self) -> Energy {
+        self.links.iter().map(|l| l.energy).sum()
+    }
+
+    /// Total wire energy attributable to links transmitting *from* a node
+    /// (how the board charges network energy to nodes).
+    pub fn energy_from_node(&self, node: NodeId) -> Energy {
+        self.outgoing[node.raw() as usize]
+            .iter()
+            .map(|&id| self.links[id.0 as usize].energy)
+            .sum()
+    }
+
+    /// Advances the fabric to `now`: lands arrivals, forwards queued
+    /// tokens, injects core traffic and delivers to cores.
+    pub fn step<E: CoreEndpoints>(&mut self, now: Time, cores: &mut E) {
+        self.land_arrivals(now);
+        self.deliver_loopback(now, cores);
+        self.forward_rx(now, cores);
+        self.inject_from_cores(now, cores);
+    }
+
+    fn land_arrivals(&mut self, now: Time) {
+        for link in &mut self.links {
+            while let Some(&(arrival, token, flow, dest)) = link.in_flight.front() {
+                if arrival <= now && link.rx.len() < RX_CAPACITY {
+                    link.rx.push_back((token, flow, dest));
+                    link.in_flight.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn deliver_loopback<E: CoreEndpoints>(&mut self, now: Time, cores: &mut E) {
+        for node in 0..self.nodes {
+            while let Some(&(arrival, chanend, token, flow)) = self.loopback[node].front() {
+                if arrival <= now
+                    && Self::try_deliver(
+                        &mut self.dest_owner,
+                        cores,
+                        NodeId(node as u16),
+                        chanend,
+                        token,
+                        flow,
+                    )
+                {
+                    self.loopback[node].pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Delivers one token into a destination chanend, honouring the
+    /// per-chanend packet ownership: once a flow's token lands, the
+    /// chanend belongs to that flow until its END/PAUSE arrives (the
+    /// final-hop half of wormhole routing — packets never interleave at
+    /// the receiver).
+    fn try_deliver<E: CoreEndpoints>(
+        dest_owner: &mut HashMap<u32, u32>,
+        cores: &mut E,
+        node: NodeId,
+        chanend: u8,
+        token: Token,
+        flow: u32,
+    ) -> bool {
+        let key = (node.raw() as u32) << 8 | chanend as u32;
+        if let Some(&owner) = dest_owner.get(&key) {
+            if owner != flow {
+                return false; // another packet holds the chanend
+            }
+        }
+        if !cores.can_accept(node, chanend, 1) || !cores.deliver(node, chanend, token) {
+            return false;
+        }
+        if token.closes_route() {
+            dest_owner.remove(&key);
+        } else {
+            dest_owner.insert(key, flow);
+        }
+        true
+    }
+
+    fn forward_rx<E: CoreEndpoints>(&mut self, now: Time, cores: &mut E) {
+        for node in 0..self.nodes {
+            for i in 0..self.incoming[node].len() {
+                let lid = self.incoming[node][i];
+                loop {
+                    let Some(&(token, flow, dest)) = self.links[lid.0 as usize].rx.front() else {
+                        break;
+                    };
+                    if dest.node().raw() as usize == node {
+                        if Self::try_deliver(
+                            &mut self.dest_owner,
+                            cores,
+                            dest.node(),
+                            dest.index(),
+                            token,
+                            flow,
+                        ) {
+                            self.links[lid.0 as usize].rx.pop_front();
+                        } else {
+                            break; // head-of-line blocked on the core
+                        }
+                    } else {
+                        match self.try_transmit(now, NodeId(node as u16), token, flow, dest) {
+                            TxResult::Started => {
+                                self.links[lid.0 as usize].rx.pop_front();
+                            }
+                            TxResult::Busy => break,
+                            TxResult::Unroutable => {
+                                self.links[lid.0 as usize].rx.pop_front();
+                                self.unroutable += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn inject_from_cores<E: CoreEndpoints>(&mut self, now: Time, cores: &mut E) {
+        for node in 0..self.nodes {
+            let node_id = NodeId(node as u16);
+            for chanend in cores.tx_pending(node_id) {
+                loop {
+                    let Some((dest, token)) = cores.tx_front(node_id, chanend) else {
+                        break;
+                    };
+                    let flow = ResourceId::new(node_id, chanend, ResType::Chanend).raw();
+                    if dest.node() == node_id {
+                        // Core-local: loopback path, no serial link.
+                        if self.loopback[node].len() < LOOPBACK_CAPACITY {
+                            cores.tx_pop(node_id, chanend);
+                            self.loopback[node].push_back((
+                                now + LOOPBACK_DELAY,
+                                dest.index(),
+                                token,
+                                flow,
+                            ));
+                        } else {
+                            break;
+                        }
+                    } else {
+                        match self.try_transmit(now, node_id, token, flow, dest) {
+                            TxResult::Started => {
+                                cores.tx_pop(node_id, chanend);
+                            }
+                            TxResult::Busy => break,
+                            TxResult::Unroutable => {
+                                cores.tx_pop(node_id, chanend);
+                                self.unroutable += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_transmit(
+        &mut self,
+        now: Time,
+        at: NodeId,
+        token: Token,
+        flow: u32,
+        dest: ResourceId,
+    ) -> TxResult {
+        let candidates = self.router.candidates(at, dest.node());
+        if candidates.is_empty() {
+            return TxResult::Unroutable;
+        }
+        // A flow is bound to one link per switch for its lifetime: the
+        // link its first packet took. Without this, two packets of one
+        // channel could race over parallel aggregated links and arrive
+        // interleaved — XS1 channels are strictly serial.
+        if let Some(&bound) = self.sticky.get(&(flow, at, dest.node())) {
+            let link = &self.links[bound.0 as usize];
+            return match link.owner {
+                Some(owner) if owner == flow => {
+                    if self.can_launch(bound, now) {
+                        self.launch(bound, now, token, flow, dest, false);
+                        TxResult::Started
+                    } else {
+                        TxResult::Busy
+                    }
+                }
+                Some(_) => TxResult::Busy, // another packet holds our link
+                None => {
+                    if self.can_launch(bound, now) {
+                        self.links[bound.0 as usize].owner = Some(flow);
+                        self.launch(bound, now, token, flow, dest, true);
+                        TxResult::Started
+                    } else {
+                        TxResult::Busy
+                    }
+                }
+            };
+        }
+        // First packet of this flow here: take the first free link ("the
+        // next unused link", §V.B) and bind to it.
+        for lid in candidates.iter() {
+            let link = &self.links[lid.0 as usize];
+            if link.owner.is_none() && self.can_launch(lid, now) {
+                self.links[lid.0 as usize].owner = Some(flow);
+                self.sticky.insert((flow, at, dest.node()), lid);
+                self.launch(lid, now, token, flow, dest, true);
+                return TxResult::Started;
+            }
+        }
+        TxResult::Busy
+    }
+
+    fn can_launch(&self, lid: LinkId, now: Time) -> bool {
+        let link = &self.links[lid.0 as usize];
+        link.busy_until <= now && link.credit() >= 1
+    }
+
+    fn launch(
+        &mut self,
+        lid: LinkId,
+        now: Time,
+        token: Token,
+        flow: u32,
+        dest: ResourceId,
+        header: bool,
+    ) {
+        let link = &mut self.links[lid.0 as usize];
+        let mut start = now;
+        if header {
+            // Three header tokens open the route at this hop (§V.B).
+            let header_time = link.params.token_time * HEADER_TOKENS;
+            start = now + header_time;
+            link.header_tokens += HEADER_TOKENS;
+            link.energy += link.params.token_energy() * HEADER_TOKENS as f64;
+            link.busy_time += header_time;
+        }
+        let arrival = start + link.params.token_time;
+        link.in_flight.push_back((arrival, token, flow, dest));
+        link.busy_until = arrival;
+        link.busy_time += link.params.token_time;
+        link.energy += link.params.token_energy();
+        match token {
+            Token::Data(_) => link.data_tokens += 1,
+            Token::Ctrl(_) => link.ctrl_tokens += 1,
+        }
+        if token.closes_route() {
+            link.owner = None;
+        }
+    }
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("nodes", &self.nodes)
+            .field("links", &self.links.len())
+            .field("unroutable", &self.unroutable)
+            .finish()
+    }
+}

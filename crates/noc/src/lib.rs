@@ -1,0 +1,33 @@
+//! The Swallow interconnect model.
+//!
+//! Swallow exploits the XS1 network architecture (§IV.D, §V of the paper):
+//! one switch per core, five-wire links carrying eight-bit tokens,
+//! wormhole routing with credit-based flow control, routes opened by a
+//! three-byte header and held until an END or PAUSE control token.
+//!
+//! This crate models that fabric *token by token*:
+//!
+//! * [`link`] — directed links with a wire class (on-chip / on-board /
+//!   off-board FFC), a token rate derived from the five-wire protocol's
+//!   symbol timing, per-token energy, wormhole ownership and credit
+//!   accounting,
+//! * [`fabric`] — the network: switches, links, in-flight tokens and the
+//!   per-step forwarding algorithm (header injection, HoL blocking,
+//!   link aggregation, route release),
+//! * [`routing`] — the [`routing::Router`] abstraction ("new
+//!   routing algorithms can simply be programmed in software", §V.A),
+//!   a shortest-path table builder, and the vertical-first dimension-order
+//!   router for the unwoven lattice,
+//! * [`endpoints`] — the trait by which the fabric exchanges tokens with
+//!   processor cores (implemented by `swallow-board` for real cores and
+//!   by in-crate test doubles here).
+
+pub mod endpoints;
+pub mod fabric;
+pub mod link;
+pub mod routing;
+
+pub use endpoints::CoreEndpoints;
+pub use fabric::{Fabric, FabricBuilder, LinkStats};
+pub use link::{Direction, LinkId, LinkParams, HEADER_TOKENS};
+pub use routing::{Candidates, Coord, Layer, Router, TableRouter};

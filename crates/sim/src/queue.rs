@@ -1,0 +1,199 @@
+//! A deterministic, time-ordered event queue.
+//!
+//! Ties (events scheduled for the same instant) are broken by insertion
+//! order, so a simulation that schedules the same events in the same order
+//! always replays identically — a prerequisite for the cycle-exact
+//! assertions made throughout the test suite.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-heap of `(Time, E)` pairs with FIFO tie-breaking.
+///
+/// ```
+/// use swallow_sim::{EventQueue, Time};
+///
+/// let mut q = EventQueue::new();
+/// q.push_at(Time::from_ps(10), 'b');
+/// q.push_at(Time::from_ps(10), 'c');
+/// q.push_at(Time::from_ps(5), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, ['a', 'b', 'c']);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: Time,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`Time::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (the simulation "now").
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `event` for instant `at`.
+    ///
+    /// Scheduling in the past is permitted but the event is delivered at
+    /// the current time, never before it; this mirrors hardware where a
+    /// stimulus raised "now" is observed on the next delta.
+    pub fn push_at(&mut self, at: Time, event: E) {
+        let at = at.max(self.now);
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event, advancing `now` to its time.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|entry| {
+            self.now = entry.at;
+            (entry.at, entry.event)
+        })
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|entry| entry.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events without advancing time.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimeDelta;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push_at(Time::from_ps(30), 3);
+        q.push_at(Time::from_ps(10), 1);
+        q.push_at(Time::from_ps(20), 2);
+        assert_eq!(q.pop(), Some((Time::from_ps(10), 1)));
+        assert_eq!(q.pop(), Some((Time::from_ps(20), 2)));
+        assert_eq!(q.pop(), Some((Time::from_ps(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_keep_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push_at(Time::from_ps(42), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().expect("event").1, i);
+        }
+    }
+
+    #[test]
+    fn now_tracks_popped_time() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Time::ZERO);
+        q.push_at(Time::from_ps(7), ());
+        q.pop();
+        assert_eq!(q.now(), Time::from_ps(7));
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.push_at(Time::from_ps(100), "first");
+        q.pop();
+        q.push_at(Time::from_ps(10), "late");
+        assert_eq!(q.pop(), Some((Time::from_ps(100), "late")));
+    }
+
+    #[test]
+    fn interleaved_push_pop_is_stable() {
+        let mut q = EventQueue::new();
+        let t = Time::ZERO + TimeDelta::from_ns(1);
+        q.push_at(t, "a");
+        q.push_at(t, "b");
+        assert_eq!(q.pop().expect("a").1, "a");
+        q.push_at(t, "c");
+        assert_eq!(q.pop().expect("b").1, "b");
+        assert_eq!(q.pop().expect("c").1, "c");
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push_at(Time::from_ps(1), ());
+        q.push_at(Time::from_ps(2), ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,191 @@
+//! A lightweight, optional trace facility.
+//!
+//! Simulation components call [`Tracer::record`] with a category and a lazy
+//! message; the default [`Tracer::Off`] discards everything with no
+//! allocation, while [`Tracer::Buffer`] keeps the most recent entries for
+//! post-mortem inspection in tests and examples.
+
+use crate::time::Time;
+use std::fmt;
+
+/// Default capacity for [`TraceBuffer`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// A single trace entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Simulated time at which the event occurred.
+    pub at: Time,
+    /// Component category, e.g. `"core"`, `"switch"`, `"link"`.
+    pub category: &'static str,
+    /// Rendered message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.category, self.message)
+    }
+}
+
+/// A bounded ring of recent trace entries.
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuffer {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+    head: usize,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Creates a buffer keeping at most `capacity` recent entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+            head: 0,
+        }
+    }
+
+    fn push(&mut self, entry: TraceEntry) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else {
+            self.entries[self.head] = entry;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Entries in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        let (wrapped, recent) = self.entries.split_at(self.head);
+        recent.iter().chain(wrapped.iter())
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries evicted to honour the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Trace destination selector.
+///
+/// ```
+/// use swallow_sim::{Time, Tracer};
+/// let mut tracer = Tracer::buffered();
+/// tracer.record(Time::ZERO, "core", || "thread 0 started".into());
+/// assert_eq!(tracer.buffer().expect("buffered").len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub enum Tracer {
+    /// Discard all trace events (the default; zero cost).
+    #[default]
+    Off,
+    /// Retain recent events in a ring buffer.
+    Buffer(TraceBuffer),
+}
+
+impl Tracer {
+    /// A tracer that retains recent events with the default capacity.
+    pub fn buffered() -> Self {
+        Tracer::Buffer(TraceBuffer::new())
+    }
+
+    /// True when events are being retained.
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, Tracer::Buffer(_))
+    }
+
+    /// Records an event; `message` is only evaluated when tracing is on.
+    pub fn record(&mut self, at: Time, category: &'static str, message: impl FnOnce() -> String) {
+        if let Tracer::Buffer(buf) = self {
+            buf.push(TraceEntry {
+                at,
+                category,
+                message: message(),
+            });
+        }
+    }
+
+    /// Access to the underlying buffer when enabled.
+    pub fn buffer(&self) -> Option<&TraceBuffer> {
+        match self {
+            Tracer::Off => None,
+            Tracer::Buffer(buf) => Some(buf),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_tracer_skips_message_construction() {
+        let mut tracer = Tracer::Off;
+        let mut evaluated = false;
+        tracer.record(Time::ZERO, "core", || {
+            evaluated = true;
+            String::new()
+        });
+        assert!(!evaluated);
+        assert!(tracer.buffer().is_none());
+    }
+
+    #[test]
+    fn buffer_keeps_chronological_order() {
+        let mut tracer = Tracer::buffered();
+        for i in 0..5u64 {
+            tracer.record(Time::from_ps(i), "t", || format!("e{i}"));
+        }
+        let msgs: Vec<_> = tracer
+            .buffer()
+            .expect("buffered")
+            .iter()
+            .map(|e| e.message.clone())
+            .collect();
+        assert_eq!(msgs, ["e0", "e1", "e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut buf = TraceBuffer::with_capacity(3);
+        for i in 0..5u64 {
+            buf.push(TraceEntry {
+                at: Time::from_ps(i),
+                category: "t",
+                message: format!("e{i}"),
+            });
+        }
+        let msgs: Vec<_> = buf.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, ["e2", "e3", "e4"]);
+        assert_eq!(buf.dropped(), 2);
+    }
+
+    #[test]
+    fn entry_display_is_informative() {
+        let entry = TraceEntry {
+            at: Time::from_ps(2_000),
+            category: "link",
+            message: "token sent".into(),
+        };
+        assert_eq!(entry.to_string(), "[2ns] link: token sent");
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests of the simulation kernel: queue ordering, time
+//! arithmetic and statistics invariants under arbitrary inputs.
+
+use proptest::prelude::*;
+use swallow_sim::stats::{Histogram, LinearFit, MeanVar};
+use swallow_sim::{DetRng, EventQueue, Frequency, Time, TimeDelta};
+
+proptest! {
+    /// Pops are globally ordered by time, FIFO within a timestamp.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(
+        times in proptest::collection::vec(0u64..50, 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (seq, &t) in times.iter().enumerate() {
+            q.push_at(Time::from_ps(t), seq);
+        }
+        let mut last: Option<(Time, usize)> = None;
+        let mut count = 0;
+        while let Some((at, seq)) = q.pop() {
+            if let Some((lt, lseq)) = last {
+                prop_assert!(at >= lt);
+                if at == lt {
+                    prop_assert!(seq > lseq, "FIFO violated at {at}");
+                }
+            }
+            prop_assert_eq!(Time::from_ps(times[seq]).max(Time::ZERO), at);
+            last = Some((at, seq));
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Period/cycle conversions are consistent for any frequency.
+    #[test]
+    fn frequency_cycle_round_trip(mhz in 1u64..2000, cycles in 0u64..100_000) {
+        let f = Frequency::from_mhz(mhz);
+        let span = f.cycles(cycles);
+        prop_assert_eq!(f.cycles_in(span), cycles);
+        // One period less always yields one cycle fewer (for cycles > 0).
+        if cycles > 0 {
+            prop_assert_eq!(f.cycles_in(span - TimeDelta::from_ps(1)), cycles - 1);
+        }
+    }
+
+    /// Time arithmetic is associative with deltas and never wraps in range.
+    #[test]
+    fn time_arithmetic(a in 0u64..1_000_000, b in 0u64..1_000_000, c in 0u64..1_000_000) {
+        let t = Time::from_ps(a);
+        let d1 = TimeDelta::from_ps(b);
+        let d2 = TimeDelta::from_ps(c);
+        prop_assert_eq!((t + d1) + d2, t + (d1 + d2));
+        prop_assert_eq!((t + d1) - t, d1);
+        prop_assert_eq!((t + d1).since(t), d1);
+    }
+
+    /// MeanVar matches a direct two-pass computation.
+    #[test]
+    fn meanvar_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+        let mut m = MeanVar::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((m.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((m.sample_variance() - var).abs() < 1e-5 * var.abs().max(1.0));
+        prop_assert_eq!(m.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(m.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// A linear fit recovers exact coefficients from exact data.
+    #[test]
+    fn linear_fit_recovers_exact_lines(
+        intercept in -1e3f64..1e3,
+        slope in -1e3f64..1e3,
+        n in 3usize..50,
+    ) {
+        let mut fit = LinearFit::new();
+        for i in 0..n {
+            let x = i as f64;
+            fit.push(x, intercept + slope * x);
+        }
+        let (a, b) = fit.solve().expect("distinct xs");
+        prop_assert!((a - intercept).abs() < 1e-6 * intercept.abs().max(1.0));
+        prop_assert!((b - slope).abs() < 1e-6 * slope.abs().max(1.0));
+    }
+
+    /// Histogram buckets partition the input: counts sum to n and every
+    /// recorded value falls inside its bucket's range.
+    #[test]
+    fn histogram_partitions(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let total: u64 = h.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, values.len() as u64);
+    }
+
+    /// The RNG's below() is in range and deterministic per seed.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut a = DetRng::seed_from(seed);
+        let mut b = DetRng::seed_from(seed);
+        for _ in 0..50 {
+            let x = a.below(bound);
+            prop_assert!(x < bound);
+            prop_assert_eq!(x, b.below(bound));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Client/server request–reply services (§I).
+//!
+//! The server owns one request channel end; every request packet carries
+//! the client's reply channel id, so the server can `setd` its reply
+//! channel per request — the idiomatic XS1 any-to-one service shape.
+//! Per-packet wormhole ownership at the server's channel end serialises
+//! concurrent clients without any software locking.
+
+use crate::codegen::{chanend_rid, GenError, Placement};
+use swallow::{GridSpec, NodeId};
+
+/// Service shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceSpec {
+    /// Client cores (the server adds one more).
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: u32,
+}
+
+/// The server's reply function, mirrored by [`expected_client_sum`]:
+/// `reply = 2·value + 1`.
+fn reply_of(value: u32) -> u32 {
+    value.wrapping_mul(2).wrapping_add(1)
+}
+
+/// Generates server (node 0) + clients (nodes `1..=clients`).
+///
+/// # Errors
+///
+/// [`GenError`] for zero clients/requests or too small a machine.
+pub fn generate(spec: &ServiceSpec, grid: GridSpec) -> Result<Placement, GenError> {
+    if spec.clients == 0 || spec.requests_per_client == 0 {
+        return Err(GenError::BadParameter("clients and requests must be > 0"));
+    }
+    if spec.clients + 1 > grid.core_count() {
+        return Err(GenError::TooFewCores {
+            need: spec.clients + 1,
+            have: grid.core_count(),
+        });
+    }
+    let mut placement = Placement::new();
+    let total = spec.clients as u32 * spec.requests_per_client;
+    let server_rid = chanend_rid(NodeId(0), 0);
+
+    // Clients: nodes 1..=clients. Request packet = [reply_rid, value] END.
+    for i in 0..spec.clients {
+        let node = NodeId((i + 1) as u16);
+        let my_rid = chanend_rid(node, 0);
+        let value = (i + 1) as u32;
+        let reqs = spec.requests_per_client;
+        placement.assign(
+            node,
+            &format!(
+                "
+                    getr  r0, chanend       # replies
+                    getr  r1, chanend       # requests
+                    ldc   r2, {server_rid}
+                    setd  r1, r2
+                    ldc   r3, {reqs}
+                    ldc   r4, {value}
+                    ldc   r5, 0             # sum
+                    ldc   r6, {my_rid}
+                cl:
+                    out   r1, r6
+                    out   r1, r4
+                    outct r1, end
+                    in    r7, r0
+                    chkct r0, end
+                    add   r5, r5, r7
+                    sub   r3, r3, 1
+                    bt    r3, cl
+                    print r5
+                    freet
+                "
+            ),
+        )?;
+    }
+
+    // Server: node 0. Prints the number of requests served.
+    placement.assign(
+        NodeId(0),
+        &format!(
+            "
+                getr  r0, chanend       # requests in
+                getr  r1, chanend       # replies out
+                ldc   r3, {total}
+                ldc   r9, 0             # served
+            svl:
+                in    r4, r0            # reply rid
+                in    r5, r0            # value
+                chkct r0, end
+                setd  r1, r4
+                add   r6, r5, r5
+                add   r6, r6, 1         # 2v + 1
+                out   r1, r6
+                outct r1, end
+                add   r9, r9, 1
+                sub   r3, r3, 1
+                bt    r3, svl
+                print r9
+                freet
+            "
+        ),
+    )?;
+    Ok(placement)
+}
+
+/// The sum client `i` (0-based) will print.
+pub fn expected_client_sum(spec: &ServiceSpec, client: usize) -> i32 {
+    let value = (client + 1) as u32;
+    (reply_of(value).wrapping_mul(spec.requests_per_client)) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow::{SystemBuilder, TimeDelta};
+
+    #[test]
+    fn three_clients_get_correct_replies() {
+        let spec = ServiceSpec {
+            clients: 3,
+            requests_per_client: 7,
+        };
+        let mut system = SystemBuilder::new().build().expect("builds");
+        let placement = generate(&spec, system.machine().spec()).expect("generates");
+        placement.apply(&mut system).expect("loads");
+        assert!(
+            system.run_until_quiescent(TimeDelta::from_ms(50)),
+            "service did not finish: {:?}",
+            system.first_trap()
+        );
+        // Server served everything.
+        assert_eq!(system.output(NodeId(0)), "21\n");
+        for i in 0..3 {
+            assert_eq!(
+                system.output(NodeId((i + 1) as u16)),
+                format!("{}\n", expected_client_sum(&spec, i)),
+                "client {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_client_round_trips() {
+        let spec = ServiceSpec {
+            clients: 1,
+            requests_per_client: 1,
+        };
+        let mut system = SystemBuilder::new().build().expect("builds");
+        let placement = generate(&spec, system.machine().spec()).expect("generates");
+        placement.apply(&mut system).expect("loads");
+        assert!(system.run_until_quiescent(TimeDelta::from_ms(10)));
+        // value 1 -> reply 3.
+        assert_eq!(system.output(NodeId(1)), "3\n");
+    }
+
+    #[test]
+    fn validation() {
+        let grid = GridSpec::ONE_SLICE;
+        assert!(generate(&ServiceSpec { clients: 0, requests_per_client: 1 }, grid).is_err());
+        assert!(generate(&ServiceSpec { clients: 16, requests_per_client: 1 }, grid).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! Message-passing collectives (§I's "message passing" application type).
+//!
+//! Three classic communication patterns over channels:
+//!
+//! * [`broadcast`] — one root fans a value out along a binary tree of
+//!   cores (log-depth, contention-aware: tree edges map to the lattice),
+//! * [`all_reduce`] — every core contributes a value; a reduce tree sums
+//!   them and the result is broadcast back down; every core prints it,
+//! * [`stencil_exchange`] — each core exchanges a boundary word with its
+//!   ring neighbours for `rounds` iterations (the halo-exchange skeleton
+//!   of grid computations), then prints an invariant-preserving checksum.
+
+use crate::codegen::{chanend_rid, GenError, Placement};
+use swallow::{GridSpec, NodeId};
+
+/// Generates a binary-tree broadcast of `value` from node 0 over the
+/// first `nodes` cores; every core prints the received value.
+///
+/// # Errors
+///
+/// [`GenError`] when fewer than 2 nodes are requested or the machine is
+/// too small.
+pub fn broadcast(nodes: usize, value: u32, grid: GridSpec) -> Result<Placement, GenError> {
+    if nodes < 2 {
+        return Err(GenError::BadParameter("broadcast needs >= 2 nodes"));
+    }
+    if nodes > grid.core_count() {
+        return Err(GenError::TooFewCores {
+            need: nodes,
+            have: grid.core_count(),
+        });
+    }
+    let mut placement = Placement::new();
+    for i in 0..nodes {
+        let children: Vec<usize> = [2 * i + 1, 2 * i + 2]
+            .into_iter()
+            .filter(|&c| c < nodes)
+            .collect();
+        // Receive (except the root), then forward to children, then print.
+        let recv = if i == 0 {
+            format!("                ldc   r4, {value}\n")
+        } else {
+            "
+                in    r4, r0
+                chkct r0, end
+            "
+            .to_owned()
+        };
+        let mut forward = String::new();
+        for (k, child) in children.iter().enumerate() {
+            let dest = chanend_rid(NodeId(*child as u16), 0);
+            let reg = format!("r{}", 5 + k);
+            forward.push_str(&format!(
+                "
+                getr  {reg}, chanend
+                ldc   r8, {dest}
+                setd  {reg}, r8
+                out   {reg}, r4
+                outct {reg}, end
+                "
+            ));
+        }
+        placement.assign(
+            NodeId(i as u16),
+            &format!(
+                "
+                getr  r0, chanend
+                {recv}
+                {forward}
+                print r4
+                freet
+                "
+            ),
+        )?;
+    }
+    Ok(placement)
+}
+
+/// Generates an all-reduce (sum) over the first `nodes` cores: core `i`
+/// contributes `i + 1`; every core prints the total `n(n+1)/2`.
+///
+/// # Errors
+///
+/// [`GenError`] for fewer than 2 nodes or too small a machine.
+pub fn all_reduce(nodes: usize, grid: GridSpec) -> Result<Placement, GenError> {
+    if nodes < 2 {
+        return Err(GenError::BadParameter("all_reduce needs >= 2 nodes"));
+    }
+    if nodes > grid.core_count() {
+        return Err(GenError::TooFewCores {
+            need: nodes,
+            have: grid.core_count(),
+        });
+    }
+    let mut placement = Placement::new();
+    for i in 0..nodes {
+        let children: Vec<usize> = [2 * i + 1, 2 * i + 2]
+            .into_iter()
+            .filter(|&c| c < nodes)
+            .collect();
+        let parent = if i == 0 { None } else { Some((i - 1) / 2) };
+        let contribution = (i + 1) as u32;
+
+        // Phase 1 (reduce): receive partial sums from children on
+        // chanend 0, add own contribution, send up to the parent.
+        // Phase 2 (broadcast): receive total from parent on chanend 0,
+        // forward to children.
+        let mut gather = format!("                ldc   r4, {contribution}\n");
+        for _ in &children {
+            gather.push_str(
+                "
+                in    r5, r0
+                chkct r0, end
+                add   r4, r4, r5
+                ",
+            );
+        }
+        let up_down = match parent {
+            Some(p) => {
+                let parent_rid = chanend_rid(NodeId(p as u16), 0);
+                format!(
+                    "
+                getr  r1, chanend
+                ldc   r8, {parent_rid}
+                setd  r1, r8
+                out   r1, r4
+                outct r1, end
+                in    r4, r0          # the total comes back down
+                chkct r0, end
+                    "
+                )
+            }
+            None => String::new(), // root: r4 already holds the total
+        };
+        let mut scatter = String::new();
+        for (k, child) in children.iter().enumerate() {
+            let dest = chanend_rid(NodeId(*child as u16), 0);
+            let reg = format!("r{}", 6 + k);
+            scatter.push_str(&format!(
+                "
+                getr  {reg}, chanend
+                ldc   r8, {dest}
+                setd  {reg}, r8
+                out   {reg}, r4
+                outct {reg}, end
+                "
+            ));
+        }
+        placement.assign(
+            NodeId(i as u16),
+            &format!(
+                "
+                getr  r0, chanend
+                {gather}
+                {up_down}
+                {scatter}
+                print r4
+                freet
+                "
+            ),
+        )?;
+    }
+    Ok(placement)
+}
+
+/// The total an [`all_reduce`] over `nodes` cores prints on every core.
+pub fn all_reduce_total(nodes: usize) -> u32 {
+    (nodes as u32 * (nodes as u32 + 1)) / 2
+}
+
+/// Generates a ring halo exchange: each of `nodes` cores holds one word
+/// (initially its node id), and for `rounds` rounds sends its word right
+/// and receives from the left, replacing its word. After `rounds` the
+/// values have rotated; each core prints its final word.
+///
+/// # Errors
+///
+/// [`GenError`] for fewer than 2 nodes, zero rounds, or too small a
+/// machine.
+pub fn stencil_exchange(nodes: usize, rounds: u32, grid: GridSpec) -> Result<Placement, GenError> {
+    if nodes < 2 {
+        return Err(GenError::BadParameter("stencil needs >= 2 nodes"));
+    }
+    if rounds == 0 {
+        return Err(GenError::BadParameter("stencil needs >= 1 round"));
+    }
+    if nodes > grid.core_count() {
+        return Err(GenError::TooFewCores {
+            need: nodes,
+            have: grid.core_count(),
+        });
+    }
+    let mut placement = Placement::new();
+    for i in 0..nodes {
+        let right = (i + 1) % nodes;
+        let dest = chanend_rid(NodeId(right as u16), 0);
+        placement.assign(
+            NodeId(i as u16),
+            &format!(
+                "
+                getr  r0, chanend        # from the left neighbour
+                getr  r1, chanend        # to the right neighbour
+                ldc   r2, {dest}
+                setd  r1, r2
+                ldc   r4, {i}            # my word
+                ldc   r3, {rounds}
+            round:
+                out   r1, r4
+                outct r1, end
+                in    r4, r0
+                chkct r0, end
+                sub   r3, r3, 1
+                bt    r3, round
+                print r4
+                freet
+                "
+            ),
+        )?;
+    }
+    Ok(placement)
+}
+
+/// The word node `i` holds after a [`stencil_exchange`] of `rounds`
+/// rounds (values rotate right by one per round).
+pub fn stencil_final(nodes: usize, rounds: u32, node: usize) -> u32 {
+    let shift = rounds as usize % nodes;
+    ((node + nodes - shift) % nodes) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow::{SystemBuilder, TimeDelta};
+
+    fn run(placement: &Placement) -> swallow::SwallowSystem {
+        let mut system = SystemBuilder::new().build().expect("builds");
+        placement.apply(&mut system).expect("loads");
+        assert!(
+            system.run_until_quiescent(TimeDelta::from_ms(50)),
+            "did not drain: {:?}",
+            system.first_trap()
+        );
+        system
+    }
+
+    #[test]
+    fn broadcast_reaches_every_node() {
+        for nodes in [2usize, 5, 16] {
+            let placement = broadcast(nodes, 0xABCD, GridSpec::ONE_SLICE).expect("generates");
+            let system = run(&placement);
+            for i in 0..nodes {
+                assert_eq!(
+                    system.output(NodeId(i as u16)),
+                    format!("{}\n", 0xABCD),
+                    "node {i} of {nodes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_sums_everywhere() {
+        for nodes in [2usize, 7, 16] {
+            let placement = all_reduce(nodes, GridSpec::ONE_SLICE).expect("generates");
+            let system = run(&placement);
+            let total = all_reduce_total(nodes);
+            for i in 0..nodes {
+                assert_eq!(
+                    system.output(NodeId(i as u16)),
+                    format!("{total}\n"),
+                    "node {i} of {nodes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_rotates_values() {
+        for (nodes, rounds) in [(4usize, 1u32), (6, 3), (16, 20)] {
+            let placement = stencil_exchange(nodes, rounds, GridSpec::ONE_SLICE).expect("generates");
+            let system = run(&placement);
+            for i in 0..nodes {
+                assert_eq!(
+                    system.output(NodeId(i as u16)),
+                    format!("{}\n", stencil_final(nodes, rounds, i)),
+                    "node {i}, {nodes} nodes, {rounds} rounds"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let grid = GridSpec::ONE_SLICE;
+        assert!(broadcast(1, 0, grid).is_err());
+        assert!(broadcast(17, 0, grid).is_err());
+        assert!(all_reduce(1, grid).is_err());
+        assert!(stencil_exchange(4, 0, grid).is_err());
+    }
+}

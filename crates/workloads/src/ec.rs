@@ -1,0 +1,175 @@
+//! Computation-to-communication (EC) ratio scenarios (§V.D).
+//!
+//! The paper defines `E` as the rate at which compute resource can produce
+//! or consume data (instructions/s × 32-bit operands) and `C` as the
+//! communication bandwidth available to move it. The five scenarios below
+//! reproduce §V.D's ladder: EC = 1 (core-local) up to EC = 512 (a whole
+//! slice hammering its vertical bisection).
+
+use crate::codegen::{GenError, Placement};
+use crate::traffic;
+use swallow::{Frequency, GridSpec, NodeId};
+
+/// Bits of data one 32-bit channel operation moves.
+const WORD_BITS: f64 = 32.0;
+
+/// The §V.D scenarios.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EcScenario {
+    /// Two threads exchanging over core-local channel ends: `E = C`.
+    CoreLocal,
+    /// Four threads over the four aggregated package-internal links.
+    ChipAggregate,
+    /// Four threads over the node's external links (four links at the
+    /// Table I external rate).
+    ExternalAggregate,
+    /// Four threads contending for a single external link.
+    ExternalContended,
+    /// Sixteen cores streaming across a slice's vertical bisection
+    /// (eight senders over four external links).
+    SliceBisection,
+}
+
+impl EcScenario {
+    /// All scenarios in the paper's order.
+    pub const ALL: [EcScenario; 5] = [
+        EcScenario::CoreLocal,
+        EcScenario::ChipAggregate,
+        EcScenario::ExternalAggregate,
+        EcScenario::ExternalContended,
+        EcScenario::SliceBisection,
+    ];
+
+    /// A short name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            EcScenario::CoreLocal => "core-local",
+            EcScenario::ChipAggregate => "chip aggregate (4 links)",
+            EcScenario::ExternalAggregate => "external aggregate (4 links)",
+            EcScenario::ExternalContended => "external, 4 threads / 1 link",
+            EcScenario::SliceBisection => "slice vertical bisection",
+        }
+    }
+
+    /// The ratio the paper reports for this scenario.
+    pub fn paper_ratio(self) -> f64 {
+        match self {
+            EcScenario::CoreLocal => 1.0,
+            EcScenario::ChipAggregate => 16.0,
+            EcScenario::ExternalAggregate => 64.0,
+            EcScenario::ExternalContended => 256.0,
+            EcScenario::SliceBisection => 512.0,
+        }
+    }
+
+    /// `E`: compute bandwidth in bit/s at core clock `f` — four threads
+    /// per core issue `f` instructions/s of 32-bit operations (§V.D's
+    /// "with four or more active threads, E = 16 Gbit/s" at 500 MHz).
+    pub fn compute_bandwidth_bps(self, f: Frequency) -> f64 {
+        let per_core = f.as_hz() as f64 * WORD_BITS;
+        match self {
+            EcScenario::SliceBisection => 8.0 * per_core, // the sending half
+            _ => per_core,
+        }
+    }
+
+    /// `C`: available communication bandwidth in bit/s, using the Swallow
+    /// operating rates of Table I.
+    pub fn comm_bandwidth_bps(self, f: Frequency) -> f64 {
+        let internal = swallow::energy::WireClass::OnChip.data_rate().as_hz() as f64;
+        let external = swallow::energy::WireClass::BoardVertical.data_rate().as_hz() as f64;
+        match self {
+            // Core-local communication "can sustain this data rate" (§V.D).
+            EcScenario::CoreLocal => self.compute_bandwidth_bps(f),
+            EcScenario::ChipAggregate => 4.0 * internal,
+            EcScenario::ExternalAggregate => 4.0 * external,
+            EcScenario::ExternalContended => external,
+            EcScenario::SliceBisection => 4.0 * external,
+        }
+    }
+
+    /// The analytic EC ratio at clock `f`.
+    pub fn analytic_ratio(self, f: Frequency) -> f64 {
+        self.compute_bandwidth_bps(f) / self.comm_bandwidth_bps(f)
+    }
+
+    /// Generates the measurement workload for this scenario on one slice:
+    /// a traffic pattern that saturates exactly the scenario's `C` path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors (the parameters here are static, so
+    /// errors indicate a generator bug).
+    pub fn workload(self, words_per_flow: u32) -> Result<Placement, GenError> {
+        let grid = GridSpec::ONE_SLICE;
+        use swallow::noc::routing::Layer;
+        match self {
+            EcScenario::CoreLocal => {
+                traffic::multi_stream(NodeId(0), NodeId(0), 4, words_per_flow, 8)
+            }
+            EcScenario::ChipAggregate => {
+                // Node 0 and node 1 share a package: four flows over the
+                // four internal links.
+                traffic::multi_stream(NodeId(0), NodeId(1), 4, words_per_flow, 8)
+            }
+            EcScenario::ExternalAggregate => {
+                // Vertical neighbours have one physical link pair in the
+                // Swallow lattice; four flows approximate the paper's
+                // four-external-link aggregate by also using the
+                // horizontal-layer path (internal hop + E/W).
+                let top = grid.node_at(1, 0, Layer::Vertical);
+                let bottom = grid.node_at(1, 1, Layer::Vertical);
+                traffic::multi_stream(top, bottom, 4, words_per_flow, 8)
+            }
+            EcScenario::ExternalContended => {
+                let top = grid.node_at(2, 0, Layer::Vertical);
+                let bottom = grid.node_at(2, 1, Layer::Vertical);
+                traffic::multi_stream(top, bottom, 4, words_per_flow, 8)
+            }
+            EcScenario::SliceBisection => traffic::bisection(words_per_flow, 8),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_ratios_match_the_paper() {
+        let f = Frequency::from_mhz(500);
+        for scenario in EcScenario::ALL {
+            let ratio = scenario.analytic_ratio(f);
+            let paper = scenario.paper_ratio();
+            assert!(
+                (ratio - paper).abs() / paper < 0.01,
+                "{}: analytic {ratio} vs paper {paper}",
+                scenario.name()
+            );
+        }
+    }
+
+    #[test]
+    fn e_is_16_gbps_at_500mhz() {
+        let e = EcScenario::ChipAggregate.compute_bandwidth_bps(Frequency::from_mhz(500));
+        assert!((e - 16e9).abs() < 1.0);
+        // And 128 Gbit/s for the bisection's sending half.
+        let e = EcScenario::SliceBisection.compute_bandwidth_bps(Frequency::from_mhz(500));
+        assert!((e - 128e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn ratios_scale_down_with_frequency() {
+        let slow = EcScenario::ChipAggregate.analytic_ratio(Frequency::from_mhz(100));
+        let fast = EcScenario::ChipAggregate.analytic_ratio(Frequency::from_mhz(500));
+        assert!((fast / slow - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workloads_generate_for_every_scenario() {
+        for scenario in EcScenario::ALL {
+            let placement = scenario.workload(16).expect("generates");
+            assert!(!placement.is_empty(), "{}", scenario.name());
+        }
+    }
+}

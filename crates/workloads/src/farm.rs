@@ -1,0 +1,214 @@
+//! Master/worker task farms ("groups of tasks", §I).
+//!
+//! The master dispatches numbered tasks round-robin over the workers,
+//! keeping at most one task in flight per worker (channel flow control
+//! does the rest), and folds the results into a sum it prints at the end.
+//! Each worker performs a tunable amount of computation per task.
+
+use crate::codegen::{chanend_rid, compute_block, GenError, Placement};
+use swallow::{GridSpec, NodeId};
+
+/// Farm shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FarmSpec {
+    /// Worker cores (the master adds one more).
+    pub workers: usize,
+    /// Tasks to process (task values are `1..=tasks`).
+    pub tasks: u32,
+    /// Squaring iterations per task.
+    pub work_per_task: u32,
+}
+
+/// Generates master (node 0) + workers (nodes `1..=workers`).
+///
+/// # Errors
+///
+/// [`GenError`] for zero workers/tasks or too small a machine.
+pub fn generate(spec: &FarmSpec, grid: GridSpec) -> Result<Placement, GenError> {
+    if spec.workers == 0 {
+        return Err(GenError::BadParameter("workers must be > 0"));
+    }
+    if spec.tasks == 0 {
+        return Err(GenError::BadParameter("tasks must be > 0"));
+    }
+    if spec.workers + 1 > grid.core_count() {
+        return Err(GenError::TooFewCores {
+            need: spec.workers + 1,
+            have: grid.core_count(),
+        });
+    }
+    let mut placement = Placement::new();
+    let workers = spec.workers as u32;
+    let tasks = spec.tasks;
+    let master_rid = chanend_rid(NodeId(0), 0);
+
+    // Workers first (so their chanend 0 exists before tasks arrive; the
+    // fabric would retry anyway, but this keeps startup tidy).
+    for i in 0..spec.workers {
+        let node = NodeId((i + 1) as u16);
+        // Strict round-robin dispatch: worker i serves tasks t with
+        // (t-1) % workers == i.
+        let quota = (0..tasks).filter(|t| t % workers == i as u32).count() as u32;
+        if quota == 0 {
+            placement.assign(node, "freet")?;
+            continue;
+        }
+        let work = compute_block("work", "r4", "r5", spec.work_per_task);
+        placement.assign(
+            node,
+            &format!(
+                "
+                    getr  r0, chanend
+                    getr  r1, chanend
+                    ldc   r2, {master_rid}
+                    setd  r1, r2
+                    ldc   r3, {quota}
+                wl:
+                    in    r4, r0
+                    chkct r0, end
+                    {work}
+                    out   r1, r4
+                    outct r1, end
+                    sub   r3, r3, 1
+                    bt    r3, wl
+                    freet
+                "
+            ),
+        )?;
+    }
+
+    // Master: results on chanend 0, one dispatch chanend per worker.
+    // The worker-rid table doubles as the dispatch-chanend table after
+    // the allocation loop rewrites it.
+    let table: String = (0..spec.workers)
+        .map(|i| format!("            .word {}\n", chanend_rid(NodeId((i + 1) as u16), 0)))
+        .collect();
+    placement.assign(
+        NodeId(0),
+        &format!(
+            "
+                getr  r0, chanend
+                ldap  r1, wtab
+                ldc   r2, {workers}
+                ldc   r3, 0
+            al:
+                getr  r4, chanend
+                ldw   r5, r1[r3]
+                setd  r4, r5
+                stw   r4, r1[r3]
+                add   r3, r3, 1
+                lss   r6, r3, r2
+                bt    r6, al
+
+                ldc   r7, 1          # next task value
+                ldc   r9, 0          # result sum
+                ldc   r10, 0         # tasks in flight
+                ldc   r3, 0          # round-robin index
+            mloop:
+                ldc   r6, {tasks}
+                lsu   r5, r6, r7     # all dispatched?
+                bt    r5, collect
+                lsu   r5, r10, r2    # worker slot free?
+                bf    r5, collect
+                ldw   r4, r1[r3]
+                out   r4, r7
+                outct r4, end
+                add   r7, r7, 1
+                add   r10, r10, 1
+                add   r3, r3, 1
+                eq    r5, r3, r2
+                bf    r5, mloop
+                ldc   r3, 0
+                bu    mloop
+            collect:
+                bf    r10, done
+                in    r5, r0
+                chkct r0, end
+                add   r9, r9, r5
+                sub   r10, r10, 1
+                bu    mloop
+            done:
+                ldc   r6, {tasks}
+                lsu   r5, r6, r7
+                bt    r5, fin
+                bu    mloop
+            fin:
+                print r9
+                freet
+            wtab:
+            {table}
+            "
+        ),
+    )?;
+    Ok(placement)
+}
+
+/// The sum the master will print (mirrors the worker arithmetic).
+pub fn expected_sum(spec: &FarmSpec) -> i32 {
+    let mut sum = 0u32;
+    for t in 1..=spec.tasks {
+        let mut v = t;
+        for _ in 0..spec.work_per_task {
+            v = v.wrapping_mul(v);
+        }
+        sum = sum.wrapping_add(v);
+    }
+    sum as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow::{SystemBuilder, TimeDelta};
+
+    fn run_farm(spec: FarmSpec) -> String {
+        let mut system = SystemBuilder::new().build().expect("builds");
+        let placement = generate(&spec, system.machine().spec()).expect("generates");
+        placement.apply(&mut system).expect("loads");
+        assert!(
+            system.run_until_quiescent(TimeDelta::from_ms(50)),
+            "farm did not finish: {:?}",
+            system.first_trap()
+        );
+        system.output(NodeId(0)).to_owned()
+    }
+
+    #[test]
+    fn one_worker_farm() {
+        let spec = FarmSpec {
+            workers: 1,
+            tasks: 5,
+            work_per_task: 0,
+        };
+        // Sum of 1..=5 = 15.
+        assert_eq!(run_farm(spec), "15\n");
+        assert_eq!(expected_sum(&spec), 15);
+    }
+
+    #[test]
+    fn five_workers_share_the_load() {
+        let spec = FarmSpec {
+            workers: 5,
+            tasks: 23,
+            work_per_task: 2,
+        };
+        assert_eq!(run_farm(spec), format!("{}\n", expected_sum(&spec)));
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let spec = FarmSpec {
+            workers: 8,
+            tasks: 3,
+            work_per_task: 1,
+        };
+        assert_eq!(run_farm(spec), format!("{}\n", expected_sum(&spec)));
+    }
+
+    #[test]
+    fn validation() {
+        let grid = GridSpec::ONE_SLICE;
+        assert!(generate(&FarmSpec { workers: 0, tasks: 1, work_per_task: 0 }, grid).is_err());
+        assert!(generate(&FarmSpec { workers: 16, tasks: 1, work_per_task: 0 }, grid).is_err());
+    }
+}

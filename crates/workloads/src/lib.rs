@@ -1,0 +1,49 @@
+//! Parallel program patterns and traffic generators for Swallow.
+//!
+//! The paper's stated aim is to "support a variety of parallel application
+//! types and data sharing methods, including groups of tasks, pipelines,
+//! client/server, message passing and shared memory" (§I). This crate
+//! provides each of those as a *program generator*: given a machine shape
+//! and parameters, it emits XS1-style assembly for every participating
+//! core and a [`Placement`] mapping programs to nodes.
+//!
+//! * [`pipeline`] — N-stage stream pipelines with tunable compute per item,
+//! * [`farm`] — master/worker task farms with flow-controlled dispatch,
+//! * [`client_server`] — request/reply services with reply routing,
+//! * [`collectives`] — broadcast trees, all-reduce and halo exchange,
+//! * [`matvec`] — distributed matrix–vector multiply with SRAM-resident rows,
+//! * [`shared_mem`] — shared memory emulated over channels (a memory-server
+//!   core serialising remote loads/stores),
+//! * [`traffic`] — raw stream generators for link/EC measurements,
+//! * [`ec`] — the §V.D computation-to-communication (EC) scenarios,
+//! * [`nos`] — a nano-OS service layer (name server + RPC kernels) in the
+//!   spirit of the paper's companion distributed OS (its ref. 3).
+//!
+//! ```
+//! use swallow::{SystemBuilder, TimeDelta};
+//! use swallow_workloads::pipeline::{self, PipelineSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut system = SystemBuilder::new().build()?;
+//! let spec = PipelineSpec { stages: 4, items: 8, work_per_item: 10 };
+//! let placement = pipeline::generate(&spec, system.machine().spec())?;
+//! placement.apply(&mut system)?;
+//! assert!(system.run_until_quiescent(TimeDelta::from_ms(5)));
+//! let checksum = pipeline::checksum(&spec);
+//! assert_eq!(system.output(placement.last_node()), format!("{checksum}\n"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod client_server;
+pub mod codegen;
+pub mod collectives;
+pub mod ec;
+pub mod farm;
+pub mod matvec;
+pub mod nos;
+pub mod pipeline;
+pub mod shared_mem;
+pub mod traffic;
+
+pub use codegen::{GenError, Placement};

@@ -1,0 +1,259 @@
+//! Distributed matrix–vector multiply — a realistic numeric kernel on
+//! the platform: the coordinator broadcasts the vector, worker cores hold
+//! matrix rows in their private SRAM (no shared memory on Swallow!),
+//! compute dot products and stream `(row, value)` results back.
+//!
+//! The data is baked into the generated programs as `.word` tables —
+//! exactly how constant data reaches a real Swallow core (the image is
+//! loaded into its SRAM).
+
+use crate::codegen::{chanend_rid, GenError, Placement};
+use swallow::{GridSpec, NodeId};
+
+/// Problem shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatVecSpec {
+    /// Matrix dimension (n×n) and vector length.
+    pub n: usize,
+    /// Worker cores (the coordinator adds one more).
+    pub workers: usize,
+    /// Seed for the deterministic matrix/vector contents.
+    pub seed: u32,
+}
+
+fn lcg(state: &mut u32) -> u32 {
+    *state = state.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+    // Small values keep printed results readable; wrapping arithmetic
+    // makes any range exact anyway.
+    (*state >> 16) & 0xFF
+}
+
+/// The deterministic matrix entry `A[i][j]`.
+fn a_entry(spec: &MatVecSpec, i: usize, j: usize) -> u32 {
+    let mut s = spec
+        .seed
+        .wrapping_add((i as u32) << 16)
+        .wrapping_add(j as u32);
+    lcg(&mut s)
+}
+
+/// The deterministic vector entry `x[j]`.
+fn x_entry(spec: &MatVecSpec, j: usize) -> u32 {
+    let mut s = spec.seed.wrapping_add(0xABCD_0000).wrapping_add(j as u32);
+    lcg(&mut s)
+}
+
+/// The product `y = A·x` with wrapping arithmetic (the oracle for the
+/// coordinator's printed output).
+pub fn expected_y(spec: &MatVecSpec) -> Vec<i32> {
+    (0..spec.n)
+        .map(|i| {
+            let mut acc = 0u32;
+            for j in 0..spec.n {
+                acc = acc.wrapping_add(a_entry(spec, i, j).wrapping_mul(x_entry(spec, j)));
+            }
+            acc as i32
+        })
+        .collect()
+}
+
+/// Generates the coordinator (node 0) + workers (nodes `1..=workers`).
+/// Row `i` lives on worker `i % workers`.
+///
+/// # Errors
+///
+/// [`GenError`] for empty shapes or too small a machine.
+pub fn generate(spec: &MatVecSpec, grid: GridSpec) -> Result<Placement, GenError> {
+    if spec.n == 0 || spec.workers == 0 {
+        return Err(GenError::BadParameter("n and workers must be > 0"));
+    }
+    if spec.workers + 1 > grid.core_count() {
+        return Err(GenError::TooFewCores {
+            need: spec.workers + 1,
+            have: grid.core_count(),
+        });
+    }
+    if spec.n > 256 {
+        return Err(GenError::BadParameter("n > 256 exceeds SRAM budgets"));
+    }
+    let n = spec.n;
+    let root_rid = chanend_rid(NodeId(0), 0);
+    let mut placement = Placement::new();
+
+    // Workers.
+    for w in 0..spec.workers {
+        let node = NodeId((w + 1) as u16);
+        let rows: Vec<usize> = (0..n).filter(|i| i % spec.workers == w).collect();
+        if rows.is_empty() {
+            placement.assign(node, "freet")?;
+            continue;
+        }
+        // Row table: [row_index, a_0 .. a_{n-1}] per local row.
+        let mut table = String::new();
+        for &i in &rows {
+            table.push_str(&format!("            .word {i}\n"));
+            for j in 0..n {
+                table.push_str(&format!("            .word {}\n", a_entry(spec, i, j)));
+            }
+        }
+        let local_rows = rows.len();
+        placement.assign(
+            node,
+            &format!(
+                "
+                    getr  r0, chanend        # x arrives here
+                    getr  r1, chanend        # results out
+                    ldc   r2, {root_rid}
+                    setd  r1, r2
+                    ldap  r3, xbuf
+                    ldc   r4, {n}
+                rx:
+                    in    r5, r0
+                    stw   r5, r3[0]
+                    add   r3, r3, 4
+                    sub   r4, r4, 1
+                    bt    r4, rx
+                    chkct r0, end
+                    ldap  r6, rows
+                    ldc   r7, {local_rows}
+                row_loop:
+                    ldw   r8, r6[0]          # row index
+                    add   r6, r6, 4
+                    ldap  r3, xbuf
+                    ldc   r4, {n}
+                    ldc   r9, 0
+                dot:
+                    ldw   r10, r6[0]
+                    ldw   r11, r3[0]
+                    mul   r10, r10, r11
+                    add   r9, r9, r10
+                    add   r6, r6, 4
+                    add   r3, r3, 4
+                    sub   r4, r4, 1
+                    bt    r4, dot
+                    out   r1, r8
+                    out   r1, r9
+                    outct r1, end
+                    sub   r7, r7, 1
+                    bt    r7, row_loop
+                    freet
+                xbuf:
+                    .space {n}
+                rows:
+                {table}
+                "
+            ),
+        )?;
+    }
+
+    // Coordinator: broadcast x, gather n results, print y in order.
+    let mut xdata = String::new();
+    for j in 0..n {
+        xdata.push_str(&format!("            .word {}\n", x_entry(spec, j)));
+    }
+    // One broadcast chanend, re-aimed per worker: `setd` between packets
+    // is safe (each token's route is fixed when it is emitted).
+    let mut broadcast = String::from("                getr  r1, chanend
+");
+    for w in 0..spec.workers {
+        if (0..n).filter(|i| i % spec.workers == w).count() == 0 {
+            continue;
+        }
+        let dest = chanend_rid(NodeId((w + 1) as u16), 0);
+        broadcast.push_str(&format!(
+            "
+                ldc   r2, {dest}
+                setd  r1, r2
+                ldap  r3, xdata
+                ldc   r4, {n}
+            tx{w}:
+                ldw   r5, r3[0]
+                out   r1, r5
+                add   r3, r3, 4
+                sub   r4, r4, 1
+                bt    r4, tx{w}
+                outct r1, end
+            "
+        ));
+    }
+    placement.assign(
+        NodeId(0),
+        &format!(
+            "
+                getr  r0, chanend        # results arrive here (chanend 0)
+                {broadcast}
+                ldc   r6, {n}
+            gather:
+                in    r7, r0             # row index
+                in    r8, r0             # value
+                chkct r0, end
+                ldap  r9, ybuf
+                stw   r8, r9[r7]
+                sub   r6, r6, 1
+                bt    r6, gather
+                ldap  r9, ybuf
+                ldc   r6, {n}
+            prnt:
+                ldw   r7, r9[0]
+                print r7
+                add   r9, r9, 4
+                sub   r6, r6, 1
+                bt    r6, prnt
+                freet
+            xdata:
+            {xdata}
+            ybuf:
+                .space {n}
+            "
+        ),
+    )?;
+    Ok(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow::{SystemBuilder, TimeDelta};
+
+    fn run_matvec(spec: MatVecSpec) -> Vec<i32> {
+        let mut system = SystemBuilder::new().build().expect("builds");
+        let placement = generate(&spec, system.machine().spec()).expect("generates");
+        placement.apply(&mut system).expect("loads");
+        assert!(
+            system.run_until_quiescent(TimeDelta::from_ms(100)),
+            "did not finish: {:?}",
+            system.first_trap()
+        );
+        system
+            .output(NodeId(0))
+            .lines()
+            .map(|l| l.parse().expect("number"))
+            .collect()
+    }
+
+    #[test]
+    fn small_product_is_exact() {
+        let spec = MatVecSpec { n: 4, workers: 2, seed: 1 };
+        assert_eq!(run_matvec(spec), expected_y(&spec));
+    }
+
+    #[test]
+    fn sixteen_by_sixteen_on_fifteen_workers() {
+        let spec = MatVecSpec { n: 16, workers: 15, seed: 99 };
+        assert_eq!(run_matvec(spec), expected_y(&spec));
+    }
+
+    #[test]
+    fn more_workers_than_rows() {
+        let spec = MatVecSpec { n: 3, workers: 8, seed: 7 };
+        assert_eq!(run_matvec(spec), expected_y(&spec));
+    }
+
+    #[test]
+    fn validation() {
+        let grid = GridSpec::ONE_SLICE;
+        assert!(generate(&MatVecSpec { n: 0, workers: 1, seed: 0 }, grid).is_err());
+        assert!(generate(&MatVecSpec { n: 4, workers: 16, seed: 0 }, grid).is_err());
+        assert!(generate(&MatVecSpec { n: 300, workers: 4, seed: 0 }, grid).is_err());
+    }
+}

@@ -1,0 +1,402 @@
+//! A nano-OS service layer in the spirit of nOS (the paper's ref. 3:
+//! "nOS: a nano-sized distributed operating system for resource
+//! optimisation on many-core systems", which was developed *for*
+//! Swallow).
+//!
+//! Three resident programs cooperate purely over channels:
+//!
+//! * a **name server** (one core) mapping small integer names to
+//!   channel-end resource ids; services register, clients look up,
+//!   polling until the service appears, so boot order is irrelevant;
+//! * **service kernels** (any number of cores) that register themselves
+//!   and then serve a tiny RPC protocol (square / add / peek / poke /
+//!   exit) against their own core — peek/poke expose each core's SRAM,
+//!   the OS-level remote-memory primitive;
+//! * **clients** generated with a call script.
+//!
+//! Every message is the uniform frame `[op, a, b, reply_rid] END`,
+//! answered by `[value] END`.
+
+use crate::codegen::{chanend_rid, GenError, Placement};
+use swallow::{GridSpec, NodeId};
+
+/// RPC opcodes understood by a service kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NosOp {
+    /// reply = a².
+    Square,
+    /// reply = a + b.
+    Add,
+    /// reply = word at SRAM address `a` of the service's core.
+    Peek,
+    /// `mem[a] = b`; reply = b.
+    Poke,
+    /// Terminate the service kernel (reply = 0).
+    Exit,
+}
+
+impl NosOp {
+    fn code(self) -> u32 {
+        match self {
+            NosOp::Square => 0,
+            NosOp::Add => 1,
+            NosOp::Peek => 2,
+            NosOp::Poke => 3,
+            NosOp::Exit => 4,
+        }
+    }
+
+    /// What the service will reply for `(a, b)` (the simulator-side
+    /// mirror, for test oracles). `Peek` depends on machine state and has
+    /// no static mirror.
+    pub fn expected_reply(self, a: u32, b: u32) -> Option<u32> {
+        match self {
+            NosOp::Square => Some(a.wrapping_mul(a)),
+            NosOp::Add => Some(a.wrapping_add(b)),
+            NosOp::Poke => Some(b),
+            NosOp::Exit => Some(0),
+            NosOp::Peek => None,
+        }
+    }
+}
+
+/// One scripted client call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NosCall {
+    /// Which registered service (name id) to call.
+    pub service: u32,
+    /// Operation.
+    pub op: NosOp,
+    /// First operand.
+    pub a: u32,
+    /// Second operand.
+    pub b: u32,
+}
+
+/// Maximum registered names the name server holds.
+pub const NAME_TABLE_SLOTS: u32 = 16;
+
+/// Name-server opcodes (internal to the generated programs).
+const NS_LOOKUP: u32 = 0;
+const NS_REGISTER: u32 = 1;
+
+/// The name-server program (runs on `node`).
+///
+/// Serves forever; `expected_messages` bounds its lifetime so the
+/// machine can reach quiescence (count every register + every lookup,
+/// including client retries — generous bounds are fine, the server also
+/// exits on an `Exit`-style shutdown when the count is reached).
+fn name_server(total_messages: u32) -> String {
+    format!(
+        "
+            getr  r0, chanend        # requests (chanend 0)
+            getr  r1, chanend        # replies
+            ldc   r3, {total_messages}
+        svl:
+            in    r4, r0             # op
+            in    r5, r0             # name
+            in    r6, r0             # rid (for register)
+            in    r7, r0             # reply chanend
+            chkct r0, end
+            setd  r1, r7
+            ldc   r8, table
+            eq    r9, r4, {NS_REGISTER}
+            bf    r9, lookup
+            stw   r6, r8[r5]
+            mov   r10, r5
+            bu    reply
+        lookup:
+            ldw   r10, r8[r5]
+        reply:
+            out   r1, r10
+            outct r1, end
+            sub   r3, r3, 1
+            bt    r3, svl
+            freet
+        table:
+            .space {NAME_TABLE_SLOTS}
+        "
+    )
+}
+
+/// A service kernel on `node`, registering itself as `name` and serving
+/// `requests` RPCs (its own `Exit` also counts as one).
+fn service_kernel(name: u32, name_server_rid: u32, my_node: NodeId, requests: u32) -> String {
+    let my_rid = chanend_rid(my_node, 0);
+    format!(
+        "
+            getr  r0, chanend        # RPC requests (chanend 0)
+            getr  r1, chanend        # outbound (register, replies)
+            # Register with the name server.
+            ldc   r2, {name_server_rid}
+            setd  r1, r2
+            ldc   r4, {NS_REGISTER}
+            out   r1, r4
+            ldc   r4, {name}
+            out   r1, r4
+            ldc   r4, {my_rid}
+            out   r1, r4
+            out   r1, r4             # reply to our own chanend 0
+            outct r1, end
+            in    r4, r0             # registration ack
+            chkct r0, end
+
+            ldc   r3, {requests}
+        svl:
+            in    r4, r0             # op
+            in    r5, r0             # a
+            in    r6, r0             # b
+            in    r7, r0             # reply rid
+            chkct r0, end
+            setd  r1, r7
+            eq    r9, r4, 0
+            bt    r9, do_square
+            eq    r9, r4, 1
+            bt    r9, do_add
+            eq    r9, r4, 2
+            bt    r9, do_peek
+            eq    r9, r4, 3
+            bt    r9, do_poke
+            ldc   r10, 0             # exit: reply 0 and stop
+            out   r1, r10
+            outct r1, end
+            freet
+        do_square:
+            mul   r10, r5, r5
+            bu    reply
+        do_add:
+            add   r10, r5, r6
+            bu    reply
+        do_peek:
+            ldw   r10, r5[0]
+            bu    reply
+        do_poke:
+            stw   r6, r5[0]
+            mov   r10, r6
+        reply:
+            out   r1, r10
+            outct r1, end
+            sub   r3, r3, 1
+            bt    r3, svl
+            freet
+        "
+    )
+}
+
+/// A client executing `calls` in order, printing each reply.
+fn client(my_node: NodeId, name_server_rid: u32, calls: &[NosCall]) -> String {
+    let my_rid = chanend_rid(my_node, 0);
+    let mut body = String::new();
+    for (i, call) in calls.iter().enumerate() {
+        let (service, op, a, b) = (call.service, call.op.code(), call.a, call.b);
+        // Look up the service (poll until registered).
+        body.push_str(&format!(
+            "
+            lk{i}:
+                ldc   r4, {NS_LOOKUP}
+                out   r1, r4
+                ldc   r4, {service}
+                out   r1, r4
+                ldc   r4, 0
+                out   r1, r4
+                ldc   r4, {my_rid}
+                out   r1, r4
+                outct r1, end
+                in    r5, r0          # service rid (0 = not yet)
+                chkct r0, end
+                bf    r5, lk{i}
+                # Call it.
+                getr  r6, chanend     # dedicated request chanend
+                setd  r6, r5
+                ldc   r4, {op}
+                out   r6, r4
+                ldc   r4, {a}
+                out   r6, r4
+                ldc   r4, {b}
+                out   r6, r4
+                ldc   r4, {my_rid}
+                out   r6, r4
+                outct r6, end
+                in    r7, r0
+                chkct r0, end
+                print r7
+                freer r6
+            "
+        ));
+    }
+    format!(
+        "
+            getr  r0, chanend        # replies (chanend 0)
+            getr  r1, chanend        # to the name server
+            ldc   r2, {name_server_rid}
+            setd  r1, r2
+            {body}
+            freet
+        "
+    )
+}
+
+/// A whole nOS deployment: name server on node 0, one service kernel, one
+/// or more scripted clients.
+#[derive(Clone, Debug)]
+pub struct NosSpec {
+    /// Integer name the service registers under.
+    pub service_name: u32,
+    /// Node hosting the service kernel.
+    pub service_node: NodeId,
+    /// Scripts, one per client; client `i` runs on node `2 + i` (skipping
+    /// the service node if it collides).
+    pub clients: Vec<Vec<NosCall>>,
+}
+
+/// Generates the deployment.
+///
+/// # Errors
+///
+/// [`GenError`] for empty scripts, bad names, or too small a machine.
+pub fn generate(spec: &NosSpec, grid: GridSpec) -> Result<Placement, GenError> {
+    if spec.service_name >= NAME_TABLE_SLOTS {
+        return Err(GenError::BadParameter("service_name exceeds name table"));
+    }
+    if spec.clients.is_empty() || spec.clients.iter().any(Vec::is_empty) {
+        return Err(GenError::BadParameter("each client needs at least one call"));
+    }
+    let ns_node = NodeId(0);
+    if spec.service_node == ns_node {
+        return Err(GenError::BadParameter("service cannot share the name server's node"));
+    }
+    // Allocate client nodes.
+    let mut client_nodes = Vec::new();
+    let mut next = 1u16;
+    while client_nodes.len() < spec.clients.len() {
+        let node = NodeId(next);
+        next += 1;
+        if node != spec.service_node {
+            client_nodes.push(node);
+        }
+        if next as usize > grid.core_count() {
+            return Err(GenError::TooFewCores {
+                need: spec.clients.len() + 2,
+                have: grid.core_count(),
+            });
+        }
+    }
+
+    let ns_rid = chanend_rid(ns_node, 0);
+    // Service request count: every client call addressed to this service,
+    // plus nothing else (clients send Exit explicitly if scripted).
+    let service_requests: u32 = spec
+        .clients
+        .iter()
+        .flatten()
+        .filter(|c| c.service == spec.service_name)
+        .count() as u32;
+    // Name-server message budget: one register + one lookup per call
+    // (retries only happen before registration; give headroom).
+    let ns_messages = 1 + 4 * spec.clients.iter().map(|c| c.len() as u32).sum::<u32>();
+
+    let mut placement = Placement::new();
+    placement.assign(
+        spec.service_node,
+        &service_kernel(spec.service_name, ns_rid, spec.service_node, service_requests),
+    )?;
+    for (script, node) in spec.clients.iter().zip(&client_nodes) {
+        placement.assign(*node, &client(*node, ns_rid, script))?;
+    }
+    placement.assign(ns_node, &name_server(ns_messages))?;
+    Ok(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow::{SystemBuilder, TimeDelta};
+
+    #[test]
+    fn client_discovers_and_calls_a_service() {
+        let spec = NosSpec {
+            service_name: 7,
+            service_node: NodeId(5),
+            clients: vec![vec![
+                NosCall { service: 7, op: NosOp::Square, a: 12, b: 0 },
+                NosCall { service: 7, op: NosOp::Add, a: 30, b: 12 },
+                NosCall { service: 7, op: NosOp::Exit, a: 0, b: 0 },
+            ]],
+        };
+        let mut system = SystemBuilder::new().build().expect("builds");
+        let placement = generate(&spec, system.machine().spec()).expect("generates");
+        placement.apply(&mut system).expect("loads");
+        system.run_until_quiescent(TimeDelta::from_ms(20));
+        assert!(system.first_trap().is_none(), "{:?}", system.first_trap());
+        // Client on node 1 (first free node).
+        assert_eq!(system.output(NodeId(1)), "144\n42\n0\n");
+    }
+
+    #[test]
+    fn remote_peek_poke_through_the_service() {
+        let spec = NosSpec {
+            service_name: 3,
+            service_node: NodeId(2),
+            clients: vec![vec![
+                NosCall { service: 3, op: NosOp::Poke, a: 0x6000, b: 777 },
+                NosCall { service: 3, op: NosOp::Peek, a: 0x6000, b: 0 },
+                NosCall { service: 3, op: NosOp::Exit, a: 0, b: 0 },
+            ]],
+        };
+        let mut system = SystemBuilder::new().build().expect("builds");
+        let placement = generate(&spec, system.machine().spec()).expect("generates");
+        placement.apply(&mut system).expect("loads");
+        system.run_until_quiescent(TimeDelta::from_ms(20));
+        assert_eq!(system.output(NodeId(1)), "777\n777\n0\n");
+        // The write really landed in the service core's SRAM.
+        assert_eq!(
+            system.machine().core(NodeId(2)).sram().read_u32(0x6000),
+            Ok(777)
+        );
+    }
+
+    #[test]
+    fn two_clients_share_one_service() {
+        let spec = NosSpec {
+            service_name: 1,
+            service_node: NodeId(8),
+            clients: vec![
+                vec![
+                    NosCall { service: 1, op: NosOp::Square, a: 9, b: 0 },
+                    NosCall { service: 1, op: NosOp::Add, a: 1, b: 2 },
+                ],
+                vec![
+                    NosCall { service: 1, op: NosOp::Square, a: 11, b: 0 },
+                    NosCall { service: 1, op: NosOp::Add, a: 2, b: 2 },
+                ],
+            ],
+        };
+        // No Exit needed: the kernel serves its budgeted request count
+        // (four calls) and terminates; an early Exit could race ahead of
+        // the other client's outstanding calls.
+        let mut system = SystemBuilder::new().build().expect("builds");
+        let placement = generate(&spec, system.machine().spec()).expect("generates");
+        placement.apply(&mut system).expect("loads");
+        system.run_until_quiescent(TimeDelta::from_ms(50));
+        assert!(system.first_trap().is_none(), "{:?}", system.first_trap());
+        assert_eq!(system.output(NodeId(1)), "81\n3\n");
+        assert_eq!(system.output(NodeId(2)), "121\n4\n");
+    }
+
+    #[test]
+    fn validation() {
+        let grid = GridSpec::ONE_SLICE;
+        let bad_name = NosSpec {
+            service_name: 99,
+            service_node: NodeId(1),
+            clients: vec![vec![NosCall { service: 99, op: NosOp::Exit, a: 0, b: 0 }]],
+        };
+        assert!(generate(&bad_name, grid).is_err());
+        let empty = NosSpec {
+            service_name: 1,
+            service_node: NodeId(1),
+            clients: vec![],
+        };
+        assert!(generate(&empty, grid).is_err());
+    }
+}

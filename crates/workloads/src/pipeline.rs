@@ -1,0 +1,202 @@
+//! Stream pipelines.
+//!
+//! A classic Swallow workload shape (§I): a source generates a stream of
+//! words, each intermediate stage transforms items (with a tunable amount
+//! of computation per item) and forwards them, a sink accumulates a
+//! checksum and prints it. Stages map one-per-core onto consecutive
+//! nodes, so data hops alternate between package-internal and board
+//! links — exactly the locality spectrum §V.D discusses.
+
+use crate::codegen::{chanend_rid, compute_block, GenError, Placement};
+use swallow::{GridSpec, NodeId};
+
+/// Linear-congruential constants of the source stream (Glibc's).
+const LCG_A: u32 = 1_103_515_245;
+const LCG_C: u32 = 12_345;
+/// First stream value.
+const SEED: u32 = 0x1234_5678;
+
+/// Pipeline shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineSpec {
+    /// Total stages including source and sink (≥ 2).
+    pub stages: usize,
+    /// Items pushed through the pipeline.
+    pub items: u32,
+    /// Squaring iterations per item per intermediate stage.
+    pub work_per_item: u32,
+}
+
+/// Generates the per-stage programs, mapped to nodes `0..stages`.
+///
+/// # Errors
+///
+/// [`GenError`] when the machine is too small or `stages < 2` /
+/// `items == 0`.
+pub fn generate(spec: &PipelineSpec, grid: GridSpec) -> Result<Placement, GenError> {
+    if spec.stages < 2 {
+        return Err(GenError::BadParameter("stages must be >= 2"));
+    }
+    if spec.items == 0 {
+        return Err(GenError::BadParameter("items must be > 0"));
+    }
+    if spec.stages > grid.core_count() {
+        return Err(GenError::TooFewCores {
+            need: spec.stages,
+            have: grid.core_count(),
+        });
+    }
+    let mut placement = Placement::new();
+    let items = spec.items;
+
+    // Source: node 0, output = its chanend 0.
+    let next = chanend_rid(NodeId(1), 0);
+    placement.assign(
+        NodeId(0),
+        &format!(
+            "
+                getr  r1, chanend
+                ldc   r2, {next}
+                setd  r1, r2
+                ldc   r3, {items}
+                ldc   r4, {SEED}
+                ldc   r6, {LCG_A}
+            sl:
+                out   r1, r4
+                outct r1, end
+                mul   r4, r4, r6
+                add   r4, r4, {LCG_C}
+                sub   r3, r3, 1
+                bt    r3, sl
+                freet
+            "
+        ),
+    )?;
+
+    // Intermediate stages: input chanend 0, output chanend 1.
+    for stage in 1..spec.stages - 1 {
+        let next = chanend_rid(NodeId((stage + 1) as u16), 0);
+        let work = compute_block("work", "r4", "r5", spec.work_per_item);
+        placement.assign(
+            NodeId(stage as u16),
+            &format!(
+                "
+                    getr  r0, chanend
+                    getr  r1, chanend
+                    ldc   r2, {next}
+                    setd  r1, r2
+                    ldc   r3, {items}
+                ml:
+                    in    r4, r0
+                    chkct r0, end
+                    {work}
+                    out   r1, r4
+                    outct r1, end
+                    sub   r3, r3, 1
+                    bt    r3, ml
+                    freet
+                "
+            ),
+        )?;
+    }
+
+    // Sink: last node, prints the wrapping checksum.
+    placement.assign(
+        NodeId((spec.stages - 1) as u16),
+        &format!(
+            "
+                getr  r0, chanend
+                ldc   r3, {items}
+                ldc   r4, 0
+            kl:
+                in    r5, r0
+                chkct r0, end
+                add   r4, r4, r5
+                sub   r3, r3, 1
+                bt    r3, kl
+                print r4
+                freet
+            "
+        ),
+    )?;
+    Ok(placement)
+}
+
+/// The checksum the sink will print (mirrors the generated assembly:
+/// wrapping arithmetic throughout, rendered as a signed 32-bit integer).
+pub fn checksum(spec: &PipelineSpec) -> i32 {
+    let mut v = SEED;
+    let mut sum = 0u32;
+    for _ in 0..spec.items {
+        let mut item = v;
+        for _ in 1..spec.stages.max(2) - 1 {
+            for _ in 0..spec.work_per_item {
+                item = item.wrapping_mul(item);
+            }
+        }
+        sum = sum.wrapping_add(item);
+        v = v.wrapping_mul(LCG_A).wrapping_add(LCG_C);
+    }
+    sum as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow::{SystemBuilder, TimeDelta};
+
+    fn run_pipeline(spec: PipelineSpec) -> String {
+        let mut system = SystemBuilder::new().build().expect("builds");
+        let placement = generate(&spec, system.machine().spec()).expect("generates");
+        placement.apply(&mut system).expect("loads");
+        assert!(
+            system.run_until_quiescent(TimeDelta::from_ms(20)),
+            "pipeline did not drain: {:?}",
+            system.first_trap()
+        );
+        system.output(placement.last_node()).to_owned()
+    }
+
+    #[test]
+    fn two_stage_pipeline_is_a_copy() {
+        let spec = PipelineSpec {
+            stages: 2,
+            items: 4,
+            work_per_item: 0,
+        };
+        assert_eq!(run_pipeline(spec), format!("{}\n", checksum(&spec)));
+    }
+
+    #[test]
+    fn four_stage_pipeline_with_work() {
+        let spec = PipelineSpec {
+            stages: 4,
+            items: 6,
+            work_per_item: 3,
+        };
+        assert_eq!(run_pipeline(spec), format!("{}\n", checksum(&spec)));
+    }
+
+    #[test]
+    fn sixteen_stage_pipeline_uses_the_whole_slice() {
+        let spec = PipelineSpec {
+            stages: 16,
+            items: 5,
+            work_per_item: 1,
+        };
+        assert_eq!(run_pipeline(spec), format!("{}\n", checksum(&spec)));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let grid = GridSpec::ONE_SLICE;
+        assert!(matches!(
+            generate(&PipelineSpec { stages: 1, items: 1, work_per_item: 0 }, grid),
+            Err(GenError::BadParameter(_))
+        ));
+        assert!(matches!(
+            generate(&PipelineSpec { stages: 17, items: 1, work_per_item: 0 }, grid),
+            Err(GenError::TooFewCores { need: 17, have: 16 })
+        ));
+    }
+}

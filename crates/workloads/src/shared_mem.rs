@@ -1,0 +1,196 @@
+//! Shared memory emulated over channels (§I's "data sharing methods").
+//!
+//! Swallow has no coherent shared memory: the idiom is a *memory server* —
+//! one core dedicates part of its 64 KiB SRAM as the shared region and
+//! serialises remote loads and stores arriving as request packets. The
+//! server's channel end is the serialisation point, giving sequential
+//! consistency for free (the §V.D "analogous to issues in memory
+//! hierarchy" observation made concrete).
+
+use crate::codegen::{chanend_rid, GenError, Placement};
+use swallow::{GridSpec, NodeId};
+
+/// Base address of the shared region inside the server's SRAM.
+pub const SHARED_BASE: u32 = 0x8000;
+
+/// Remote-memory workload shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SharedMemSpec {
+    /// Client cores (the server adds one more).
+    pub clients: usize,
+    /// Store+load pairs each client performs.
+    pub ops_per_client: u32,
+}
+
+/// Generates memory server (node 0) + clients (nodes `1..=clients`).
+///
+/// Request packet: `[op, addr, value, reply_rid]` END, with `op` 0 = load,
+/// 1 = store. Reply packet: `[value]` END.
+///
+/// # Errors
+///
+/// [`GenError`] for zero clients/ops or too small a machine.
+pub fn generate(spec: &SharedMemSpec, grid: GridSpec) -> Result<Placement, GenError> {
+    if spec.clients == 0 || spec.ops_per_client == 0 {
+        return Err(GenError::BadParameter("clients and ops must be > 0"));
+    }
+    if spec.clients + 1 > grid.core_count() {
+        return Err(GenError::TooFewCores {
+            need: spec.clients + 1,
+            have: grid.core_count(),
+        });
+    }
+    let mut placement = Placement::new();
+    let total = spec.clients as u32 * spec.ops_per_client * 2; // store + load
+    let server_rid = chanend_rid(NodeId(0), 0);
+
+    for i in 0..spec.clients {
+        let node = NodeId((i + 1) as u16);
+        let my_rid = chanend_rid(node, 0);
+        let addr = SHARED_BASE + 4 * i as u32;
+        let factor = (i + 1) as u32;
+        let ops = spec.ops_per_client;
+        placement.assign(
+            node,
+            &format!(
+                "
+                    getr  r0, chanend        # replies
+                    getr  r1, chanend        # requests
+                    ldc   r2, {server_rid}
+                    setd  r1, r2
+                    ldc   r3, {ops}
+                    ldc   r4, 1              # j
+                    ldc   r5, 0              # sum
+                    ldc   r6, {addr}
+                    ldc   r11, {my_rid}
+                cl:
+                    # store j * factor
+                    ldc   r7, {factor}
+                    mul   r7, r7, r4
+                    ldc   r8, 1
+                    out   r1, r8             # op = store
+                    out   r1, r6             # addr
+                    out   r1, r7             # value
+                    out   r1, r11            # reply rid
+                    outct r1, end
+                    in    r9, r0             # ack
+                    chkct r0, end
+                    # load it back
+                    ldc   r8, 0
+                    out   r1, r8             # op = load
+                    out   r1, r6
+                    out   r1, r8             # value ignored
+                    out   r1, r11
+                    outct r1, end
+                    in    r9, r0
+                    chkct r0, end
+                    add   r5, r5, r9
+                    add   r4, r4, 1
+                    lsu   r10, r3, r4        # ops < j ?
+                    bf    r10, cl
+                    print r5
+                    freet
+                "
+            ),
+        )?;
+    }
+
+    // Memory server.
+    placement.assign(
+        NodeId(0),
+        &format!(
+            "
+                getr  r0, chanend
+                getr  r1, chanend
+                ldc   r3, {total}
+            svl:
+                in    r4, r0             # op
+                in    r5, r0             # addr
+                in    r6, r0             # value
+                in    r7, r0             # reply rid
+                chkct r0, end
+                setd  r1, r7
+                bt    r4, store
+                ldw   r8, r5[0]
+                bu    reply
+            store:
+                stw   r6, r5[0]
+                mov   r8, r6
+            reply:
+                out   r1, r8
+                outct r1, end
+                sub   r3, r3, 1
+                bt    r3, svl
+                freet
+            "
+        ),
+    )?;
+    Ok(placement)
+}
+
+/// The sum client `i` (0-based) will print: `Σ_{j=1..=ops} j·(i+1)`.
+pub fn expected_client_sum(spec: &SharedMemSpec, client: usize) -> i32 {
+    let ops = spec.ops_per_client as u64;
+    let factor = (client + 1) as u64;
+    ((factor * ops * (ops + 1) / 2) as u32) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow::{SystemBuilder, TimeDelta};
+
+    #[test]
+    fn remote_loads_return_remote_stores() {
+        let spec = SharedMemSpec {
+            clients: 4,
+            ops_per_client: 5,
+        };
+        let mut system = SystemBuilder::new().build().expect("builds");
+        let placement = generate(&spec, system.machine().spec()).expect("generates");
+        placement.apply(&mut system).expect("loads");
+        assert!(
+            system.run_until_quiescent(TimeDelta::from_ms(50)),
+            "did not finish: {:?}",
+            system.first_trap()
+        );
+        for i in 0..4 {
+            assert_eq!(
+                system.output(NodeId((i + 1) as u16)),
+                format!("{}\n", expected_client_sum(&spec, i)),
+                "client {i}"
+            );
+        }
+        // The shared region on the server holds each client's last store.
+        for i in 0..4u32 {
+            let value = system
+                .machine()
+                .core(NodeId(0))
+                .sram()
+                .read_u32(SHARED_BASE + 4 * i)
+                .expect("aligned");
+            assert_eq!(value, 5 * (i + 1));
+        }
+    }
+
+    #[test]
+    fn clients_use_disjoint_addresses() {
+        let spec = SharedMemSpec {
+            clients: 2,
+            ops_per_client: 1,
+        };
+        let mut system = SystemBuilder::new().build().expect("builds");
+        let placement = generate(&spec, system.machine().spec()).expect("generates");
+        placement.apply(&mut system).expect("loads");
+        assert!(system.run_until_quiescent(TimeDelta::from_ms(20)));
+        assert_eq!(system.output(NodeId(1)), "1\n");
+        assert_eq!(system.output(NodeId(2)), "2\n");
+    }
+
+    #[test]
+    fn validation() {
+        let grid = GridSpec::ONE_SLICE;
+        assert!(generate(&SharedMemSpec { clients: 0, ops_per_client: 1 }, grid).is_err());
+        assert!(generate(&SharedMemSpec { clients: 20, ops_per_client: 1 }, grid).is_err());
+    }
+}

@@ -1,0 +1,418 @@
+//! Raw traffic generators for link and EC-ratio measurements.
+//!
+//! These produce senders/receivers that push known token volumes over
+//! specific paths, so the experiment harnesses can read link statistics
+//! (energy per bit, utilisation, achieved bandwidth) off the fabric.
+
+use crate::codegen::{chanend_rid, GenError, Placement};
+use swallow::NodeId;
+
+/// A one-way stream between two cores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamSpec {
+    /// Sending core.
+    pub src: NodeId,
+    /// Receiving core.
+    pub dst: NodeId,
+    /// Total 32-bit words (must be a multiple of `packet_words`).
+    pub words: u32,
+    /// Words per packet (END token closes each packet's route).
+    pub packet_words: u32,
+}
+
+/// Generates one sender and one receiver. The receiver prints the number
+/// of words it consumed.
+///
+/// # Errors
+///
+/// [`GenError::BadParameter`] for zero sizes or a non-integral packet
+/// count, and when `src == dst` (use two chanends on one core for local
+/// streams — see [`multi_stream`]).
+pub fn stream(spec: &StreamSpec) -> Result<Placement, GenError> {
+    if spec.packet_words == 0 || spec.words == 0 {
+        return Err(GenError::BadParameter("words and packet_words must be > 0"));
+    }
+    if spec.words % spec.packet_words != 0 {
+        return Err(GenError::BadParameter("words must divide into packets"));
+    }
+    if spec.src == spec.dst {
+        return Err(GenError::BadParameter("src == dst; use multi_stream"));
+    }
+    let packets = spec.words / spec.packet_words;
+    let pw = spec.packet_words;
+    let dst_rid = chanend_rid(spec.dst, 0);
+    let mut placement = Placement::new();
+    placement.assign(
+        spec.dst,
+        &format!(
+            "
+                getr  r0, chanend
+                ldc   r3, {packets}
+                ldc   r6, 0
+            pl:
+                ldc   r4, {pw}
+            wl:
+                in    r5, r0
+                add   r6, r6, 1
+                sub   r4, r4, 1
+                bt    r4, wl
+                chkct r0, end
+                sub   r3, r3, 1
+                bt    r3, pl
+                print r6
+                freet
+            "
+        ),
+    )?;
+    placement.assign(
+        spec.src,
+        &format!(
+            "
+                getr  r1, chanend
+                ldc   r2, {dst_rid}
+                setd  r1, r2
+                ldc   r3, {packets}
+                ldc   r5, 0
+            pl:
+                ldc   r4, {pw}
+            wl:
+                out   r1, r5
+                add   r5, r5, 1
+                sub   r4, r4, 1
+                bt    r4, wl
+                outct r1, end
+                sub   r3, r3, 1
+                bt    r3, pl
+                freet
+            "
+        ),
+    )?;
+    Ok(placement)
+}
+
+/// `flows` parallel streams (1–4) between two cores — or within one core
+/// when `src == dst` — one hardware thread per flow at each end. Flow `k`
+/// goes from the sender's chanend `k` to the receiver's chanend `k`.
+///
+/// With `src != dst` and several flows this is the §V.D *contention*
+/// workload: the flows fight for the links between the two nodes.
+///
+/// # Errors
+///
+/// [`GenError::BadParameter`] for flow counts outside 1–4 or non-integral
+/// packet counts.
+pub fn multi_stream(
+    src: NodeId,
+    dst: NodeId,
+    flows: usize,
+    words_per_flow: u32,
+    packet_words: u32,
+) -> Result<Placement, GenError> {
+    if !(1..=4).contains(&flows) {
+        return Err(GenError::BadParameter("flows must be 1..=4"));
+    }
+    if packet_words == 0 || words_per_flow == 0 || words_per_flow % packet_words != 0 {
+        return Err(GenError::BadParameter("words must divide into packets"));
+    }
+    let packets = words_per_flow / packet_words;
+    let pw = packet_words;
+    let mut placement = Placement::new();
+
+    // Receiver: allocate `flows` chanends, one draining thread each.
+    // When src == dst both halves share one core: receiver chanends are
+    // indices 0..flows and sender chanends follow at flows..2*flows.
+    let rx_threads = flows - 1;
+    let mut rx_setup = String::new();
+    for k in 0..flows {
+        let reg = format!("r{}", 4 + k);
+        rx_setup.push_str(&format!("                getr  {reg}, chanend\n"));
+    }
+    let mut rx_spawn = String::new();
+    for k in 1..flows {
+        let reg = format!("r{}", 4 + k);
+        rx_spawn.push_str(&format!("                tspawn r10, r9, {reg}\n"));
+    }
+    let receiver_src = format!(
+        "
+            {rx_setup}
+                ldap  r9, rworker
+            {rx_spawn}
+                mov   r0, r4
+                bu    rworker
+            rworker:                 # r0 = chanend rid
+                ldc   r3, {packets}
+            pl:
+                ldc   r2, {pw}
+            wl:
+                in    r5, r0
+                sub   r2, r2, 1
+                bt    r2, wl
+                chkct r0, end
+                sub   r3, r3, 1
+                bt    r3, pl
+                freet
+        "
+    );
+    let _ = rx_threads;
+
+    // Sender: allocate + aim `flows` chanends, one pumping thread each.
+    let rid_base = if src == dst { flows as u8 } else { 0 };
+    let mut tx_setup = String::new();
+    for k in 0..flows {
+        let reg = format!("r{}", 4 + k);
+        let dest = chanend_rid(dst, k as u8);
+        tx_setup.push_str(&format!(
+            "                getr  {reg}, chanend\n                ldc   r8, {dest}\n                setd  {reg}, r8\n"
+        ));
+    }
+    let mut tx_spawn = String::new();
+    for k in 1..flows {
+        let reg = format!("r{}", 4 + k);
+        tx_spawn.push_str(&format!("                tspawn r10, r9, {reg}\n"));
+    }
+    let sender_src = format!(
+        "
+            {tx_setup}
+                ldap  r9, tworker
+            {tx_spawn}
+                mov   r0, r4
+                ldc   r1, 0
+                bu    tworker
+            tworker:                 # r0 = chanend rid, r1 = payload
+                ldc   r3, {packets}
+            pl:
+                ldc   r2, {pw}
+            wl:
+                out   r0, r1
+                add   r1, r1, 1
+                sub   r2, r2, 1
+                bt    r2, wl
+                outct r0, end
+                sub   r3, r3, 1
+                bt    r3, pl
+                freet
+        "
+    );
+
+    if src == dst {
+        // One program on one core: rx chanends are indices 0..flows, tx
+        // chanends flows..2·flows. The main thread spawns every receiver
+        // and all but one sender, then becomes the last sender itself —
+        // at most 2·flows hardware threads total (8 for four flows).
+        let tx_setup_local = {
+            let mut s = String::new();
+            for k in 0..flows {
+                let reg = format!("r{}", 4 + k);
+                let dest = chanend_rid(dst, k as u8);
+                s.push_str(&format!(
+                    "                getr  {reg}, chanend\n                ldc   r8, {dest}\n                setd  {reg}, r8\n"
+                ));
+            }
+            s
+        };
+        let rx_spawn_all = {
+            // Rebuild rids via ldc: registers were reused by tx setup.
+            let mut s = String::new();
+            for k in 0..flows {
+                let rid = chanend_rid(dst, k as u8);
+                s.push_str(&format!(
+                    "                ldc   r11, {rid}\n                tspawn r10, r9, r11\n"
+                ));
+            }
+            s
+        };
+        let tx_spawn_rest = {
+            let mut s = String::new();
+            for k in 1..flows {
+                let rid = chanend_rid(dst, (flows + k) as u8);
+                s.push_str(&format!(
+                    "                ldc   r11, {rid}\n                tspawn r10, r9, r11\n"
+                ));
+            }
+            s
+        };
+        let main_tx_rid = chanend_rid(dst, flows as u8);
+        let combined = format!(
+            "
+            {rx_setup}
+            {tx_setup_local}
+                ldap  r9, rworker
+            {rx_spawn_all}
+                ldap  r9, tworker
+            {tx_spawn_rest}
+                ldc   r0, {main_tx_rid}
+                ldc   r1, 0
+                bu    tworker
+            rworker:
+                ldc   r3, {packets}
+            rpl:
+                ldc   r2, {pw}
+            rwl:
+                in    r5, r0
+                sub   r2, r2, 1
+                bt    r2, rwl
+                chkct r0, end
+                sub   r3, r3, 1
+                bt    r3, rpl
+                freet
+            tworker:
+                ldc   r3, {packets}
+            tpl:
+                ldc   r2, {pw}
+            twl:
+                out   r0, r1
+                add   r1, r1, 1
+                sub   r2, r2, 1
+                bt    r2, twl
+                outct r0, end
+                sub   r3, r3, 1
+                bt    r3, tpl
+                freet
+            "
+        );
+        let _ = rid_base;
+        placement.assign(src, &combined)?;
+    } else {
+        placement.assign(dst, &receiver_src)?;
+        placement.assign(src, &sender_src)?;
+    }
+    Ok(placement)
+}
+
+/// The §V.D slice-bisection workload: every core of the top package row
+/// streams to its counterpart in the bottom row, saturating the four
+/// vertical mid-slice links.
+///
+/// # Errors
+///
+/// [`GenError::BadParameter`] for non-integral packet counts.
+pub fn bisection(words_per_pair: u32, packet_words: u32) -> Result<Placement, GenError> {
+    use swallow::noc::routing::Layer;
+    let grid = swallow::GridSpec::ONE_SLICE;
+    let mut placement = Placement::new();
+    for x in 0..4u16 {
+        for layer in [Layer::Vertical, Layer::Horizontal] {
+            let top = grid.node_at(x, 0, layer);
+            let bottom = grid.node_at(x, 1, layer);
+            let pair = stream(&StreamSpec {
+                src: top,
+                dst: bottom,
+                words: words_per_pair,
+                packet_words,
+            })?;
+            for (node, program) in pair.iter() {
+                // Re-assign into the combined placement.
+                placement.assign(node, &program.disassemble())?;
+            }
+        }
+    }
+    Ok(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow::{SystemBuilder, TimeDelta};
+
+    #[test]
+    fn stream_delivers_every_word() {
+        let spec = StreamSpec {
+            src: NodeId(0),
+            dst: NodeId(8),
+            words: 64,
+            packet_words: 8,
+        };
+        let mut system = SystemBuilder::new().build().expect("builds");
+        stream(&spec).expect("generates").apply(&mut system).expect("loads");
+        assert!(system.run_until_quiescent(TimeDelta::from_ms(10)));
+        assert_eq!(system.output(NodeId(8)), "64\n");
+    }
+
+    #[test]
+    fn multi_stream_contends_on_one_path() {
+        let mut system = SystemBuilder::new().build().expect("builds");
+        multi_stream(NodeId(0), NodeId(8), 4, 16, 4)
+            .expect("generates")
+            .apply(&mut system)
+            .expect("loads");
+        assert!(
+            system.run_until_quiescent(TimeDelta::from_ms(20)),
+            "trap: {:?}",
+            system.first_trap()
+        );
+        // All four flows crossed the single South link: 4*16 data words.
+        let south = system
+            .machine()
+            .fabric()
+            .link_stats()
+            .find(|s| s.from == NodeId(0) && s.to == NodeId(8))
+            .expect("link exists");
+        assert_eq!(south.data_tokens, 4 * 16 * 4);
+    }
+
+    #[test]
+    fn core_local_multi_stream() {
+        let mut system = SystemBuilder::new().build().expect("builds");
+        multi_stream(NodeId(3), NodeId(3), 2, 8, 4)
+            .expect("generates")
+            .apply(&mut system)
+            .expect("loads");
+        assert!(
+            system.run_until_quiescent(TimeDelta::from_ms(20)),
+            "trap: {:?}",
+            system.first_trap()
+        );
+        // Core-local: no physical link traffic at all.
+        let used = system
+            .machine()
+            .fabric()
+            .link_stats()
+            .filter(|s| s.data_tokens > 0)
+            .count();
+        assert_eq!(used, 0);
+    }
+
+    #[test]
+    fn bisection_crosses_only_vertical_mid_links() {
+        let mut system = SystemBuilder::new().build().expect("builds");
+        bisection(32, 8).expect("generates").apply(&mut system).expect("loads");
+        assert!(
+            system.run_until_quiescent(TimeDelta::from_ms(50)),
+            "trap: {:?}",
+            system.first_trap()
+        );
+        // Every South mid-slice link (gy 0 -> 1) carried traffic.
+        let grid = swallow::GridSpec::ONE_SLICE;
+        use swallow::noc::routing::Layer;
+        for x in 0..4u16 {
+            let top = grid.node_at(x, 0, Layer::Vertical);
+            let bottom = grid.node_at(x, 1, Layer::Vertical);
+            let s = system
+                .machine()
+                .fabric()
+                .link_stats()
+                .find(|s| s.from == top && s.to == bottom)
+                .expect("vertical link");
+            assert!(s.data_tokens > 0, "column {x} unused");
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(stream(&StreamSpec {
+            src: NodeId(0),
+            dst: NodeId(0),
+            words: 8,
+            packet_words: 8
+        })
+        .is_err());
+        assert!(stream(&StreamSpec {
+            src: NodeId(0),
+            dst: NodeId(1),
+            words: 7,
+            packet_words: 2
+        })
+        .is_err());
+        assert!(multi_stream(NodeId(0), NodeId(1), 5, 8, 8).is_err());
+    }
+}

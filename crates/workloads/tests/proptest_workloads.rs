@@ -1,0 +1,121 @@
+//! Property tests over the workload generators: arbitrary valid shapes
+//! always produce programs that assemble, run to quiescence and match
+//! their Rust-side oracles.
+
+use proptest::prelude::*;
+use swallow::{NodeId, SystemBuilder, TimeDelta};
+use swallow_workloads::{collectives, matvec, nos, shared_mem};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Broadcast reaches every participant for any fan-out.
+    #[test]
+    fn broadcast_any_shape(nodes in 2usize..16, value in any::<u32>()) {
+        let mut system = SystemBuilder::new().build().expect("builds");
+        let placement = collectives::broadcast(nodes, value, system.machine().spec())
+            .expect("generates");
+        placement.apply(&mut system).expect("loads");
+        prop_assert!(system.run_until_quiescent(TimeDelta::from_ms(20)));
+        for i in 0..nodes {
+            prop_assert_eq!(
+                system.output(NodeId(i as u16)).trim(),
+                (value as i32).to_string()
+            );
+        }
+    }
+
+    /// All-reduce totals are correct for any participant count.
+    #[test]
+    fn all_reduce_any_shape(nodes in 2usize..16) {
+        let mut system = SystemBuilder::new().build().expect("builds");
+        collectives::all_reduce(nodes, system.machine().spec())
+            .expect("generates")
+            .apply(&mut system)
+            .expect("loads");
+        prop_assert!(system.run_until_quiescent(TimeDelta::from_ms(30)));
+        let total = collectives::all_reduce_total(nodes).to_string();
+        for i in 0..nodes {
+            prop_assert_eq!(system.output(NodeId(i as u16)).trim(), total.as_str());
+        }
+    }
+
+    /// Halo exchange rotates by exactly `rounds` for any ring.
+    #[test]
+    fn stencil_any_shape(nodes in 2usize..16, rounds in 1u32..24) {
+        let mut system = SystemBuilder::new().build().expect("builds");
+        collectives::stencil_exchange(nodes, rounds, system.machine().spec())
+            .expect("generates")
+            .apply(&mut system)
+            .expect("loads");
+        prop_assert!(system.run_until_quiescent(TimeDelta::from_ms(60)));
+        for i in 0..nodes {
+            prop_assert_eq!(
+                system.output(NodeId(i as u16)).trim(),
+                collectives::stencil_final(nodes, rounds, i).to_string()
+            );
+        }
+    }
+
+    /// Matrix–vector products match the oracle for any shape/seed.
+    #[test]
+    fn matvec_any_shape(n in 1usize..12, workers in 1usize..10, seed in any::<u32>()) {
+        let spec = matvec::MatVecSpec { n, workers, seed };
+        let mut system = SystemBuilder::new().build().expect("builds");
+        matvec::generate(&spec, system.machine().spec())
+            .expect("generates")
+            .apply(&mut system)
+            .expect("loads");
+        prop_assert!(
+            system.run_until_quiescent(TimeDelta::from_ms(100)),
+            "trap: {:?}", system.first_trap()
+        );
+        let y: Vec<i32> = system
+            .output(NodeId(0))
+            .lines()
+            .map(|l| l.parse().expect("number"))
+            .collect();
+        prop_assert_eq!(y, matvec::expected_y(&spec));
+    }
+
+    /// Remote memory ops through a server always serialise correctly.
+    #[test]
+    fn shared_mem_any_shape(clients in 1usize..10, ops in 1u32..8) {
+        let spec = shared_mem::SharedMemSpec { clients, ops_per_client: ops };
+        let mut system = SystemBuilder::new().build().expect("builds");
+        shared_mem::generate(&spec, system.machine().spec())
+            .expect("generates")
+            .apply(&mut system)
+            .expect("loads");
+        prop_assert!(system.run_until_quiescent(TimeDelta::from_ms(100)));
+        for i in 0..clients {
+            prop_assert_eq!(
+                system.output(NodeId((i + 1) as u16)).trim(),
+                shared_mem::expected_client_sum(&spec, i).to_string()
+            );
+        }
+    }
+
+    /// nOS square calls return a² for arbitrary operands.
+    #[test]
+    fn nos_square_any_operand(a in any::<u32>()) {
+        let spec = nos::NosSpec {
+            service_name: 2,
+            service_node: NodeId(3),
+            clients: vec![vec![nos::NosCall {
+                service: 2,
+                op: nos::NosOp::Square,
+                a,
+                b: 0,
+            }]],
+        };
+        let mut system = SystemBuilder::new().build().expect("builds");
+        nos::generate(&spec, system.machine().spec())
+            .expect("generates")
+            .apply(&mut system)
+            .expect("loads");
+        system.run_until_quiescent(TimeDelta::from_ms(20));
+        let expected = nos::NosOp::Square.expected_reply(a, 0).expect("static") as i32;
+        prop_assert_eq!(system.output(NodeId(1)).trim(), expected.to_string());
+    }
+}

@@ -1,0 +1,243 @@
+//! Core-local resources: channel ends, timers, synchronisers, locks and
+//! power probes.
+//!
+//! Resources are the XS1's ISA-level I/O abstraction: `getr` allocates
+//! one, `in`/`out`/`setd` operate on it, `freer` releases it. Channel
+//! ends are the network endpoints; their identifiers are globally
+//! routable (see [`swallow_isa::ident`]).
+
+use std::collections::VecDeque;
+use swallow_isa::{ResType, ResourceId, ThreadId, Token};
+
+
+/// Token capacity of a channel end's input and output buffers. The input
+/// buffer bound is what credit-based flow control protects (§V.B): a
+/// switch only forwards a token when the destination buffer has room.
+pub const CHANEND_BUF_TOKENS: usize = 8;
+
+/// Event configuration of a resource (the XS1 select mechanism): a
+/// handler address, the owning thread, and an armed flag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventCfg {
+    /// Absolute handler address (`setv`).
+    pub vector: u32,
+    /// The thread that armed the event (`eeu` executor).
+    pub owner: ThreadId,
+    /// Whether events are currently enabled (`eeu`/`edu`).
+    pub enabled: bool,
+}
+
+/// A channel end.
+///
+/// Outgoing tokens carry the destination that was configured when they
+/// were emitted (the route header is conceptually built at `out` time);
+/// a later `setd` affects only subsequent output.
+#[derive(Clone, Debug, Default)]
+pub struct Chanend {
+    /// Destination resource set by `setd`; `None` until routed.
+    pub dest: Option<ResourceId>,
+    /// Tokens awaiting transmission (drained by the local switch), each
+    /// stamped with its destination.
+    pub out_buf: VecDeque<(Token, ResourceId)>,
+    /// Tokens delivered by the network, awaiting `in`/`int`/`chkct`.
+    pub in_buf: VecDeque<Token>,
+    /// Event configuration (`setv`/`eeu`).
+    pub event: Option<EventCfg>,
+}
+
+impl Chanend {
+    /// Free space in the output buffer, in tokens.
+    pub fn out_space(&self) -> usize {
+        CHANEND_BUF_TOKENS - self.out_buf.len()
+    }
+
+    /// Free space in the input buffer, in tokens (the credit the network
+    /// sees).
+    pub fn in_space(&self) -> usize {
+        CHANEND_BUF_TOKENS - self.in_buf.len()
+    }
+}
+
+/// A synchroniser (barrier). `setd` sets the expected party count.
+#[derive(Clone, Debug)]
+pub struct Sync {
+    /// Parties required to release the barrier (including the master).
+    pub expected: u32,
+    /// Threads currently waiting.
+    pub waiting: Vec<ThreadId>,
+}
+
+impl Default for Sync {
+    fn default() -> Self {
+        // A lone master passes straight through until `setd` raises the
+        // count — the forgiving default keeps single-thread tests simple.
+        Sync {
+            expected: 1,
+            waiting: Vec::new(),
+        }
+    }
+}
+
+/// A hardware lock: `in` acquires (queueing the thread), `out` releases.
+#[derive(Clone, Debug, Default)]
+pub struct Lock {
+    /// Current owner.
+    pub held_by: Option<ThreadId>,
+    /// Threads queued for acquisition, FIFO.
+    pub queue: VecDeque<ThreadId>,
+}
+
+/// A power probe: reads the live power of one measurement channel
+/// (Swallow's self-measurement feature, §II). `setd` selects the channel.
+#[derive(Clone, Debug, Default)]
+pub struct Probe {
+    /// Selected ADC channel (0–4).
+    pub channel: u8,
+}
+
+/// A timer resource: reading one samples the 100 MHz reference clock;
+/// with a threshold (`setd`) and an armed event it fires when the clock
+/// passes the threshold.
+#[derive(Clone, Debug, Default)]
+pub struct Timer {
+    /// Event trigger threshold in reference ticks (`setd`).
+    pub threshold: Option<u32>,
+    /// Event configuration (`setv`/`eeu`).
+    pub event: Option<EventCfg>,
+}
+
+/// The per-core resource table.
+#[derive(Clone, Debug)]
+pub struct ResourceTable {
+    /// Channel ends; `None` = unallocated.
+    pub chanends: Vec<Option<Chanend>>,
+    /// Timers; `None` = unallocated.
+    pub timers: Vec<Option<Timer>>,
+    /// Synchronisers.
+    pub syncs: Vec<Option<Sync>>,
+    /// Locks.
+    pub locks: Vec<Option<Lock>>,
+    /// Power probes.
+    pub probes: Vec<Option<Probe>>,
+}
+
+impl ResourceTable {
+    /// Creates a table with XS1-L-like resource counts.
+    pub fn new(chanends: u8, timers: u8, syncs: u8, locks: u8, probes: u8) -> Self {
+        ResourceTable {
+            chanends: vec![None; chanends as usize],
+            timers: vec![None; timers as usize],
+            syncs: vec![None; syncs as usize],
+            locks: vec![None; locks as usize],
+            probes: vec![None; probes as usize],
+        }
+    }
+
+    /// Allocates a resource of the given type, returning its index.
+    pub fn alloc(&mut self, ty: ResType) -> Option<u8> {
+        fn grab<T: Default>(slots: &mut [Option<T>]) -> Option<u8> {
+            let idx = slots.iter().position(|s| s.is_none())?;
+            slots[idx] = Some(T::default());
+            Some(idx as u8)
+        }
+        match ty {
+            ResType::Chanend => grab(&mut self.chanends),
+            ResType::Sync => grab(&mut self.syncs),
+            ResType::Lock => grab(&mut self.locks),
+            ResType::PowerProbe => grab(&mut self.probes),
+            ResType::Timer => grab(&mut self.timers),
+        }
+    }
+
+    /// Frees a resource. Returns false if it was not allocated.
+    pub fn free(&mut self, ty: ResType, index: u8) -> bool {
+        let index = index as usize;
+        match ty {
+            ResType::Chanend => self
+                .chanends
+                .get_mut(index)
+                .map(|s| s.take().is_some())
+                .unwrap_or(false),
+            ResType::Sync => self
+                .syncs
+                .get_mut(index)
+                .map(|s| s.take().is_some())
+                .unwrap_or(false),
+            ResType::Lock => self
+                .locks
+                .get_mut(index)
+                .map(|s| s.take().is_some())
+                .unwrap_or(false),
+            ResType::PowerProbe => self
+                .probes
+                .get_mut(index)
+                .map(|s| s.take().is_some())
+                .unwrap_or(false),
+            ResType::Timer => self
+                .timers
+                .get_mut(index)
+                .map(|s| s.take().is_some())
+                .unwrap_or(false),
+        }
+    }
+
+    /// Accesses an allocated channel end.
+    pub fn chanend(&self, index: u8) -> Option<&Chanend> {
+        self.chanends.get(index as usize)?.as_ref()
+    }
+
+    /// Mutable access to an allocated channel end.
+    pub fn chanend_mut(&mut self, index: u8) -> Option<&mut Chanend> {
+        self.chanends.get_mut(index as usize)?.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_exhausts_and_frees() {
+        let mut table = ResourceTable::new(2, 1, 1, 1, 1);
+        let a = table.alloc(ResType::Chanend).expect("first");
+        let b = table.alloc(ResType::Chanend).expect("second");
+        assert_ne!(a, b);
+        assert_eq!(table.alloc(ResType::Chanend), None);
+        assert!(table.free(ResType::Chanend, a));
+        assert!(!table.free(ResType::Chanend, a));
+        assert_eq!(table.alloc(ResType::Chanend), Some(a));
+    }
+
+    #[test]
+    fn every_type_allocates_independently() {
+        let mut table = ResourceTable::new(1, 1, 1, 1, 1);
+        for ty in ResType::ALL {
+            assert_eq!(table.alloc(ty), Some(0), "{ty}");
+            assert_eq!(table.alloc(ty), None, "{ty}");
+            assert!(table.free(ty, 0), "{ty}");
+        }
+    }
+
+    #[test]
+    fn chanend_buffer_accounting() {
+        let mut ch = Chanend::default();
+        assert_eq!(ch.out_space(), CHANEND_BUF_TOKENS);
+        let dest = ResourceId::new(swallow_isa::NodeId(0), 0, ResType::Chanend);
+        ch.out_buf.push_back((Token::Data(1), dest));
+        assert_eq!(ch.out_space(), CHANEND_BUF_TOKENS - 1);
+        ch.in_buf.extend([Token::Data(2); 8]);
+        assert_eq!(ch.in_space(), 0);
+    }
+
+    #[test]
+    fn sync_default_is_single_party() {
+        assert_eq!(Sync::default().expected, 1);
+    }
+
+    #[test]
+    fn out_of_range_free_is_rejected() {
+        let mut table = ResourceTable::new(1, 1, 1, 1, 1);
+        assert!(!table.free(ResType::Chanend, 200));
+        assert!(!table.free(ResType::Timer, 200));
+    }
+}

@@ -1,0 +1,170 @@
+//! Hardware threads.
+//!
+//! An XS1-L core owns eight hardware threads with zero context-switch
+//! overhead: each has its own register file and program counter, and the
+//! four-stage pipeline interleaves them one instruction per cycle (§IV.C).
+
+use swallow_isa::Reg;
+use swallow_sim::Time;
+
+/// Maximum hardware threads per core.
+pub const MAX_THREADS: usize = 8;
+
+/// Sentinel link-register value: a thread that returns (or branches) here
+/// terminates, as if it had executed `freet`. The boot loader plants it in
+/// `lr` so falling off the end of `main` is clean.
+pub const TERMINATOR_PC: u32 = 0xFFFF_FFFC;
+
+/// Why a thread is not currently runnable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Block {
+    /// Waiting for `need` tokens in a channel end's input buffer.
+    RecvTokens {
+        /// Local channel-end index.
+        chanend: u8,
+        /// Number of tokens that must be present.
+        need: usize,
+    },
+    /// Waiting for `need` free slots in a channel end's output buffer.
+    SendSpace {
+        /// Local channel-end index.
+        chanend: u8,
+        /// Number of free token slots required.
+        need: usize,
+    },
+    /// Sleeping until the timer reaches an instant.
+    Timer {
+        /// Wake time.
+        until: Time,
+    },
+    /// Queued on a lock.
+    Lock {
+        /// Local lock index.
+        lock: u8,
+    },
+    /// Waiting at a synchroniser barrier.
+    Barrier {
+        /// Local synchroniser index.
+        sync: u8,
+    },
+    /// Occupying the iterative divider.
+    Divide {
+        /// Core cycle at which the divide retires.
+        until_cycle: u64,
+    },
+    /// Waiting in `waiteu` for any armed event; `until` is the earliest
+    /// armed timer-event threshold ([`Time::MAX`] when none).
+    Event {
+        /// Earliest timer-event wake time.
+        until: Time,
+    },
+}
+
+/// Lifecycle state of a hardware thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Not allocated.
+    Free,
+    /// Runnable: occupies an issue slot in the rotation.
+    Ready,
+    /// Paused on a resource or timer; consumes no issue slots.
+    Blocked(Block),
+    /// Halted by a trap; will not run again.
+    Trapped,
+}
+
+/// One hardware thread: register file, program counter, state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Thread {
+    /// Architectural registers `r0`–`r11`, `sp`, `lr`.
+    pub regs: [u32; 14],
+    /// Byte address of the next instruction.
+    pub pc: u32,
+    /// Scheduling state.
+    pub state: ThreadState,
+    /// Instructions retired by this thread.
+    pub instret: u64,
+}
+
+impl Thread {
+    /// A freshly powered-down thread.
+    pub fn free() -> Self {
+        Thread {
+            regs: [0; 14],
+            pc: 0,
+            state: ThreadState::Free,
+            instret: 0,
+        }
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        self.regs[r.index()] = value;
+    }
+
+    /// True when the thread holds an issue slot.
+    pub fn is_ready(&self) -> bool {
+        matches!(self.state, ThreadState::Ready)
+    }
+
+    /// True when the thread exists (allocated, in any live state).
+    pub fn is_live(&self) -> bool {
+        !matches!(self.state, ThreadState::Free)
+    }
+
+    /// (Re-)initialises the thread for execution.
+    pub fn start(&mut self, pc: u32, sp: u32, arg: u32) {
+        self.regs = [0; 14];
+        self.set_reg(Reg::R0, arg);
+        self.set_reg(Reg::SP, sp);
+        self.set_reg(Reg::LR, TERMINATOR_PC);
+        self.pc = pc;
+        self.state = ThreadState::Ready;
+    }
+}
+
+impl Default for Thread {
+    fn default() -> Self {
+        Thread::free()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_initialises_conventions() {
+        let mut t = Thread::free();
+        assert!(!t.is_live());
+        t.start(0x100, 0x1_0000, 42);
+        assert!(t.is_ready());
+        assert!(t.is_live());
+        assert_eq!(t.reg(Reg::R0), 42);
+        assert_eq!(t.reg(Reg::SP), 0x1_0000);
+        assert_eq!(t.reg(Reg::LR), TERMINATOR_PC);
+        assert_eq!(t.pc, 0x100);
+    }
+
+    #[test]
+    fn register_access() {
+        let mut t = Thread::free();
+        t.set_reg(Reg::R11, 0xDEAD);
+        assert_eq!(t.reg(Reg::R11), 0xDEAD);
+        assert_eq!(t.reg(Reg::R0), 0);
+    }
+
+    #[test]
+    fn blocked_threads_are_live_but_not_ready() {
+        let mut t = Thread::free();
+        t.start(0, 0, 0);
+        t.state = ThreadState::Blocked(Block::Timer { until: Time::ZERO });
+        assert!(t.is_live());
+        assert!(!t.is_ready());
+    }
+}

@@ -1,0 +1,645 @@
+//! Behavioural tests for the XS1-L core model: programs are assembled from
+//! source, executed cycle by cycle, and checked against the architectural
+//! contract the paper relies on (Eq. 2 thread scaling, blocking channel
+//! semantics, time determinism, energy calibration).
+
+use swallow_isa::{Assembler, NodeId, ThreadId};
+use swallow_sim::Frequency;
+use swallow_xcore::{Block, Core, CoreConfig, ThreadState, TrapCause};
+
+fn core_with(src: &str) -> Core {
+    let program = Assembler::new().assemble(src).expect("assembles");
+    let mut core = Core::new(CoreConfig::swallow(NodeId(0)));
+    core.load_program(&program).expect("fits in SRAM");
+    core
+}
+
+/// Delivers core-local traffic: moves tokens from output buffers to their
+/// destination chanends on the same core (what the switch loopback path
+/// does on hardware).
+fn pump_local(core: &mut Core) {
+    loop {
+        let mut moved = false;
+        for ch in core.tx_pending() {
+            while let Some((dest, _)) = core.tx_front(ch) {
+                if dest.node() == core.node() && core.can_accept(dest.index(), 1) {
+                    let (d, t) = core.tx_pop(ch).expect("front exists");
+                    core.deliver(d.index(), t).expect("accepted");
+                    moved = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+/// Runs until quiescent (or the cycle budget runs out), pumping local
+/// traffic every cycle.
+fn run(core: &mut Core, max_cycles: u64) {
+    let start = core.cycles();
+    while !core.is_quiescent() && core.cycles() - start < max_cycles {
+        core.tick(core.next_tick_at());
+        pump_local(core);
+    }
+}
+
+#[test]
+fn arithmetic_and_output() {
+    let mut core = core_with(
+        "ldc r0, 21\n add r0, r0, r0\n print r0\n
+         ldc r1, 0x0F0F\n not r2, r1\n and r3, r2, r1\n print r3\n
+         ldc r4, 100\n ldc r5, 7\n remu r6, r4, r5\n print r6\n freet",
+    );
+    run(&mut core, 10_000);
+    assert_eq!(core.output(), "42\n0\n2\n");
+    assert!(core.trap().is_none());
+}
+
+#[test]
+fn signed_operations() {
+    let mut core = core_with(
+        "ldc r0, 5\n neg r1, r0\n print r1\n
+         ldc r2, -20\n ldc r3, 6\n divs r4, r2, r3\n print r4\n
+         lss r5, r2, r0\n print r5\n
+         ashr r6, r2, 1\n print r6\n freet",
+    );
+    run(&mut core, 10_000);
+    assert_eq!(core.output(), "-5\n-3\n1\n-10\n");
+}
+
+#[test]
+fn function_calls_use_the_stack() {
+    // Recursive factorial via bl/ret with a manually managed stack.
+    let mut core = core_with(
+        "
+            ldc   r0, 5
+            bl    fact
+            print r0
+            freet
+        fact:                       # r0 = n -> r0 = n!
+            eq    r1, r0, 0
+            bf    r1, recurse
+            ldc   r0, 1
+            ret
+        recurse:
+            sub   sp, sp, 8
+            stw   lr, sp[0]
+            stw   r0, sp[1]
+            sub   r0, r0, 1
+            bl    fact
+            ldw   r2, sp[1]
+            mul   r0, r0, r2
+            ldw   lr, sp[0]
+            add   sp, sp, 8
+            ret
+        ",
+    );
+    run(&mut core, 100_000);
+    assert_eq!(core.output(), "120\n");
+    assert!(core.trap().is_none(), "trap: {:?}", core.trap());
+}
+
+#[test]
+fn memory_width_operations() {
+    let mut core = core_with(
+        "
+            ldc  r0, 0x200
+            ldc  r1, 0x1234ABCD
+            stw  r1, r0[0]
+            ld8u r2, r0[0]
+            print r2                 # 0xCD = 205
+            ld16s r3, r0[1]          # high half 0x1234 = 4660
+            print r3
+            ldc  r4, 0xFFFF
+            st16 r4, r0[0]           # low half = 0xFFFF
+            ld16s r5, r0[0]
+            print r5                 # sign extended: -1
+            freet
+        ",
+    );
+    run(&mut core, 10_000);
+    assert_eq!(core.output(), "205\n4660\n-1\n");
+}
+
+/// Eq. 2: per-thread issue rate is f / max(4, Nt).
+#[test]
+fn eq2_thread_scaling() {
+    for nt in [1usize, 2, 3, 4, 6, 8] {
+        let spawners = nt - 1;
+        let src = format!(
+            "
+                ldc   r5, {spawners}
+                ldap  r6, worker
+            spawn:
+                bf    r5, work
+                tspawn r7, r6, r5
+                sub   r5, r5, 1
+                bu    spawn
+            work:
+            worker:
+                add   r1, r1, 1
+                bu    worker
+            "
+        );
+        let mut core = core_with(&src);
+        // Warm up past the spawn phase.
+        for _ in 0..200 {
+            core.tick(core.next_tick_at());
+        }
+        assert_eq!(core.ready_threads(), nt);
+        let before: Vec<u64> = (0..8).map(|t| core.thread_instret(ThreadId(t))).collect();
+        let window = 4 * 6 * 100; // divisible by every max(4, nt)
+        for _ in 0..window {
+            core.tick(core.next_tick_at());
+        }
+        let expected = window as u64 / nt.max(4) as u64;
+        let mut live = 0;
+        for t in 0..8u8 {
+            let delta = core.thread_instret(ThreadId(t)) - before[t as usize];
+            if delta > 0 {
+                live += 1;
+                assert!(
+                    (delta as i64 - expected as i64).abs() <= 2,
+                    "Nt={nt}: thread {t} retired {delta}, expected ~{expected}"
+                );
+            }
+        }
+        assert_eq!(live, nt, "Nt={nt}");
+    }
+}
+
+#[test]
+fn divider_blocks_the_thread_for_32_cycles() {
+    let mut core = core_with("ldc r0, 144\n ldc r1, 12\n divu r2, r0, r1\n print r2\n freet");
+    run(&mut core, 1_000);
+    assert_eq!(core.output(), "12\n");
+    // 2 ldc + divu + print + freet = 5 issue slots. With one thread the
+    // slots are 4 cycles apart, and the divide adds a 32-cycle sleep.
+    // Quiescence is reached within ~4*5 + 32 + rotation slack.
+    assert!(
+        (40..=70).contains(&core.cycles()),
+        "cycles = {}",
+        core.cycles()
+    );
+}
+
+#[test]
+fn local_channel_word_round_trip() {
+    let mut core = core_with(
+        "
+            getr  r0, chanend
+            getr  r1, chanend
+            setd  r0, r1
+            setd  r1, r0
+            ldap  r2, receiver
+            tspawn r3, r2, r1
+            ldc   r4, 0xBEEF
+            out   r0, r4
+            outct r0, end
+            freet
+        receiver:                  # r0 = this thread's chanend rid
+            in    r5, r0
+            chkct r0, end
+            print r5
+            freet
+        ",
+    );
+    run(&mut core, 10_000);
+    assert_eq!(core.output(), "48879\n");
+    assert!(core.trap().is_none(), "trap: {:?}", core.trap());
+}
+
+#[test]
+fn input_blocks_until_delivery() {
+    let mut core = core_with(
+        "
+            getr  r0, chanend
+            setd  r0, r0
+            in    r1, r0
+            print r1
+            freet
+        ",
+    );
+    for _ in 0..100 {
+        core.tick(core.next_tick_at());
+    }
+    // Thread 0 is parked on the empty input buffer.
+    assert!(matches!(
+        core.thread_state(ThreadId(0)),
+        ThreadState::Blocked(Block::RecvTokens { need: 4, .. })
+    ));
+    // Deliver a word's worth of tokens by hand.
+    for byte in [0u8, 0, 0x30, 0x39] {
+        core.deliver(0, swallow_isa::Token::Data(byte)).expect("space");
+    }
+    run(&mut core, 1_000);
+    assert_eq!(core.output(), "12345\n");
+}
+
+#[test]
+fn output_blocks_when_buffer_fills() {
+    let mut core = core_with(
+        "
+            getr  r0, chanend
+            setd  r0, r0
+            ldc   r1, 1
+            out   r0, r1
+            out   r0, r1
+            out   r0, r1        # 12 tokens > 8: blocks here
+            print r1
+            freet
+        ",
+    );
+    for _ in 0..200 {
+        core.tick(core.next_tick_at());
+    }
+    assert!(matches!(
+        core.thread_state(ThreadId(0)),
+        ThreadState::Blocked(Block::SendSpace { need: 4, .. })
+    ));
+    // Drain four tokens: the sender wakes and completes.
+    for _ in 0..4 {
+        core.tx_pop(0).expect("token available");
+    }
+    for _ in 0..200 {
+        core.tick(core.next_tick_at());
+        while core.tx_pop(0).is_some() {}
+    }
+    assert_eq!(core.output(), "1\n");
+}
+
+#[test]
+fn testct_distinguishes_control_tokens() {
+    let mut core = core_with(
+        "
+            getr  r0, chanend
+            setd  r0, r0
+            testct r1, r0
+            print r1
+            int   r2, r0
+            print r2
+            testct r3, r0
+            print r3
+            chkct r0, end
+            freet
+        ",
+    );
+    for _ in 0..40 {
+        core.tick(core.next_tick_at()); // run getr/setd before delivering
+    }
+    core.deliver(0, swallow_isa::Token::Data(9)).expect("space");
+    core.deliver(0, swallow_isa::Token::Ctrl(swallow_isa::ControlToken::END))
+        .expect("space");
+    run(&mut core, 10_000);
+    assert_eq!(core.output(), "0\n9\n1\n");
+    assert!(core.trap().is_none());
+}
+
+#[test]
+fn traps_are_recorded() {
+    // Misaligned load.
+    let mut core = core_with("ldc r0, 3\n ldw r1, r0[0]\n freet");
+    run(&mut core, 1_000);
+    let trap = core.trap().expect("should trap");
+    assert!(matches!(trap.cause, TrapCause::Mem(_)));
+    assert_eq!(trap.thread, ThreadId(0));
+
+    // Divide by zero.
+    let mut core = core_with("ldc r0, 1\n ldc r1, 0\n divu r2, r0, r1\n freet");
+    run(&mut core, 1_000);
+    assert!(matches!(
+        core.trap().expect("should trap").cause,
+        TrapCause::IllegalOp(_)
+    ));
+
+    // Operating on a resource that was never allocated.
+    let mut core = core_with("ldc r0, 0x42\n out r0, r0\n freet");
+    run(&mut core, 1_000);
+    assert!(matches!(
+        core.trap().expect("should trap").cause,
+        TrapCause::BadResource { .. }
+    ));
+
+    // chkct mismatch.
+    let mut core = core_with(
+        "getr r0, chanend\n setd r0, r0\n chkct r0, end\n freet",
+    );
+    for _ in 0..40 {
+        core.tick(core.next_tick_at()); // run getr/setd before delivering
+    }
+    core.deliver(0, swallow_isa::Token::Data(7)).expect("space");
+    run(&mut core, 1_000);
+    assert!(matches!(
+        core.trap().expect("should trap").cause,
+        TrapCause::CtMismatch { expected: 1, .. }
+    ));
+}
+
+#[test]
+fn trapped_thread_stops_but_core_survives() {
+    let mut core = core_with(
+        "
+            ldap  r2, victim
+            tspawn r3, r2, r0
+            ldc   r1, 7
+            print r1
+            freet
+        victim:
+            ldc   r0, 1
+            ldc   r1, 0
+            divu  r2, r0, r1
+            freet
+        ",
+    );
+    run(&mut core, 10_000);
+    assert_eq!(core.output(), "7\n");
+    assert!(core.trap().is_some());
+    assert_eq!(core.thread_state(ThreadId(1)), ThreadState::Trapped);
+}
+
+#[test]
+fn timer_reads_and_waits() {
+    let mut core = core_with(
+        "
+            getr  r0, timer
+            in    r1, r0          # ticks now
+            add   r2, r1, 100     # +100 ticks = 1 us
+            tmwait r0, r2
+            in    r3, r0
+            lsu   r4, r3, r2      # after < target? must be 0
+            print r4
+            freet
+        ",
+    );
+    run(&mut core, 100_000);
+    assert_eq!(core.output(), "0\n");
+    // 1 us at 500 MHz is 500 cycles; the program must have slept.
+    assert!(core.cycles() >= 500, "cycles = {}", core.cycles());
+}
+
+#[test]
+fn waiteu_parks_forever() {
+    let mut core = core_with("waiteu");
+    for _ in 0..10 {
+        core.tick(core.next_tick_at());
+    }
+    assert!(core.is_quiescent());
+    assert_eq!(core.next_wake(), None);
+}
+
+#[test]
+fn lock_serialises_read_modify_write() {
+    let mut core = core_with(
+        "
+            getr  r0, lock
+            ldap  r2, worker
+            tspawn r3, r2, r0
+            tspawn r4, r2, r0
+            freet
+        worker:                    # r0 = lock rid
+            ldc   r2, 0x400
+            ldc   r3, 200
+        wloop:
+            in    r4, r0           # acquire
+            ldw   r5, r2[0]
+            add   r5, r5, 1
+            stw   r5, r2[0]
+            out   r0, r4           # release
+            sub   r3, r3, 1
+            bt    r3, wloop
+            freet
+        ",
+    );
+    run(&mut core, 200_000);
+    assert!(core.trap().is_none(), "trap: {:?}", core.trap());
+    assert_eq!(core.sram().read_u32(0x400), Ok(400));
+}
+
+#[test]
+fn unlocked_read_modify_write_loses_updates() {
+    // The control experiment for the test above: without the lock, the
+    // round-robin interleave tears the read-modify-write.
+    let mut core = core_with(
+        "
+            ldap  r2, worker
+            tspawn r3, r2, r0
+            tspawn r4, r2, r0
+            freet
+        worker:
+            ldc   r2, 0x400
+            ldc   r3, 200
+        wloop:
+            ldw   r5, r2[0]
+            add   r5, r5, 1
+            stw   r5, r2[0]
+            sub   r3, r3, 1
+            bt    r3, wloop
+            freet
+        ",
+    );
+    run(&mut core, 200_000);
+    let value = core.sram().read_u32(0x400).expect("aligned");
+    assert!(value < 400, "expected lost updates, got {value}");
+}
+
+#[test]
+fn barrier_synchronises_three_threads() {
+    let mut core = core_with(
+        "
+            getr  r0, sync
+            ldc   r1, 3
+            setd  r0, r1          # three parties
+            ldap  r2, worker
+            tspawn r3, r2, r0
+            tspawn r4, r2, r0
+            msync r0
+            ldc   r5, 111
+            print r5
+            freet
+        worker:                    # r0 = sync rid
+            ssync r0
+            ldc   r1, 222
+            print r1
+            freet
+        ",
+    );
+    run(&mut core, 100_000);
+    assert!(core.trap().is_none(), "trap: {:?}", core.trap());
+    let mut lines: Vec<&str> = core.output().lines().collect();
+    lines.sort_unstable();
+    assert_eq!(lines, ["111", "222", "222"]);
+}
+
+#[test]
+fn barrier_blocks_until_last_arrival() {
+    let mut core = core_with(
+        "
+            getr  r0, sync
+            ldc   r1, 2
+            setd  r0, r1
+            msync r0              # nobody else: blocks forever
+            freet
+        ",
+    );
+    for _ in 0..100 {
+        core.tick(core.next_tick_at());
+    }
+    assert!(matches!(
+        core.thread_state(ThreadId(0)),
+        ThreadState::Blocked(Block::Barrier { .. })
+    ));
+}
+
+#[test]
+fn probe_reads_live_power() {
+    let mut core = core_with(
+        "
+            getr  r0, probe
+            ldc   r1, 2
+            setd  r0, r1          # channel 2
+            in    r2, r0
+            print r2
+            freet
+        ",
+    );
+    core.set_probe_reading(2, 193_000); // 193 mW in microwatts
+    run(&mut core, 1_000);
+    assert_eq!(core.output(), "193000\n");
+}
+
+#[test]
+fn getr_exhaustion_returns_invalid() {
+    // 33rd chanend allocation fails: prints -1.
+    let mut core = core_with(
+        "
+            ldc   r1, 33
+        aloop:
+            getr  r0, chanend
+            sub   r1, r1, 1
+            bt    r1, aloop
+            print r0
+            freet
+        ",
+    );
+    run(&mut core, 10_000);
+    assert_eq!(core.output(), "-1\n");
+}
+
+#[test]
+fn halt_stops_the_core() {
+    let mut core = core_with("ldc r0, 1\n halt\n print r0\n freet");
+    run(&mut core, 1_000);
+    assert!(core.is_halted());
+    assert_eq!(core.output(), "", "nothing after halt");
+}
+
+#[test]
+fn idle_power_matches_fig3_zero_thread_line() {
+    let mut core = core_with("waiteu");
+    let cycles = 50_000u64;
+    for _ in 0..cycles {
+        core.tick(core.next_tick_at());
+    }
+    let span = swallow_sim::TimeDelta::from_ps(cycles * 2_000); // 500 MHz
+    let power = core.ledger().total().over(span).as_milliwatts();
+    assert!((power - 113.0).abs() < 2.0, "idle power = {power} mW");
+}
+
+#[test]
+fn loaded_power_sits_between_idle_and_eq1() {
+    // Four busy threads of a 50/50 ALU/branch loop. The mix is lighter
+    // than the calibrated heavy mix, so power lands between the Fig. 3
+    // idle and loaded lines.
+    let mut core = core_with(
+        "
+            ldc   r5, 3
+            ldap  r6, worker
+        spawn:
+            bf    r5, worker
+            tspawn r7, r6, r5
+            sub   r5, r5, 1
+            bu    spawn
+        worker:
+            add   r1, r1, 1
+            bu    worker
+        ",
+    );
+    let cycles = 50_000u64;
+    for _ in 0..cycles {
+        core.tick(core.next_tick_at());
+    }
+    let span = swallow_sim::TimeDelta::from_ps(cycles * 2_000);
+    let power = core.ledger().total().over(span).as_milliwatts();
+    // Expected: 46 + 0.5*(0.134 + (0.140+0.110)/2) ... per-cycle energy
+    // 0.134 + 0.125 = 0.259 nJ -> 46 + 129.5 = ~175 mW.
+    assert!(power > 150.0 && power < 196.0, "loaded power = {power} mW");
+    let idle = 113.0;
+    assert!(power > idle, "busy core must out-consume an idle one");
+}
+
+#[test]
+fn frequency_scaling_reduces_power_proportionally() {
+    let mut powers = Vec::new();
+    for mhz in [100u64, 250, 500] {
+        let program = Assembler::new()
+            .assemble("worker: add r1, r1, 1\n bu worker")
+            .expect("assembles");
+        let mut config = CoreConfig::swallow(NodeId(0));
+        config.frequency = Frequency::from_mhz(mhz);
+        let mut core = Core::new(config);
+        core.load_program(&program).expect("fits");
+        let cycles = 20_000u64;
+        for _ in 0..cycles {
+            core.tick(core.next_tick_at());
+        }
+        let span = core.frequency().period() * cycles;
+        powers.push(core.ledger().total().over(span).as_milliwatts());
+    }
+    // Linear in f: P(500)-P(250) == P(250)-... with equal spacing 250,
+    // and always above the 46 mW static floor.
+    assert!(powers[0] > 46.0);
+    assert!(powers[0] < powers[1] && powers[1] < powers[2]);
+    let slope1 = (powers[1] - powers[0]) / 150.0;
+    let slope2 = (powers[2] - powers[1]) / 250.0;
+    assert!(
+        (slope1 - slope2).abs() < 0.02,
+        "nonlinear: {slope1} vs {slope2} ({powers:?})"
+    );
+}
+
+#[test]
+fn deterministic_replay() {
+    let src = "
+        getr  r0, chanend
+        getr  r1, chanend
+        setd  r0, r1
+        setd  r1, r0
+        ldap  r2, echo
+        tspawn r3, r2, r1
+        ldc   r4, 1000
+    sloop:
+        out   r0, r4
+        in    r5, r0
+        sub   r4, r4, 1
+        bt    r4, sloop
+        halt
+    echo:
+        in    r6, r0
+        out   r0, r6
+        bu    echo
+    ";
+    let run_once = || {
+        let mut core = core_with(src);
+        run(&mut core, 2_000_000);
+        (core.cycles(), core.instret(), core.ledger().total().as_joules())
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+}

@@ -1,0 +1,252 @@
+//! The XS1 event (select) mechanism: `setv`/`eeu`/`edu`/`clre` + `waiteu`.
+//!
+//! Events are what make single-threaded multi-channel servers possible on
+//! the real hardware — a thread parks in `waiteu` and vectors straight to
+//! the handler of whichever armed resource fires first.
+
+use swallow_isa::{Assembler, ControlToken, NodeId, ThreadId, Token};
+use swallow_xcore::{Block, Core, CoreConfig, ThreadState, TrapCause};
+
+fn core_with(src: &str) -> Core {
+    let mut core = Core::new(CoreConfig::swallow(NodeId(0)));
+    core.load_program(&Assembler::new().assemble(src).expect("assembles"))
+        .expect("fits");
+    core
+}
+
+fn run(core: &mut Core, max_cycles: u64) {
+    let start = core.cycles();
+    while !core.is_quiescent() && core.cycles() - start < max_cycles {
+        core.tick(core.next_tick_at());
+    }
+}
+
+/// A two-channel select server: tokens on chanend 0 print positive,
+/// tokens on chanend 1 print negated.
+const SELECT_SERVER: &str = "
+        getr  r0, chanend
+        getr  r1, chanend
+        setv  r0, ha
+        setv  r1, hb
+        eeu   r0
+        eeu   r1
+        ldc   r5, 4           # serve four messages
+    loop:
+        waiteu
+    ha:
+        int   r2, r0
+        print r2
+        bu    check
+    hb:
+        int   r2, r1
+        neg   r2, r2
+        print r2
+    check:
+        sub   r5, r5, 1
+        bt    r5, loop
+        freet
+";
+
+#[test]
+fn select_serves_two_channels_from_one_thread() {
+    let mut core = core_with(SELECT_SERVER);
+    for _ in 0..100 {
+        core.tick(core.next_tick_at());
+    }
+    // Parked with no traffic.
+    assert!(matches!(
+        core.thread_state(ThreadId(0)),
+        ThreadState::Blocked(Block::Event { .. })
+    ));
+    // Deliver interleaved traffic to both channels.
+    core.deliver(0, Token::Data(5)).expect("space");
+    run(&mut core, 2_000);
+    core.deliver(1, Token::Data(7)).expect("space");
+    run(&mut core, 2_000);
+    core.deliver(1, Token::Data(9)).expect("space");
+    core.deliver(0, Token::Data(2)).expect("space");
+    run(&mut core, 10_000);
+    assert!(core.trap().is_none(), "{:?}", core.trap());
+    // Both channels were ready at the next waiteu: chanend 0 has the
+    // higher priority (resource-id order), so 2 prints before -9.
+    assert_eq!(core.output(), "5\n-7\n2\n-9\n");
+    assert!(core.is_quiescent());
+}
+
+#[test]
+fn event_fires_immediately_when_data_is_already_queued() {
+    // waiteu must not park if an armed event is already ready.
+    let mut core = core_with(SELECT_SERVER);
+    for _ in 0..60 {
+        core.tick(core.next_tick_at());
+    }
+    for _ in 0..4 {
+        core.deliver(0, Token::Data(1)).expect("space");
+    }
+    run(&mut core, 10_000);
+    assert_eq!(core.output(), "1\n1\n1\n1\n");
+}
+
+#[test]
+fn timer_events_fire_at_the_threshold() {
+    let mut core = core_with(
+        "
+            getr  r0, timer
+            in    r1, r0
+            add   r1, r1, 200      # 2 us from now
+            setd  r0, r1           # threshold
+            setv  r0, tick
+            eeu   r0
+            waiteu
+        tick:
+            in    r2, r0
+            lsu   r3, r2, r1       # fired early? must be 0
+            print r3
+            freet
+        ",
+    );
+    run(&mut core, 100_000);
+    assert!(core.trap().is_none(), "{:?}", core.trap());
+    assert_eq!(core.output(), "0\n");
+    // 2 us at 500 MHz = 1000 cycles minimum.
+    assert!(core.cycles() >= 1_000, "cycles = {}", core.cycles());
+}
+
+#[test]
+fn edu_disables_a_channel() {
+    let mut core = core_with(
+        "
+            getr  r0, chanend
+            getr  r1, chanend
+            setv  r0, ha
+            setv  r1, hb
+            eeu   r0
+            eeu   r1
+            edu   r0              # chanend 0 disabled again
+            waiteu
+        ha:
+            int   r2, r0
+            print r2
+            freet
+        hb:
+            int   r2, r1
+            neg   r2, r2
+            print r2
+            freet
+        ",
+    );
+    for _ in 0..100 {
+        core.tick(core.next_tick_at());
+    }
+    // Data on the disabled channel does not wake the thread...
+    core.deliver(0, Token::Data(3)).expect("space");
+    for _ in 0..500 {
+        core.tick(core.next_tick_at());
+    }
+    assert_eq!(core.output(), "");
+    // ...but the armed channel does.
+    core.deliver(1, Token::Data(4)).expect("space");
+    run(&mut core, 5_000);
+    assert_eq!(core.output(), "-4\n");
+}
+
+#[test]
+fn clre_disarms_everything_for_the_thread() {
+    let mut core = core_with(
+        "
+            getr  r0, chanend
+            setv  r0, ha
+            eeu   r0
+            clre
+            waiteu               # nothing armed: parks forever
+        ha:
+            int   r2, r0
+            print r2
+            freet
+        ",
+    );
+    for _ in 0..100 {
+        core.tick(core.next_tick_at());
+    }
+    core.deliver(0, Token::Data(1)).expect("space");
+    for _ in 0..1_000 {
+        core.tick(core.next_tick_at());
+    }
+    assert_eq!(core.output(), "");
+    // Parked with no wake time: the core is quiescent.
+    assert!(core.is_quiescent());
+    assert_eq!(core.next_wake(), None);
+}
+
+#[test]
+fn eeu_without_setv_traps() {
+    let mut core = core_with("getr r0, chanend\n eeu r0\n freet");
+    run(&mut core, 1_000);
+    assert!(matches!(
+        core.trap().expect("trap").cause,
+        TrapCause::IllegalOp(_)
+    ));
+}
+
+#[test]
+fn channel_events_outrank_timer_events() {
+    // Both a chanend and an expired timer are ready; the chanend handler
+    // runs (resource-id priority, chanends first).
+    let mut core = core_with(
+        "
+            getr  r0, chanend
+            getr  r1, timer
+            in    r2, r1
+            setd  r1, r2          # threshold = now: fires immediately
+            setv  r0, hc
+            setv  r1, ht
+            eeu   r0
+            eeu   r1
+            waiteu
+        hc:
+            int   r3, r0
+            print r3
+            freet
+        ht:
+            ldc   r3, 99
+            print r3
+            freet
+        ",
+    );
+    // Deliver before the program reaches waiteu (chanend 0 exists from
+    // the first issue slot) so both events are ready when it executes.
+    for _ in 0..8 {
+        core.tick(core.next_tick_at());
+    }
+    core.deliver(0, Token::Data(8)).expect("space");
+    run(&mut core, 5_000);
+    assert_eq!(core.output(), "8\n");
+}
+
+#[test]
+fn events_and_control_tokens_compose() {
+    // An event wakes the handler, which consumes a whole packet.
+    let mut core = core_with(
+        "
+            getr  r0, chanend
+            setv  r0, h
+            eeu   r0
+            waiteu
+        h:
+            in    r1, r0
+            chkct r0, end
+            print r1
+            freet
+        ",
+    );
+    for _ in 0..60 {
+        core.tick(core.next_tick_at());
+    }
+    for t in swallow_isa::token::word_to_tokens(1234) {
+        core.deliver(0, t).expect("space");
+    }
+    core.deliver(0, Token::Ctrl(ControlToken::END)).expect("space");
+    run(&mut core, 10_000);
+    assert!(core.trap().is_none(), "{:?}", core.trap());
+    assert_eq!(core.output(), "1234\n");
+}

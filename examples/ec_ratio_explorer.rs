@@ -1,0 +1,54 @@
+//! Explore the §V.D computation-to-communication (EC) ratio ladder.
+//!
+//! Prints the analytic E, C and EC for each locality level, then runs the
+//! chip-aggregate and contended scenarios on a simulated slice to show
+//! what link aggregation buys (four flows over four internal links vs
+//! four flows fighting for one external link).
+//!
+//! ```text
+//! cargo run --release --example ec_ratio_explorer
+//! ```
+
+use swallow_repro::swallow::{Frequency, SystemBuilder, TimeDelta};
+use swallow_repro::swallow_workloads::ec::EcScenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let f = Frequency::from_mhz(500);
+    println!("analytic EC ladder at {f} (paper §V.D: 1 / 16 / 64 / 256 / 512):\n");
+    println!(
+        "{:<30} {:>10} {:>10} {:>8} {:>8}",
+        "scenario", "E (Gb/s)", "C (Gb/s)", "E/C", "paper"
+    );
+    for s in EcScenario::ALL {
+        println!(
+            "{:<30} {:>10.2} {:>10.3} {:>8.0} {:>8.0}",
+            s.name(),
+            s.compute_bandwidth_bps(f) / 1e9,
+            s.comm_bandwidth_bps(f) / 1e9,
+            s.analytic_ratio(f),
+            s.paper_ratio()
+        );
+    }
+
+    println!("\nmeasured achieved bandwidth (64 words per flow):");
+    for scenario in [EcScenario::ChipAggregate, EcScenario::ExternalContended] {
+        let mut system = SystemBuilder::new().build()?;
+        scenario.workload(64)?.apply(&mut system)?;
+        let t0 = system.now();
+        let done = system.run_until_quiescent(TimeDelta::from_ms(50));
+        assert!(done, "{} should drain", scenario.name());
+        let secs = system.now().since(t0).as_secs_f64();
+        let bits = 4.0 * 64.0 * 32.0;
+        println!(
+            "  {:<30} {:>8.1} Mb/s (C budget {:>7.1} Mb/s)",
+            scenario.name(),
+            bits / secs / 1e6,
+            scenario.comm_bandwidth_bps(f) / 1e6
+        );
+    }
+    println!(
+        "\nThe paper's advice follows directly: keep communication core- or\n\
+         chip-local where possible; off-chip links are the scarce resource."
+    );
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the Swallow reproduction workspace.
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! directories required by the project layout. All functionality lives in
+//! the workspace crates; the most useful entry point is the [`swallow`]
+//! crate, re-exported here for convenience.
+//!
+//! ```
+//! use swallow_repro::swallow::SystemBuilder;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system = SystemBuilder::new().slices(1, 1).build()?;
+//! assert_eq!(system.core_count(), 16);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use swallow;
+pub use swallow_bench;
+pub use swallow_workloads;

@@ -1,0 +1,81 @@
+//! Property tests at machine level: arbitrary (valid) workload parameters
+//! never wedge, corrupt or crash the platform.
+
+use proptest::prelude::*;
+use swallow_repro::swallow::{NodeId, SystemBuilder, TimeDelta};
+use swallow_repro::swallow_workloads::{farm, pipeline, traffic};
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // whole-machine runs are expensive
+        .. ProptestConfig::default()
+    })]
+
+    /// Any pipeline shape drains and produces the predicted checksum.
+    #[test]
+    fn pipelines_always_checksum(
+        stages in 2usize..10,
+        items in 1u32..20,
+        work in 0u32..8,
+    ) {
+        let spec = pipeline::PipelineSpec { stages, items, work_per_item: work };
+        let mut system = SystemBuilder::new().build().expect("builds");
+        let placement = pipeline::generate(&spec, system.machine().spec()).expect("generates");
+        placement.apply(&mut system).expect("loads");
+        prop_assert!(system.run_until_quiescent(TimeDelta::from_ms(50)));
+        prop_assert_eq!(
+            system.output(placement.last_node()).trim(),
+            pipeline::checksum(&spec).to_string()
+        );
+        prop_assert_eq!(system.machine().fabric().unroutable_tokens(), 0);
+    }
+
+    /// Any farm shape computes the predicted sum.
+    #[test]
+    fn farms_always_sum(
+        workers in 1usize..8,
+        tasks in 1u32..30,
+        work in 0u32..5,
+    ) {
+        let spec = farm::FarmSpec { workers, tasks, work_per_task: work };
+        let mut system = SystemBuilder::new().build().expect("builds");
+        farm::generate(&spec, system.machine().spec())
+            .expect("generates")
+            .apply(&mut system)
+            .expect("loads");
+        prop_assert!(
+            system.run_until_quiescent(TimeDelta::from_ms(100)),
+            "trap: {:?}", system.first_trap()
+        );
+        prop_assert_eq!(
+            system.output(NodeId(0)).trim(),
+            farm::expected_sum(&spec).to_string()
+        );
+    }
+
+    /// Streams between arbitrary distinct cores always deliver every word,
+    /// regardless of packetisation.
+    #[test]
+    fn streams_always_deliver(
+        src in 0u16..16,
+        dst in 0u16..16,
+        packets in 1u32..12,
+        packet_words in 1u32..16,
+    ) {
+        prop_assume!(src != dst);
+        let words = packets * packet_words;
+        let mut system = SystemBuilder::new().build().expect("builds");
+        traffic::stream(&traffic::StreamSpec {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            words,
+            packet_words,
+        })
+        .expect("generates")
+        .apply(&mut system)
+        .expect("loads");
+        prop_assert!(system.run_until_quiescent(TimeDelta::from_ms(100)));
+        prop_assert_eq!(system.output(NodeId(dst)).trim(), words.to_string());
+        prop_assert_eq!(system.machine().fabric().unroutable_tokens(), 0);
+    }
+}
