@@ -1,8 +1,8 @@
 //! Ablations: link aggregation width and routing strategy. Prints both
 //! tables, then times the aggregation sweep.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use swallow_bench::experiments::ablation;
+use swallow_testkit::criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("{}", ablation::run(128, 32));

@@ -1,8 +1,8 @@
 //! §V.D — EC ratio ladder. Prints analytic + measured ratios, then times
 //! the five-scenario run at a reduced volume.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use swallow_bench::experiments::ec_ratio;
+use swallow_testkit::criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("{}", ec_ratio::run(128));

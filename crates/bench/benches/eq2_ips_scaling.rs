@@ -1,9 +1,9 @@
 //! Eq. 2 — IPS vs thread count. Prints measured vs formula, then times
 //! the eight-point sweep.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use swallow::Frequency;
 use swallow_bench::experiments::eq2;
+use swallow_testkit::criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("{}", eq2::run(Frequency::from_mhz(500), 24_000));

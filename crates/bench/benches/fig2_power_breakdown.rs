@@ -1,9 +1,9 @@
 //! Fig. 2 — node power breakdown. Prints the reproduced split, then times
 //! the loaded-node measurement.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use swallow::TimeDelta;
 use swallow_bench::experiments::fig2;
+use swallow_testkit::criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("{}", fig2::run(TimeDelta::from_us(40)));

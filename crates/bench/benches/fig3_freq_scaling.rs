@@ -1,8 +1,8 @@
 //! Fig. 3 — power vs frequency. Prints the sweep and the Eq. 1 fit, then
 //! times one sweep point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use swallow_bench::experiments::fig3;
+use swallow_testkit::criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("{}", fig3::run(20_000));

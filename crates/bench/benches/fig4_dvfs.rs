@@ -1,8 +1,8 @@
 //! Fig. 4 — DVFS savings. Prints the scaled sweep (with simulated
 //! verification), then times it at a reduced window.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use swallow_bench::experiments::fig4;
+use swallow_testkit::criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("{}", fig4::run(10_000));

@@ -1,8 +1,8 @@
 //! §V.C — communication latency ladder. Prints the measured one-way
 //! latencies, then times a single core-local ping-pong measurement.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use swallow_bench::experiments::latency;
+use swallow_testkit::criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("{}", latency::run(64));

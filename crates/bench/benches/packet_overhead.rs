@@ -1,8 +1,8 @@
 //! §V.B — packet protocol overhead vs packet size. Prints the sweep,
 //! then times it at a reduced volume.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use swallow_bench::experiments::overhead;
+use swallow_testkit::criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("{}", overhead::run(512));

@@ -1,9 +1,9 @@
 //! §III — energy proportionality in load. Prints the sweep and the
 //! linear fit, then times it at a reduced window.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use swallow::Frequency;
 use swallow_bench::experiments::proportionality;
+use swallow_testkit::criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("{}", proportionality::run(Frequency::from_mhz(500), 12_000));

@@ -1,9 +1,9 @@
 //! §III.A — headline system power/throughput. Prints the loaded-slice
 //! measurements and extrapolations, then times a short loaded-slice run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use swallow::TimeDelta;
 use swallow_bench::experiments::system_power;
+use swallow_testkit::criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("{}", system_power::run(TimeDelta::from_us(20)));

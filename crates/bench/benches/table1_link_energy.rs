@@ -1,16 +1,14 @@
 //! Table I — per-bit link energies. Prints the reproduced table, then
 //! times the on-chip stream measurement.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use swallow_bench::experiments::table1;
+use swallow_testkit::criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("{}", table1::run(256));
     let mut g = c.benchmark_group("table1");
     g.sample_size(10);
-    g.bench_function("link_energy_sweep_64_words", |b| {
-        b.iter(|| table1::run(64))
-    });
+    g.bench_function("link_energy_sweep_64_words", |b| b.iter(|| table1::run(64)));
     g.finish();
 }
 

@@ -2,8 +2,8 @@
 //! the requirement predicate (trivially fast; kept for completeness of
 //! the one-bench-per-table rule).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use swallow_bench::survey::{table2_candidates, Table2};
+use swallow_testkit::criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("Table II — candidate Swallow processors:");

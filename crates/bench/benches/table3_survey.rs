@@ -1,8 +1,8 @@
 //! Table III — many-core system survey. Prints the table (with Swallow's
 //! row derived from the power model) and times the derivation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use swallow_bench::survey::{swallow_row, table3_systems, Table3};
+use swallow_testkit::criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("Table III — many-core system survey:");

@@ -12,14 +12,27 @@
 use std::time::Instant;
 use swallow::{Frequency, TimeDelta};
 use swallow_bench::experiments::{
-    ablation, ec_ratio, eq2, fig2, fig3, fig4, latency, overhead, proportionality,
-    system_power, table1,
+    ablation, ec_ratio, eq2, fig2, fig3, fig4, latency, overhead, proportionality, system_power,
+    table1, throughput,
 };
 use swallow_bench::survey;
 
-const ALL: [&str; 14] = [
-    "table1", "fig2", "fig3", "fig4", "table2", "eq2", "latency", "overhead", "ec", "table3",
-    "system", "system480", "ablation", "proportionality",
+const ALL: [&str; 15] = [
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "table2",
+    "eq2",
+    "latency",
+    "overhead",
+    "ec",
+    "table3",
+    "system",
+    "system480",
+    "ablation",
+    "proportionality",
+    "throughput",
 ];
 
 fn main() {
@@ -59,13 +72,18 @@ fn main() {
             }
             "eq2" => println!(
                 "{}",
-                eq2::run(Frequency::from_mhz(500), if quick { 12_000 } else { 48_000 })
+                eq2::run(
+                    Frequency::from_mhz(500),
+                    if quick { 12_000 } else { 48_000 }
+                )
             ),
             "latency" => println!("{}", latency::run(if quick { 16 } else { 64 })),
             "overhead" => println!("{}", overhead::run(if quick { 128 } else { 512 })),
             "ec" => println!("{}", ec_ratio::run(if quick { 64 } else { 256 })),
             "table3" => {
-                println!("Table III — many-core system survey (Swallow row derived from the model):");
+                println!(
+                    "Table III — many-core system survey (Swallow row derived from the model):"
+                );
                 println!("{}", survey::Table3(survey::table3_systems()));
             }
             "system" => println!(
@@ -74,10 +92,7 @@ fn main() {
             ),
             "proportionality" => println!(
                 "{}",
-                proportionality::run(
-                    Frequency::from_mhz(500),
-                    if quick { 6_000 } else { 24_000 }
-                )
+                proportionality::run(Frequency::from_mhz(500), if quick { 6_000 } else { 24_000 })
             ),
             "ablation" => println!(
                 "{}",
@@ -90,6 +105,10 @@ fn main() {
                 println!("  measured: {gips:.1} GIPS, {watts:.1} W at the 5 V inputs");
                 println!("  paper:    240 GIPS, 134 W");
             }
+            "throughput" => println!(
+                "{}",
+                throughput::run(TimeDelta::from_us(if quick { 5 } else { 20 }))
+            ),
             other => {
                 eprintln!("unknown experiment `{other}`; known: {ALL:?}");
                 std::process::exit(2);

@@ -160,7 +160,10 @@ impl fmt::Display for Ablation {
                 r.pairs, r.achieved_mbps, r.ideal_mbps
             )?;
         }
-        writeln!(f, "\nAblation 2 — routing strategy (corner-to-corner word):")?;
+        writeln!(
+            f,
+            "\nAblation 2 — routing strategy (corner-to-corner word):"
+        )?;
         for r in &self.routers {
             writeln!(
                 f,

@@ -67,10 +67,7 @@ pub fn run(words_per_flow: u32) -> EcRatios {
             achieved_gbps: payload_bits / elapsed / 1e9,
         });
     }
-    EcRatios {
-        frequency: f,
-        rows,
-    }
+    EcRatios { frequency: f, rows }
 }
 
 impl fmt::Display for EcRatios {

@@ -137,7 +137,10 @@ pub fn run(span: TimeDelta) -> Fig2 {
 
 impl fmt::Display for Fig2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 2 — power distribution per node (paper: 260 mW total):")?;
+        writeln!(
+            f,
+            "Fig. 2 — power distribution per node (paper: 260 mW total):"
+        )?;
         writeln!(
             f,
             "{:<26} {:>10} {:>8} {:>11} {:>9}",

@@ -103,7 +103,10 @@ fn ping_pong(grid: GridSpec, a: NodeId, b: NodeId, iters: u32) -> f64 {
             "
         );
         system
-            .load_program(a, &Assembler::new().assemble(&initiator).expect("assembles"))
+            .load_program(
+                a,
+                &Assembler::new().assemble(&initiator).expect("assembles"),
+            )
             .expect("fits");
         system
             .load_program(b, &Assembler::new().assemble(&echo).expect("assembles"))

@@ -11,6 +11,7 @@ pub mod overhead;
 pub mod proportionality;
 pub mod system_power;
 pub mod table1;
+pub mod throughput;
 
 use swallow::{Assembler, Program};
 
@@ -65,7 +66,9 @@ pub fn heavy_mix_program(threads: usize) -> Program {
             bu    mix
         "
     );
-    Assembler::new().assemble(&src).expect("heavy mix assembles")
+    Assembler::new()
+        .assemble(&src)
+        .expect("heavy mix assembles")
 }
 
 #[cfg(test)]

@@ -63,7 +63,9 @@ pub fn run(words: u32) -> Overhead {
         let token_efficiency = stats.data_tokens as f64 / total as f64;
         let elapsed = system.now().since(t0).as_secs_f64();
         let rate = stats.data_tokens as f64 * 8.0 / elapsed;
-        let link_rate = swallow::energy::WireClass::BoardVertical.data_rate().as_hz() as f64;
+        let link_rate = swallow::energy::WireClass::BoardVertical
+            .data_rate()
+            .as_hz() as f64;
         rows.push(OverheadRow {
             packet_words,
             token_efficiency,

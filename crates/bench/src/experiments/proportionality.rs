@@ -45,7 +45,8 @@ pub fn run(f: Frequency, cycles: u64) -> Proportionality {
         config.frequency = f;
         let mut core = Core::new(config);
         if threads > 0 {
-            core.load_program(&heavy_mix_program(threads)).expect("fits");
+            core.load_program(&heavy_mix_program(threads))
+                .expect("fits");
         }
         for _ in 0..1_000 {
             core.tick(core.next_tick_at());
@@ -81,7 +82,11 @@ impl fmt::Display for Proportionality {
             "§III — energy proportionality in load at {} (one core):",
             self.frequency
         )?;
-        writeln!(f, "{:>8} {:>14} {:>12}", "threads", "measured (mW)", "model (mW)")?;
+        writeln!(
+            f,
+            "{:>8} {:>14} {:>12}",
+            "threads", "measured (mW)", "model (mW)"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -110,10 +115,7 @@ mod tests {
         assert!((slope - 20.75).abs() < 1.0, "slope = {slope}");
         assert!(r2 > 0.999, "r2 = {r2}");
         for r in &p.rows {
-            assert!(
-                (r.measured_mw - r.model_mw).abs() < 3.0,
-                "{r:?}"
-            );
+            assert!((r.measured_mw - r.model_mw).abs() < 3.0, "{r:?}");
         }
     }
 

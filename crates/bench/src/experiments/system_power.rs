@@ -90,7 +90,11 @@ impl fmt::Display for SystemPower {
             ("power per active core (mW)", self.core_mw, 193.0),
             ("slice load power (W)", self.slice_load_w, 3.1),
             ("slice input power (W)", self.slice_input_w, 4.5),
-            ("per-core share incl. losses (mW)", self.core_overall_mw, 260.0),
+            (
+                "per-core share incl. losses (mW)",
+                self.core_overall_mw,
+                260.0,
+            ),
             ("slice throughput (GIPS)", self.slice_gips, 8.0),
             ("480-core machine power (W)", self.machine_480_w, 134.0),
             ("480-core throughput (GIPS)", self.machine_480_gips, 240.0),
@@ -110,7 +114,11 @@ mod tests {
     fn headline_numbers_land_near_the_paper() {
         let s = run(TimeDelta::from_us(20));
         assert!((s.core_mw - 196.0).abs() < 8.0, "core = {} mW", s.core_mw);
-        assert!((s.slice_load_w - 3.4).abs() < 0.4, "load = {} W", s.slice_load_w);
+        assert!(
+            (s.slice_load_w - 3.4).abs() < 0.4,
+            "load = {} W",
+            s.slice_load_w
+        );
         assert!(
             (4.0..5.2).contains(&s.slice_input_w),
             "input = {} W",

@@ -47,7 +47,11 @@ fn endpoints_for(class: WireClass) -> (swallow::GridSpec, NodeId, NodeId) {
     let one = swallow::GridSpec::ONE_SLICE;
     match class {
         // Core 0 <-> core 1 share a package: internal links.
-        WireClass::OnChip => (one, one.node_at(0, 0, Layer::Vertical), one.node_at(0, 0, Layer::Horizontal)),
+        WireClass::OnChip => (
+            one,
+            one.node_at(0, 0, Layer::Vertical),
+            one.node_at(0, 0, Layer::Horizontal),
+        ),
         // Vertically adjacent packages: a board trace.
         WireClass::BoardVertical => (
             one,

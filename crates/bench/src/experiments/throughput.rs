@@ -1,0 +1,165 @@
+//! Simulator throughput: host-side cost of the two execution engines.
+//!
+//! Not a paper artefact — this measures the simulator itself. Three
+//! scenarios bracket the workload spectrum:
+//!
+//! * **busy slice** — 16 cores all running the calibrated heavy mix; the
+//!   fast-forward engine finds activity at every tick and must degrade
+//!   to lock-step speed (the acceptance bound is ≤5 % regression).
+//! * **idle 480** — a full 6×5-slice machine with nothing loaded; every
+//!   core tick is provably idle, so fast-forward jumps monitor window to
+//!   monitor window and charges the energy analytically.
+//! * **10 % active 480** — 48 of 480 cores run the heavy mix; the busy
+//!   cores bound each jump to one base period, but the idle 90 % of the
+//!   machine is still skipped analytically inside each step.
+//!
+//! Reported per engine: host wall-clock, simulated core-cycles per host
+//! second, and simulated MIPS (retired instructions per host second).
+
+use std::fmt;
+use std::time::Instant;
+use swallow::{EngineMode, NodeId, SystemBuilder, TimeDelta};
+
+use super::heavy_mix_program;
+
+/// One scenario × engine measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputRow {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Which engine ran it.
+    pub engine: EngineMode,
+    /// Host wall-clock for the run (milliseconds).
+    pub host_ms: f64,
+    /// Simulated core-cycles advanced per host second (all cores).
+    pub sim_cycles_per_sec: f64,
+    /// Simulated MIPS: retired instructions per host second / 1e6.
+    pub mips: f64,
+}
+
+/// The whole experiment: each scenario under both engines.
+#[derive(Clone, Debug)]
+pub struct Throughput {
+    /// Rows in (scenario, engine) order, lock-step first.
+    pub rows: Vec<ThroughputRow>,
+}
+
+impl Throughput {
+    /// Fast-forward speedup (host time ratio) for one scenario.
+    pub fn speedup(&self, scenario: &str) -> Option<f64> {
+        let of = |engine: EngineMode| {
+            self.rows
+                .iter()
+                .find(|r| r.scenario == scenario && r.engine == engine)
+        };
+        let ls = of(EngineMode::LockStep)?;
+        let ff = of(EngineMode::FastForward)?;
+        Some(ls.host_ms / ff.host_ms)
+    }
+}
+
+impl fmt::Display for Throughput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Simulator throughput (host-side, both engines):")?;
+        writeln!(
+            f,
+            "  {:<16} {:<12} {:>10} {:>16} {:>10}",
+            "scenario", "engine", "host ms", "sim cycles/s", "sim MIPS"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<16} {:<12} {:>10.2} {:>16.3e} {:>10.1}",
+                r.scenario,
+                format!("{:?}", r.engine),
+                r.host_ms,
+                r.sim_cycles_per_sec,
+                r.mips
+            )?;
+        }
+        for scenario in ["busy-slice", "idle-480", "active10-480"] {
+            if let Some(s) = self.speedup(scenario) {
+                writeln!(f, "  fast-forward speedup, {scenario}: {s:.1}x")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds a scenario machine: `slices` grid with every `stride`-th core
+/// (0 = none) running the calibrated heavy mix.
+fn build(engine: EngineMode, slices: (u16, u16), stride: usize) -> swallow::SwallowSystem {
+    let mut system = SystemBuilder::new()
+        .slices(slices.0, slices.1)
+        .engine(engine)
+        .build()
+        .expect("builds");
+    if stride > 0 {
+        let program = heavy_mix_program(4);
+        let nodes: Vec<NodeId> = system.nodes().step_by(stride).collect();
+        for node in nodes {
+            system.load_program(node, &program).expect("fits");
+        }
+    }
+    system
+}
+
+/// Runs one scenario under one engine for `span` of simulated time.
+pub fn measure(
+    scenario: &'static str,
+    engine: EngineMode,
+    slices: (u16, u16),
+    stride: usize,
+    span: TimeDelta,
+) -> ThroughputRow {
+    let mut system = build(engine, slices, stride);
+    let t0 = Instant::now();
+    system.run_for(span);
+    let host = t0.elapsed().as_secs_f64().max(1e-9);
+    let machine = system.machine();
+    let cycles: u64 = machine.nodes().map(|n| machine.core(n).cycles()).sum();
+    ThroughputRow {
+        scenario,
+        engine,
+        host_ms: host * 1e3,
+        sim_cycles_per_sec: cycles as f64 / host,
+        mips: machine.total_instret() as f64 / host / 1e6,
+    }
+}
+
+/// Runs all three scenarios under both engines.
+///
+/// `span` is the simulated time per busy run; the idle 480-core scenario
+/// runs the same span (its lock-step cost dominates the experiment).
+pub fn run(span: TimeDelta) -> Throughput {
+    let mut rows = Vec::new();
+    for (scenario, slices, stride) in [
+        ("busy-slice", (1u16, 1u16), 1usize),
+        ("idle-480", (6, 5), 0),
+        ("active10-480", (6, 5), 10),
+    ] {
+        for engine in [EngineMode::LockStep, EngineMode::FastForward] {
+            rows.push(measure(scenario, engine, slices, stride, span));
+        }
+    }
+    Throughput { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_and_speedups_are_well_formed() {
+        let t = run(TimeDelta::from_us(2));
+        assert_eq!(t.rows.len(), 6);
+        for r in &t.rows {
+            assert!(r.host_ms > 0.0);
+            assert!(r.sim_cycles_per_sec > 0.0, "{r:?}");
+        }
+        assert!(t.speedup("idle-480").expect("measured") > 0.0);
+        let rendered = t.to_string();
+        assert!(rendered.contains("busy-slice"));
+        assert!(rendered.contains("speedup"));
+    }
+}

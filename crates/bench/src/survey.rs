@@ -242,7 +242,11 @@ impl fmt::Display for Table2 {
                 if c.cache { "yes" } else { "no" },
                 if c.scalable_interconnect { "yes" } else { "no" },
                 if c.time_deterministic { "yes" } else { "no" },
-                if c.meets_requirements() { "  <= meets all" } else { "" },
+                if c.meets_requirements() {
+                    "  <= meets all"
+                } else {
+                    ""
+                },
             )?;
         }
         Ok(())

@@ -76,6 +76,13 @@ impl EthernetBridge {
         self.tx.len()
     }
 
+    /// The instant pacing next allows a token out (may be in the past).
+    /// With [`EthernetBridge::tx_backlog`], this is the bridge's
+    /// contribution to the machine's next-activity estimate.
+    pub fn next_tx_at(&self) -> Time {
+        self.next_tx
+    }
+
     /// Everything received from the network so far.
     pub fn received(&self) -> &[Token] {
         &self.rx

@@ -29,6 +29,6 @@ pub mod power;
 pub mod topology;
 
 pub use ethernet::EthernetBridge;
-pub use machine::{Machine, MachineConfig, RouterKind};
+pub use machine::{EngineMode, Machine, MachineConfig, RouterKind};
 pub use power::PowerMonitor;
 pub use topology::{GridSpec, TopologyOptions, CORES_PER_SLICE};

@@ -2,8 +2,21 @@
 //!
 //! [`Machine`] owns everything `swallow-xcore`, `swallow-noc` and the
 //! power models provide, assembled per the [`topology`](crate::topology)
-//! rules, and advances them in lock-step. It is the engine under the
-//! public `swallow` crate's `SwallowSystem` facade.
+//! rules. It is the engine under the public `swallow` crate's
+//! `SwallowSystem` facade.
+//!
+//! Two engines advance the machine (see [`EngineMode`]):
+//!
+//! * **Lock-step**: one base clock period per [`Machine::step`], every
+//!   subsystem visited every step — the reference semantics.
+//! * **Fast-forward** (default): between steps the machine computes the
+//!   next instant anything can happen — a runnable core's clock edge, a
+//!   timer/divider/event wake, a token arrival on a wire, pending core or
+//!   bridge output, the power monitor's cadence — and jumps `now`
+//!   straight there, charging the skipped idle energy analytically. All
+//!   processing still occurs on the base-clock grid, so results are
+//!   identical to lock-step (energy within f64 rounding); only instants
+//!   where provably nothing happens are elided.
 
 use crate::ethernet::EthernetBridge;
 use crate::power::{PowerMonitor, DEFAULT_MONITOR_WINDOW};
@@ -27,6 +40,18 @@ pub enum RouterKind {
     ShortestPaths,
 }
 
+/// Simulation engine selection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Event-driven fast-forward: skip over spans where provably nothing
+    /// happens. Cycle-exact with respect to lock-step.
+    #[default]
+    FastForward,
+    /// Advance one base clock period at a time, visiting every subsystem
+    /// every step. The reference engine, kept for differential testing.
+    LockStep,
+}
+
 /// Machine configuration.
 #[derive(Clone, Debug)]
 pub struct MachineConfig {
@@ -46,6 +71,8 @@ pub struct MachineConfig {
     pub fault_seed: u64,
     /// Power-monitor cadence.
     pub monitor_window: TimeDelta,
+    /// Simulation engine.
+    pub engine: EngineMode,
 }
 
 impl MachineConfig {
@@ -60,6 +87,7 @@ impl MachineConfig {
             ffc_fault_rate: 0.0,
             fault_seed: 0,
             monitor_window: DEFAULT_MONITOR_WINDOW,
+            engine: EngineMode::default(),
         }
     }
 
@@ -83,18 +111,36 @@ struct Endpoints {
 }
 
 impl CoreEndpoints for Endpoints {
-    fn tx_pending(&self, node: NodeId) -> Vec<u8> {
+    fn has_tx_pending(&self, node: NodeId) -> bool {
         if Some(node) == self.bridge_node {
-            let pending = self
+            return self
                 .bridge
                 .as_ref()
                 .map(|b| b.ep_tx_front().is_some())
                 .unwrap_or(false);
-            return if pending { vec![0] } else { Vec::new() };
         }
-        match self.cores.get(node.raw() as usize) {
-            Some(core) => core.tx_pending(),
-            None => Vec::new(),
+        self.cores
+            .get(node.raw() as usize)
+            .map(|core| core.has_tx_pending())
+            .unwrap_or(false)
+    }
+
+    fn for_each_tx_pending(&self, node: NodeId, visit: &mut dyn FnMut(u8)) {
+        if Some(node) == self.bridge_node {
+            if self
+                .bridge
+                .as_ref()
+                .map(|b| b.ep_tx_front().is_some())
+                .unwrap_or(false)
+            {
+                visit(0);
+            }
+            return;
+        }
+        if let Some(core) = self.cores.get(node.raw() as usize) {
+            for chanend in core.tx_pending() {
+                visit(chanend);
+            }
         }
     }
 
@@ -152,6 +198,7 @@ pub struct Machine {
     now: Time,
     base_period: TimeDelta,
     faulted_cables: usize,
+    engine: EngineMode,
 }
 
 impl Machine {
@@ -200,6 +247,7 @@ impl Machine {
             now: Time::ZERO,
             base_period,
             faulted_cables: topo.faulted_cables,
+            engine: config.engine,
         }
     }
 
@@ -311,51 +359,163 @@ impl Machine {
 
     // --- execution -------------------------------------------------------------
 
-    /// Advances the whole machine by one base clock period.
+    /// The active simulation engine.
+    pub fn engine(&self) -> EngineMode {
+        self.engine
+    }
+
+    /// Switches the simulation engine. Safe at any instant: both engines
+    /// process the same grid instants, fast-forward merely skips the
+    /// empty ones.
+    pub fn set_engine(&mut self, engine: EngineMode) {
+        self.engine = engine;
+    }
+
+    /// Advances the whole machine by one base clock period (the lock-step
+    /// primitive; both engines funnel through the same edge processing).
     pub fn step(&mut self) {
         self.now += self.base_period;
+        self.process_edge();
+    }
+
+    /// Processes the clock edge at `self.now`: runs every core up to
+    /// `now`, advances the bridge and fabric, and fires the power monitor
+    /// when due.
+    fn process_edge(&mut self) {
         for core in &mut self.eps.cores {
-            // Cores may run slower than the base clock; tick on their edge.
-            while core.next_tick_at() <= self.now {
-                let at = core.next_tick_at();
-                core.tick(at);
-            }
+            // Cores may run slower than the base clock; tick on their
+            // edges only. `run_until` also stops if the core halts
+            // mid-span rather than spinning on a dead core.
+            core.run_until(self.now);
         }
         if let Some(bridge) = self.eps.bridge.as_mut() {
             bridge.set_now(self.now);
         }
-        self.fabric.step(self.now, &mut self.eps);
+        // The fabric scan is pure bookkeeping when nothing is in the
+        // network and nothing wants to inject; skipping it then is
+        // behaviour-preserving in both engines.
+        let bridge_pending = self
+            .eps
+            .bridge
+            .as_ref()
+            .map(|b| b.tx_backlog() > 0)
+            .unwrap_or(false);
+        if !self.fabric.is_idle()
+            || bridge_pending
+            || self.eps.cores.iter().any(|c| c.has_tx_pending())
+        {
+            self.fabric.step(self.now, &mut self.eps);
+        }
         if self.now >= self.monitor.next_update() {
             self.monitor
                 .update(self.now, &mut self.eps.cores, &self.fabric);
         }
     }
 
+    /// The earliest instant at or after `now` when anything can happen:
+    /// a core's next interesting tick, a fabric arrival, pending core or
+    /// bridge output (immediate), or the monitor cadence. Always finite —
+    /// the monitor bounds it — so fast-forward never overshoots an
+    /// accounting boundary.
+    fn next_activity_at(&self) -> Time {
+        let immediate = self.now + self.base_period;
+        let mut earliest = self.monitor.next_update();
+        for core in &self.eps.cores {
+            if core.has_tx_pending() {
+                return immediate;
+            }
+            if let Some(at) = core.next_interesting_at() {
+                if at <= immediate {
+                    return immediate;
+                }
+                earliest = earliest.min(at);
+            }
+        }
+        if let Some(at) = self.fabric.next_event_at(self.now) {
+            if at <= immediate {
+                return immediate;
+            }
+            earliest = earliest.min(at);
+        }
+        if let Some(bridge) = self.eps.bridge.as_ref() {
+            if bridge.tx_backlog() > 0 {
+                let at = bridge.next_tx_at();
+                if at <= immediate {
+                    return immediate;
+                }
+                earliest = earliest.min(at);
+            }
+        }
+        earliest
+    }
+
+    /// First base-clock grid instant at or after `target` (and strictly
+    /// after `now`). Keeping every processed instant on the grid is what
+    /// makes fast-forward results identical to lock-step.
+    fn grid_align(&self, target: Time) -> Time {
+        if target <= self.now + self.base_period {
+            return self.now + self.base_period;
+        }
+        let span = target.since(self.now).as_ps();
+        let base = self.base_period.as_ps();
+        self.now + TimeDelta::from_ps(span.div_ceil(base) * base)
+    }
+
+    /// Fast-forward by one event: jump to the next grid instant where
+    /// anything can happen (capped at `deadline`), analytically skipping
+    /// the idle span for every core, then process that edge.
+    fn ff_advance(&mut self, deadline: Time) {
+        let target = self.grid_align(self.next_activity_at().min(deadline));
+        if target > self.now + self.base_period {
+            for core in &mut self.eps.cores {
+                core.skip_idle_until(target);
+            }
+        }
+        self.now = target;
+        self.process_edge();
+    }
+
     /// Runs for a fixed span of simulated time.
     pub fn run_for(&mut self, span: TimeDelta) {
         let deadline = self.now + span;
-        while self.now < deadline {
-            self.step();
+        match self.engine {
+            EngineMode::LockStep => {
+                while self.now < deadline {
+                    self.step();
+                }
+            }
+            EngineMode::FastForward => {
+                while self.now < deadline {
+                    self.ff_advance(deadline);
+                }
+            }
         }
     }
 
     /// Runs until every core is quiescent and the network has drained, or
     /// the budget expires. Returns true when quiescent.
+    ///
+    /// With the fast-forward engine this performs no heap allocation per
+    /// step: quiescence is a scan of per-core counters, idle spans are
+    /// skipped analytically, and the fabric reuses its injection buffer.
     pub fn run_until_quiescent(&mut self, budget: TimeDelta) -> bool {
         let deadline = self.now + budget;
         while self.now < deadline {
             if self.is_quiescent() {
                 return true;
             }
-            self.step();
+            match self.engine {
+                EngineMode::LockStep => self.step(),
+                EngineMode::FastForward => self.ff_advance(deadline),
+            }
         }
         self.is_quiescent()
     }
 
     /// True when no core can make progress and no token is in flight.
+    /// O(cores): every per-core check is a cached counter.
     pub fn is_quiescent(&self) -> bool {
-        self.eps.cores.iter().all(|c| c.is_quiescent())
-            && self.fabric.is_idle()
+        self.fabric.is_idle()
             && self
                 .eps
                 .bridge
@@ -366,7 +526,7 @@ impl Machine {
                 .eps
                 .cores
                 .iter()
-                .all(|c| c.tx_pending().is_empty())
+                .all(|c| c.is_quiescent() && !c.has_tx_pending())
     }
 
     // --- accounting ---------------------------------------------------------------

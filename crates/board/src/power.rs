@@ -181,8 +181,8 @@ impl PowerMonitor {
             rail_energy[slice][IO_RAIL] += ext_delta + support * span;
             self.support_energy[slice] += support * span;
 
-            for rail in 0..RAILS {
-                self.rails[slice][rail] = rail_energy[slice][rail].over(span);
+            for (rail, energy) in rail_energy[slice].iter().enumerate().take(RAILS) {
+                self.rails[slice][rail] = energy.over(span);
             }
             // Integrate conversion losses at the measured load.
             let loss: Power = (0..IO_RAIL)
@@ -236,7 +236,7 @@ mod tests {
         let m = PowerMonitor::new(GridSpec::ONE_SLICE, DEFAULT_MONITOR_WINDOW);
         assert_eq!(m.slice_load_power(0), Power::ZERO);
         assert_eq!(m.rail_power(9, 0), Power::ZERO); // out of range is safe
-        // Input power still includes the fixed SMPS overhead.
+                                                     // Input power still includes the fixed SMPS overhead.
         assert!(m.slice_input_power(0).as_milliwatts() > 0.0);
     }
 }

@@ -82,7 +82,7 @@ impl GridSpec {
     pub fn coord_of(&self, node: NodeId) -> Coord {
         let raw = node.raw() as u32;
         let package = raw / 2;
-        let layer = if raw % 2 == 0 {
+        let layer = if raw.is_multiple_of(2) {
             Layer::Vertical
         } else {
             Layer::Horizontal
@@ -258,10 +258,7 @@ mod tests {
         let in_slice1 = spec.node_at(4, 0, Layer::Vertical);
         assert_eq!(spec.slice_of(in_slice0), 0);
         assert_eq!(spec.slice_of(in_slice1), 1);
-        let per_slice = spec
-            .nodes()
-            .filter(|&n| spec.slice_of(n) == 0)
-            .count();
+        let per_slice = spec.nodes().filter(|&n| spec.slice_of(n) == 0).count();
         assert_eq!(per_slice, CORES_PER_SLICE as usize);
     }
 

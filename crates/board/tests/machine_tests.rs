@@ -55,7 +55,9 @@ fn one_slice_boots_sixteen_cores() {
 fn in_package_word_transfer() {
     // Nodes 0 (vertical layer) and 1 (horizontal layer) share a package.
     let mut machine = Machine::new(MachineConfig::one_slice());
-    machine.load_program(NodeId(0), &sender(1, 777)).expect("fits");
+    machine
+        .load_program(NodeId(0), &sender(1, 777))
+        .expect("fits");
     machine.load_program(NodeId(1), &receiver()).expect("fits");
     assert!(machine.run_until_quiescent(TimeDelta::from_us(50)));
     assert_eq!(machine.core(NodeId(1)).output(), "777\n");
@@ -66,7 +68,9 @@ fn in_package_word_transfer() {
 fn vertical_neighbour_transfer_uses_board_wire() {
     // Package (0,0) V-core is node 0; package (0,1) V-core is node 8.
     let mut machine = Machine::new(MachineConfig::one_slice());
-    machine.load_program(NodeId(0), &sender(8, 4242)).expect("fits");
+    machine
+        .load_program(NodeId(0), &sender(8, 4242))
+        .expect("fits");
     machine.load_program(NodeId(8), &receiver()).expect("fits");
     assert!(machine.run_until_quiescent(TimeDelta::from_us(50)));
     assert_eq!(machine.core(NodeId(8)).output(), "4242\n");
@@ -83,7 +87,9 @@ fn cross_layer_cross_column_route() {
     // H-layer node of package (0,0) is node 1; H-layer of (3,1) is node
     // 15: a route needing horizontal travel and layer transitions.
     let mut machine = Machine::new(MachineConfig::one_slice());
-    machine.load_program(NodeId(0), &sender(15, 31337)).expect("fits");
+    machine
+        .load_program(NodeId(0), &sender(15, 31337))
+        .expect("fits");
     machine.load_program(NodeId(15), &receiver()).expect("fits");
     assert!(machine.run_until_quiescent(TimeDelta::from_us(100)));
     assert_eq!(machine.core(NodeId(15)).output(), "31337\n");
@@ -149,8 +155,12 @@ fn latency_shapes_follow_the_paper() {
                 )
                 .expect("fits");
         } else {
-            machine.load_program(NodeId(src), &sender(dst, 9)).expect("fits");
-            machine.load_program(NodeId(dst), &receiver()).expect("fits");
+            machine
+                .load_program(NodeId(src), &sender(dst, 9))
+                .expect("fits");
+            machine
+                .load_program(NodeId(dst), &receiver())
+                .expect("fits");
         }
         let deadline = TimeDelta::from_us(100);
         while machine.now() < swallow_sim::Time::ZERO + deadline {
@@ -166,7 +176,10 @@ fn latency_shapes_follow_the_paper() {
     let in_package = one_way(0, 1);
     let cross_package = one_way(0, 8);
     assert!(local < in_package, "{local} !< {in_package}");
-    assert!(in_package < cross_package, "{in_package} !< {cross_package}");
+    assert!(
+        in_package < cross_package,
+        "{in_package} !< {cross_package}"
+    );
 }
 
 #[test]
@@ -264,7 +277,9 @@ fn faulted_cables_break_routes_under_full_injection() {
     assert!(machine.faulted_cables() > 0);
     // Slice 0 core sends to slice 1 core (package column 4 = node 8*...
     // node_at(4,0,V)): no surviving path, token is counted unroutable.
-    let dst = machine.spec().node_at(4, 0, swallow_noc::routing::Layer::Vertical);
+    let dst = machine
+        .spec()
+        .node_at(4, 0, swallow_noc::routing::Layer::Vertical);
     machine
         .load_program(NodeId(0), &sender(dst.raw(), 5))
         .expect("fits");
@@ -283,7 +298,9 @@ fn partial_faults_route_around_with_shortest_paths() {
     let mut machine = Machine::new(config);
     let faulted = machine.faulted_cables();
     assert!(faulted > 0 && faulted < 4, "faulted = {faulted}");
-    let dst = machine.spec().node_at(7, 1, swallow_noc::routing::Layer::Horizontal);
+    let dst = machine
+        .spec()
+        .node_at(7, 1, swallow_noc::routing::Layer::Horizontal);
     machine
         .load_program(NodeId(0), &sender(dst.raw(), 5))
         .expect("fits");
@@ -296,7 +313,9 @@ fn partial_faults_route_around_with_shortest_paths() {
 fn heterogeneous_frequencies_coexist() {
     let mut machine = Machine::new(MachineConfig::one_slice());
     machine.set_core_frequency(NodeId(2), Frequency::from_mhz(100));
-    machine.load_program(NodeId(2), &sender(3, 64)).expect("fits");
+    machine
+        .load_program(NodeId(2), &sender(3, 64))
+        .expect("fits");
     machine.load_program(NodeId(3), &receiver()).expect("fits");
     assert!(machine.run_until_quiescent(TimeDelta::from_us(100)));
     assert_eq!(machine.core(NodeId(3)).output(), "64\n");
@@ -306,7 +325,9 @@ fn heterogeneous_frequencies_coexist() {
 fn machine_ledger_collects_all_categories() {
     use swallow_energy::NodeCategory;
     let mut machine = Machine::new(MachineConfig::one_slice());
-    machine.load_program(NodeId(0), &sender(8, 1)).expect("fits");
+    machine
+        .load_program(NodeId(0), &sender(8, 1))
+        .expect("fits");
     machine.load_program(NodeId(8), &receiver()).expect("fits");
     machine.run_for(TimeDelta::from_us(5));
     let ledger = machine.machine_ledger();

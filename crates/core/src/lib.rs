@@ -57,7 +57,7 @@ pub use swallow_sim as sim;
 pub use swallow_xcore as xcore;
 
 // The handful of names almost every user touches.
-pub use swallow_board::{GridSpec, Machine, MachineConfig, RouterKind};
+pub use swallow_board::{EngineMode, GridSpec, Machine, MachineConfig, RouterKind};
 pub use swallow_energy::{Energy, Power};
 pub use swallow_isa::{AsmError, Assembler, NodeId, Program, ResType, ResourceId};
 pub use swallow_sim::{Frequency, Time, TimeDelta};

@@ -150,10 +150,7 @@ mod tests {
             "machine power = {total_mw} mW"
         );
         assert!(power.per_core.as_milliwatts() > 113.0);
-        let fractions: f64 = NodeCategory::ALL
-            .iter()
-            .map(|&c| power.fraction(c))
-            .sum();
+        let fractions: f64 = NodeCategory::ALL.iter().map(|&c| power.fraction(c)).sum();
         assert!((fractions - 1.0).abs() < 1e-9);
     }
 

@@ -100,6 +100,14 @@ impl SystemBuilder {
         self
     }
 
+    /// Simulation engine (default: event-driven fast-forward). The
+    /// lock-step engine is the cycle-by-cycle reference used by the
+    /// differential test suite.
+    pub fn engine(mut self, engine: swallow_board::EngineMode) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
     /// Assembles the machine.
     ///
     /// # Errors

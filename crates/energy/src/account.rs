@@ -134,7 +134,13 @@ impl std::iter::Sum for EnergyLedger {
 impl fmt::Display for EnergyLedger {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (cat, e) in self.iter() {
-            writeln!(f, "{:<26} {:>12}  ({:>5.1}%)", cat.label(), e.to_string(), self.fraction(cat) * 100.0)?;
+            writeln!(
+                f,
+                "{:<26} {:>12}  ({:>5.1}%)",
+                cat.label(),
+                e.to_string(),
+                self.fraction(cat) * 100.0
+            )?;
         }
         write!(f, "{:<26} {:>12}", "Total", self.total().to_string())
     }

@@ -95,8 +95,11 @@ impl AdcConfig {
 
     /// All five channels at the fastest simultaneous rate.
     pub fn all_channels_max() -> Self {
-        AdcConfig::new([true; CHANNELS], Frequency::from_hz(MAX_SIMULTANEOUS_RATE_HZ))
-            .expect("static configuration is valid")
+        AdcConfig::new(
+            [true; CHANNELS],
+            Frequency::from_hz(MAX_SIMULTANEOUS_RATE_HZ),
+        )
+        .expect("static configuration is valid")
     }
 
     /// Single-channel capture at the fastest rate.
@@ -217,9 +220,9 @@ impl AdcBoard {
     /// `powers` supplies the instantaneous power of each channel; disabled
     /// channels are skipped. Advances the due time by one sample period.
     pub fn sample(&mut self, at: Time, powers: &[Power; CHANNELS]) {
-        for ch in 0..CHANNELS {
+        for (ch, power) in powers.iter().enumerate() {
             if self.config.is_enabled(ch) {
-                self.traces[ch].push(at, powers[ch]);
+                self.traces[ch].push(at, *power);
             }
         }
         self.next_sample = at + self.config.period();

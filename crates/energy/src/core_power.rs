@@ -199,7 +199,9 @@ mod tests {
 
     #[test]
     fn heavy_mix_average_matches_calibration() {
-        let avg = CorePowerModel::swallow().heavy_mix_average().as_nanojoules();
+        let avg = CorePowerModel::swallow()
+            .heavy_mix_average()
+            .as_nanojoules();
         assert!(
             (avg - ACTIVE_SLOT_NJ_AVG).abs() < 1e-6,
             "heavy mix average {avg} nJ deviates from calibration"

@@ -89,7 +89,8 @@ impl DvfsTable {
             let hi_hz = hi.frequency.as_hz() as f64;
             if hz <= hi_hz {
                 let t = (hz - lo_hz) / (hi_hz - lo_hz);
-                let volts = lo.voltage.as_volts() + t * (hi.voltage.as_volts() - lo.voltage.as_volts());
+                let volts =
+                    lo.voltage.as_volts() + t * (hi.voltage.as_volts() - lo.voltage.as_volts());
                 return Voltage::from_volts(volts);
             }
         }

@@ -1,9 +1,11 @@
 //! Property tests of the energy models: unit arithmetic, monotonicity of
 //! the power models, DVFS interpolation invariants.
 
-use proptest::prelude::*;
-use swallow_energy::{CorePowerModel, DvfsTable, Energy, EnergyLedger, NodeCategory, Power, Smps, Voltage};
+use swallow_energy::{
+    CorePowerModel, DvfsTable, Energy, EnergyLedger, NodeCategory, Power, Smps, Voltage,
+};
 use swallow_sim::{Frequency, TimeDelta};
+use swallow_testkit::proptest::prelude::*;
 
 proptest! {
     /// Power × time = energy; energy / time = power (round trip).

@@ -86,7 +86,10 @@ impl Assembler {
         for item in &items {
             for label in &item.labels {
                 if labels.insert(label.clone(), word_addr * 4).is_some() {
-                    return Err(AsmError::new(item.line, format!("duplicate label `{label}`")));
+                    return Err(AsmError::new(
+                        item.line,
+                        format!("duplicate label `{label}`"),
+                    ));
                 }
             }
             word_addr += item.size_words(&labels);
@@ -110,7 +113,7 @@ impl Assembler {
                     words.push(v);
                 }
                 Body::Space(n) => {
-                    words.extend(std::iter::repeat(0).take(*n as usize));
+                    words.extend(std::iter::repeat_n(0, *n as usize));
                 }
                 Body::Op(mnemonic, operands) => {
                     // `ldc d, label` was laid out as two words in pass 1
@@ -123,8 +126,8 @@ impl Assembler {
                     if let (true, Instr::Ldc { d, imm }) = (wide_label, instr) {
                         words.extend_from_slice(encode_wide_ldc(d, imm).words());
                     } else {
-                        let enc = encode(&instr)
-                            .map_err(|e| AsmError::new(item.line, e.to_string()))?;
+                        let enc =
+                            encode(&instr).map_err(|e| AsmError::new(item.line, e.to_string()))?;
                         words.extend_from_slice(enc.words());
                     }
                 }
@@ -287,9 +290,8 @@ fn resolve_value(
     line: usize,
 ) -> Result<u32, AsmError> {
     match value {
-        Value::Imm(v) => imm_to_u32(*v).ok_or_else(|| {
-            AsmError::new(line, format!("value {v} does not fit in 32 bits"))
-        }),
+        Value::Imm(v) => imm_to_u32(*v)
+            .ok_or_else(|| AsmError::new(line, format!("value {v} does not fit in 32 bits"))),
         Value::Sym(name) => labels
             .get(name)
             .copied()
@@ -323,9 +325,15 @@ fn parse_imm(text: &str) -> Option<i64> {
         Some(rest) => (true, rest),
         None => (false, text),
     };
-    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
+    let value = if let Some(hex) = digits
+        .strip_prefix("0x")
+        .or_else(|| digits.strip_prefix("0X"))
+    {
         i64::from_str_radix(&hex.replace('_', ""), 16).ok()?
-    } else if let Some(bin) = digits.strip_prefix("0b").or_else(|| digits.strip_prefix("0B")) {
+    } else if let Some(bin) = digits
+        .strip_prefix("0b")
+        .or_else(|| digits.strip_prefix("0B"))
+    {
         i64::from_str_radix(&bin.replace('_', ""), 2).ok()?
     } else {
         digits.replace('_', "").parse::<i64>().ok()?
@@ -473,17 +481,29 @@ fn lower(
         )?,
         "shl" => reg3_or_imm(
             |d, a, b| Instr::Shl { d, a, b },
-            |d, a, imm| Instr::ShlI { d, a, imm: imm as u8 },
+            |d, a, imm| Instr::ShlI {
+                d,
+                a,
+                imm: imm as u8,
+            },
             31,
         )?,
         "shr" => reg3_or_imm(
             |d, a, b| Instr::Shr { d, a, b },
-            |d, a, imm| Instr::ShrI { d, a, imm: imm as u8 },
+            |d, a, imm| Instr::ShrI {
+                d,
+                a,
+                imm: imm as u8,
+            },
             31,
         )?,
         "ashr" => reg3_or_imm(
             |d, a, b| Instr::Ashr { d, a, b },
-            |d, a, imm| Instr::AshrI { d, a, imm: imm as u8 },
+            |d, a, imm| Instr::AshrI {
+                d,
+                a,
+                imm: imm as u8,
+            },
             31,
         )?,
         "mul" => reg3(|d, a, b| Instr::Mul { d, a, b })?,
@@ -589,11 +609,15 @@ fn lower(
         }
         "bu" => {
             arity(1)?;
-            Instr::Bu { off: cx.target(&ops[0])? }
+            Instr::Bu {
+                off: cx.target(&ops[0])?,
+            }
         }
         "bl" => {
             arity(1)?;
-            Instr::Bl { off: cx.target(&ops[0])? }
+            Instr::Bl {
+                off: cx.target(&ops[0])?,
+            }
         }
         "bt" => {
             arity(2)?;
@@ -611,7 +635,9 @@ fn lower(
         }
         "bau" => {
             arity(1)?;
-            Instr::Bau { s: cx.reg(&ops[0])? }
+            Instr::Bau {
+                s: cx.reg(&ops[0])?,
+            }
         }
         "ret" => {
             arity(0)?;
@@ -628,7 +654,9 @@ fn lower(
         }
         "freer" => {
             arity(1)?;
-            Instr::FreeR { r: cx.reg(&ops[0])? }
+            Instr::FreeR {
+                r: cx.reg(&ops[0])?,
+            }
         }
         "tspawn" => reg3(|d, entry, arg| Instr::TSpawn { d, entry, arg })?,
         "freet" => {
@@ -637,11 +665,15 @@ fn lower(
         }
         "msync" => {
             arity(1)?;
-            Instr::MSync { r: cx.reg(&ops[0])? }
+            Instr::MSync {
+                r: cx.reg(&ops[0])?,
+            }
         }
         "ssync" => {
             arity(1)?;
-            Instr::SSync { r: cx.reg(&ops[0])? }
+            Instr::SSync {
+                r: cx.reg(&ops[0])?,
+            }
         }
         "setd" => reg2(|r, s| Instr::SetD { r, s })?,
         "out" => reg2(|r, s| Instr::Out { r, s })?,
@@ -677,11 +709,15 @@ fn lower(
         }
         "eeu" => {
             arity(1)?;
-            Instr::Eeu { r: cx.reg(&ops[0])? }
+            Instr::Eeu {
+                r: cx.reg(&ops[0])?,
+            }
         }
         "edu" => {
             arity(1)?;
-            Instr::Edu { r: cx.reg(&ops[0])? }
+            Instr::Edu {
+                r: cx.reg(&ops[0])?,
+            }
         }
         "clre" => {
             arity(0)?;
@@ -828,7 +864,13 @@ mod tests {
         assert_eq!(first("ldc r0, 0x10"), Instr::Ldc { d: R0, imm: 16 });
         assert_eq!(first("ldc r0, 0b101"), Instr::Ldc { d: R0, imm: 5 });
         assert_eq!(first("ldc r0, 'A'"), Instr::Ldc { d: R0, imm: 65 });
-        assert_eq!(first("ldc r0, -1"), Instr::Ldc { d: R0, imm: u32::MAX });
+        assert_eq!(
+            first("ldc r0, -1"),
+            Instr::Ldc {
+                d: R0,
+                imm: u32::MAX
+            }
+        );
         assert_eq!(first("ldc r0, 1_000"), Instr::Ldc { d: R0, imm: 1000 });
     }
 
@@ -855,9 +897,7 @@ mod tests {
             .expect_err("range");
         assert!(err.message.contains("out of range"));
 
-        let err = Assembler::new()
-            .assemble("add r0, r1")
-            .expect_err("arity");
+        let err = Assembler::new().assemble("add r0, r1").expect_err("arity");
         assert!(err.message.contains("expects 3"));
     }
 

@@ -28,7 +28,7 @@ fn encode_image(program: &Program) -> Vec<u8> {
 }
 
 fn decode_image(bytes: &[u8]) -> Result<Program, String> {
-    if bytes.len() < 8 || bytes.len() % 4 != 0 {
+    if bytes.len() < 8 || !bytes.len().is_multiple_of(4) {
         return Err("image truncated or unaligned".into());
     }
     let word = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().expect("bounds"));
@@ -45,7 +45,9 @@ fn run() -> Result<(), String> {
     match args.as_slice() {
         [cmd, src, out] if cmd == "build" => {
             let text = std::fs::read_to_string(src).map_err(|e| format!("{src}: {e}"))?;
-            let program = Assembler::new().assemble(&text).map_err(|e| e.to_string())?;
+            let program = Assembler::new()
+                .assemble(&text)
+                .map_err(|e| e.to_string())?;
             std::fs::write(out, encode_image(&program)).map_err(|e| format!("{out}: {e}"))?;
             println!(
                 "{out}: {} bytes, entry {:#x}",
@@ -62,7 +64,9 @@ fn run() -> Result<(), String> {
         }
         [cmd, src] if cmd == "check" => {
             let text = std::fs::read_to_string(src).map_err(|e| format!("{src}: {e}"))?;
-            let program = Assembler::new().assemble(&text).map_err(|e| e.to_string())?;
+            let program = Assembler::new()
+                .assemble(&text)
+                .map_err(|e| e.to_string())?;
             println!(
                 "ok: {} bytes ({} words), entry {:#x}",
                 program.len_bytes(),

@@ -31,7 +31,10 @@ pub struct Encoded {
 
 impl Encoded {
     fn one(w: u32) -> Self {
-        Encoded { words: [w, 0], len: 1 }
+        Encoded {
+            words: [w, 0],
+            len: 1,
+        }
     }
 
     fn two(w: u32, ext: u32) -> Self {
@@ -339,59 +342,220 @@ pub fn decode(words: &[u32]) -> Result<(Instr, usize), DecodeError> {
 
     let instr = match opcode {
         op::NOP => Nop,
-        op::ADD => Add { d: a()?, a: b()?, b: c()? },
-        op::SUB => Sub { d: a()?, a: b()?, b: c()? },
-        op::MUL => Mul { d: a()?, a: b()?, b: c()? },
-        op::DIVS => Divs { d: a()?, a: b()?, b: c()? },
-        op::DIVU => Divu { d: a()?, a: b()?, b: c()? },
-        op::REMS => Rems { d: a()?, a: b()?, b: c()? },
-        op::REMU => Remu { d: a()?, a: b()?, b: c()? },
-        op::AND => And { d: a()?, a: b()?, b: c()? },
-        op::OR => Or { d: a()?, a: b()?, b: c()? },
-        op::XOR => Xor { d: a()?, a: b()?, b: c()? },
-        op::SHL => Shl { d: a()?, a: b()?, b: c()? },
-        op::SHR => Shr { d: a()?, a: b()?, b: c()? },
-        op::ASHR => Ashr { d: a()?, a: b()?, b: c()? },
-        op::EQ => Eq { d: a()?, a: b()?, b: c()? },
-        op::LSS => Lss { d: a()?, a: b()?, b: c()? },
-        op::LSU => Lsu { d: a()?, a: b()?, b: c()? },
+        op::ADD => Add {
+            d: a()?,
+            a: b()?,
+            b: c()?,
+        },
+        op::SUB => Sub {
+            d: a()?,
+            a: b()?,
+            b: c()?,
+        },
+        op::MUL => Mul {
+            d: a()?,
+            a: b()?,
+            b: c()?,
+        },
+        op::DIVS => Divs {
+            d: a()?,
+            a: b()?,
+            b: c()?,
+        },
+        op::DIVU => Divu {
+            d: a()?,
+            a: b()?,
+            b: c()?,
+        },
+        op::REMS => Rems {
+            d: a()?,
+            a: b()?,
+            b: c()?,
+        },
+        op::REMU => Remu {
+            d: a()?,
+            a: b()?,
+            b: c()?,
+        },
+        op::AND => And {
+            d: a()?,
+            a: b()?,
+            b: c()?,
+        },
+        op::OR => Or {
+            d: a()?,
+            a: b()?,
+            b: c()?,
+        },
+        op::XOR => Xor {
+            d: a()?,
+            a: b()?,
+            b: c()?,
+        },
+        op::SHL => Shl {
+            d: a()?,
+            a: b()?,
+            b: c()?,
+        },
+        op::SHR => Shr {
+            d: a()?,
+            a: b()?,
+            b: c()?,
+        },
+        op::ASHR => Ashr {
+            d: a()?,
+            a: b()?,
+            b: c()?,
+        },
+        op::EQ => Eq {
+            d: a()?,
+            a: b()?,
+            b: c()?,
+        },
+        op::LSS => Lss {
+            d: a()?,
+            a: b()?,
+            b: c()?,
+        },
+        op::LSU => Lsu {
+            d: a()?,
+            a: b()?,
+            b: c()?,
+        },
         op::NEG => Neg { d: a()?, a: b()? },
         op::NOT => Not { d: a()?, a: b()? },
         op::CLZ => Clz { d: a()?, a: b()? },
         op::BYTEREV => Byterev { d: a()?, a: b()? },
         op::BITREV => Bitrev { d: a()?, a: b()? },
-        op::ADDI => AddI { d: a()?, a: b()?, imm: imm16 },
-        op::SUBI => SubI { d: a()?, a: b()?, imm: imm16 },
-        op::EQI => EqI { d: a()?, a: b()?, imm: imm16 },
-        op::SHLI => ShlI { d: a()?, a: b()?, imm: imm16 as u8 },
-        op::SHRI => ShrI { d: a()?, a: b()?, imm: imm16 as u8 },
-        op::ASHRI => AshrI { d: a()?, a: b()?, imm: imm16 as u8 },
-        op::MKMSKI => MkMskI { d: a()?, width: imm16 as u8 },
+        op::ADDI => AddI {
+            d: a()?,
+            a: b()?,
+            imm: imm16,
+        },
+        op::SUBI => SubI {
+            d: a()?,
+            a: b()?,
+            imm: imm16,
+        },
+        op::EQI => EqI {
+            d: a()?,
+            a: b()?,
+            imm: imm16,
+        },
+        op::SHLI => ShlI {
+            d: a()?,
+            a: b()?,
+            imm: imm16 as u8,
+        },
+        op::SHRI => ShrI {
+            d: a()?,
+            a: b()?,
+            imm: imm16 as u8,
+        },
+        op::ASHRI => AshrI {
+            d: a()?,
+            a: b()?,
+            imm: imm16 as u8,
+        },
+        op::MKMSKI => MkMskI {
+            d: a()?,
+            width: imm16 as u8,
+        },
         op::MKMSK => MkMsk { d: a()?, s: b()? },
-        op::SEXT => Sext { r: a()?, bits: imm16 as u8 },
-        op::ZEXT => Zext { r: a()?, bits: imm16 as u8 },
-        op::LDC16 => Ldc { d: a()?, imm: imm16 as u32 },
+        op::SEXT => Sext {
+            r: a()?,
+            bits: imm16 as u8,
+        },
+        op::ZEXT => Zext {
+            r: a()?,
+            bits: imm16 as u8,
+        },
+        op::LDC16 => Ldc {
+            d: a()?,
+            imm: imm16 as u32,
+        },
         op::LDC32 => {
             let ext = *words.get(1).ok_or(DecodeError::Truncated)?;
             return Ok((Ldc { d: a()?, imm: ext }, 2));
         }
-        op::LDW_R => Ldw { d: a()?, base: b()?, off: MemOffset::Reg(c()?) },
-        op::LDW_I => Ldw { d: a()?, base: b()?, off: MemOffset::Imm(imm16 as i16) },
-        op::STW_R => Stw { s: a()?, base: b()?, off: MemOffset::Reg(c()?) },
-        op::STW_I => Stw { s: a()?, base: b()?, off: MemOffset::Imm(imm16 as i16) },
-        op::LD16S_R => Ld16s { d: a()?, base: b()?, off: MemOffset::Reg(c()?) },
-        op::LD16S_I => Ld16s { d: a()?, base: b()?, off: MemOffset::Imm(imm16 as i16) },
-        op::LD8U_R => Ld8u { d: a()?, base: b()?, off: MemOffset::Reg(c()?) },
-        op::LD8U_I => Ld8u { d: a()?, base: b()?, off: MemOffset::Imm(imm16 as i16) },
-        op::ST16_R => St16 { s: a()?, base: b()?, off: MemOffset::Reg(c()?) },
-        op::ST16_I => St16 { s: a()?, base: b()?, off: MemOffset::Imm(imm16 as i16) },
-        op::ST8_R => St8 { s: a()?, base: b()?, off: MemOffset::Reg(c()?) },
-        op::ST8_I => St8 { s: a()?, base: b()?, off: MemOffset::Imm(imm16 as i16) },
-        op::LDAW => Ldaw { d: a()?, base: b()?, imm: imm16 as i16 },
-        op::LDAP => Ldap { d: a()?, off: soff() },
+        op::LDW_R => Ldw {
+            d: a()?,
+            base: b()?,
+            off: MemOffset::Reg(c()?),
+        },
+        op::LDW_I => Ldw {
+            d: a()?,
+            base: b()?,
+            off: MemOffset::Imm(imm16 as i16),
+        },
+        op::STW_R => Stw {
+            s: a()?,
+            base: b()?,
+            off: MemOffset::Reg(c()?),
+        },
+        op::STW_I => Stw {
+            s: a()?,
+            base: b()?,
+            off: MemOffset::Imm(imm16 as i16),
+        },
+        op::LD16S_R => Ld16s {
+            d: a()?,
+            base: b()?,
+            off: MemOffset::Reg(c()?),
+        },
+        op::LD16S_I => Ld16s {
+            d: a()?,
+            base: b()?,
+            off: MemOffset::Imm(imm16 as i16),
+        },
+        op::LD8U_R => Ld8u {
+            d: a()?,
+            base: b()?,
+            off: MemOffset::Reg(c()?),
+        },
+        op::LD8U_I => Ld8u {
+            d: a()?,
+            base: b()?,
+            off: MemOffset::Imm(imm16 as i16),
+        },
+        op::ST16_R => St16 {
+            s: a()?,
+            base: b()?,
+            off: MemOffset::Reg(c()?),
+        },
+        op::ST16_I => St16 {
+            s: a()?,
+            base: b()?,
+            off: MemOffset::Imm(imm16 as i16),
+        },
+        op::ST8_R => St8 {
+            s: a()?,
+            base: b()?,
+            off: MemOffset::Reg(c()?),
+        },
+        op::ST8_I => St8 {
+            s: a()?,
+            base: b()?,
+            off: MemOffset::Imm(imm16 as i16),
+        },
+        op::LDAW => Ldaw {
+            d: a()?,
+            base: b()?,
+            imm: imm16 as i16,
+        },
+        op::LDAP => Ldap {
+            d: a()?,
+            off: soff(),
+        },
         op::BU => Bu { off: soff() },
-        op::BT => Bt { s: a()?, off: soff() },
-        op::BF => Bf { s: a()?, off: soff() },
+        op::BT => Bt {
+            s: a()?,
+            off: soff(),
+        },
+        op::BF => Bf {
+            s: a()?,
+            off: soff(),
+        },
         op::BL => Bl { off: soff() },
         op::BAU => Bau { s: a()? },
         op::RET => Ret,
@@ -400,21 +564,34 @@ pub fn decode(words: &[u32]) -> Result<(Instr, usize), DecodeError> {
             ty: ResType::from_code(imm16 as u8).ok_or(DecodeError::BadResType(imm16 as u8))?,
         },
         op::FREER => FreeR { r: a()? },
-        op::TSPAWN => TSpawn { d: a()?, entry: b()?, arg: c()? },
+        op::TSPAWN => TSpawn {
+            d: a()?,
+            entry: b()?,
+            arg: c()?,
+        },
         op::FREET => FreeT,
         op::MSYNC => MSync { r: a()? },
         op::SSYNC => SSync { r: a()? },
         op::SETD => SetD { r: a()?, s: b()? },
         op::OUT => Out { r: a()?, s: b()? },
         op::OUTT => OutT { r: a()?, s: b()? },
-        op::OUTCT => OutCt { r: a()?, ct: ControlToken(imm16 as u8) },
+        op::OUTCT => OutCt {
+            r: a()?,
+            ct: ControlToken(imm16 as u8),
+        },
         op::IN => In { d: a()?, r: b()? },
         op::INT => InT { d: a()?, r: b()? },
-        op::CHKCT => ChkCt { r: a()?, ct: ControlToken(imm16 as u8) },
+        op::CHKCT => ChkCt {
+            r: a()?,
+            ct: ControlToken(imm16 as u8),
+        },
         op::TESTCT => TestCt { d: a()?, r: b()? },
         op::TMWAIT => TmWait { r: a()?, s: b()? },
         op::WAITEU => Waiteu,
-        op::SETV => SetV { r: a()?, off: soff() },
+        op::SETV => SetV {
+            r: a()?,
+            off: soff(),
+        },
         op::EEU => Eeu { r: a()? },
         op::EDU => Edu { r: a()? },
         op::CLRE => ClrE,
@@ -449,20 +626,59 @@ mod tests {
         use Instr::*;
         for i in [
             Nop,
-            Add { d: R0, a: R1, b: R2 },
-            Divu { d: R11, a: SP, b: LR },
+            Add {
+                d: R0,
+                a: R1,
+                b: R2,
+            },
+            Divu {
+                d: R11,
+                a: SP,
+                b: LR,
+            },
             Neg { d: R3, a: R4 },
-            AddI { d: R0, a: R0, imm: 65535 },
-            ShlI { d: R1, a: R2, imm: 31 },
+            AddI {
+                d: R0,
+                a: R0,
+                imm: 65535,
+            },
+            ShlI {
+                d: R1,
+                a: R2,
+                imm: 31,
+            },
             MkMskI { d: R5, width: 17 },
             Sext { r: R7, bits: 8 },
             Ldc { d: R0, imm: 42 },
-            Ldc { d: R0, imm: 0xDEAD_BEEF },
-            Ldw { d: R1, base: SP, off: MemOffset::Imm(-3) },
-            Ldw { d: R1, base: R2, off: MemOffset::Reg(R3) },
-            Stw { s: R9, base: R10, off: MemOffset::Imm(100) },
-            St8 { s: R0, base: R1, off: MemOffset::Reg(R2) },
-            Ldaw { d: R0, base: SP, imm: -8 },
+            Ldc {
+                d: R0,
+                imm: 0xDEAD_BEEF,
+            },
+            Ldw {
+                d: R1,
+                base: SP,
+                off: MemOffset::Imm(-3),
+            },
+            Ldw {
+                d: R1,
+                base: R2,
+                off: MemOffset::Reg(R3),
+            },
+            Stw {
+                s: R9,
+                base: R10,
+                off: MemOffset::Imm(100),
+            },
+            St8 {
+                s: R0,
+                base: R1,
+                off: MemOffset::Reg(R2),
+            },
+            Ldaw {
+                d: R0,
+                base: SP,
+                imm: -8,
+            },
             Ldap { d: R11, off: -200 },
             Bu { off: -1 },
             Bt { s: R4, off: 32000 },
@@ -470,24 +686,43 @@ mod tests {
             Bl { off: 12 },
             Bau { s: LR },
             Ret,
-            GetR { d: R2, ty: ResType::PowerProbe },
+            GetR {
+                d: R2,
+                ty: ResType::PowerProbe,
+            },
             FreeR { r: R2 },
-            TSpawn { d: R0, entry: R1, arg: R2 },
+            TSpawn {
+                d: R0,
+                entry: R1,
+                arg: R2,
+            },
             FreeT,
             MSync { r: R6 },
             SSync { r: R6 },
             SetD { r: R1, s: R2 },
             Out { r: R1, s: R2 },
             OutT { r: R1, s: R2 },
-            OutCt { r: R1, ct: ControlToken::END },
+            OutCt {
+                r: R1,
+                ct: ControlToken::END,
+            },
             In { d: R3, r: R1 },
             InT { d: R3, r: R1 },
-            ChkCt { r: R1, ct: ControlToken::PAUSE },
+            ChkCt {
+                r: R1,
+                ct: ControlToken::PAUSE,
+            },
             TestCt { d: R0, r: R1 },
             TmWait { r: R5, s: R6 },
             Waiteu,
-            Hostcall { func: HostcallFn::PrintInt, s: R0 },
-            Hostcall { func: HostcallFn::Halt, s: R0 },
+            Hostcall {
+                func: HostcallFn::PrintInt,
+                s: R0,
+            },
+            Hostcall {
+                func: HostcallFn::Halt,
+                s: R0,
+            },
         ] {
             round_trip(i);
         }
@@ -497,7 +732,11 @@ mod tests {
     fn wide_constants_use_extension_word() {
         let small = encode(&Instr::Ldc { d: R0, imm: 0xFFFF }).expect("encodes");
         assert_eq!(small.len(), 1);
-        let wide = encode(&Instr::Ldc { d: R0, imm: 0x1_0000 }).expect("encodes");
+        let wide = encode(&Instr::Ldc {
+            d: R0,
+            imm: 0x1_0000,
+        })
+        .expect("encodes");
         assert_eq!(wide.len(), 2);
         assert_eq!(wide.words()[1], 0x1_0000);
     }
@@ -516,7 +755,11 @@ mod tests {
         assert_eq!(decode(&[]), Err(DecodeError::Truncated));
         assert_eq!(decode(&[0xFFu32 << 24]), Err(DecodeError::BadOpcode(0xFF)));
         // ldc32 missing its extension word
-        let wide = encode(&Instr::Ldc { d: R0, imm: 1 << 20 }).expect("encodes");
+        let wide = encode(&Instr::Ldc {
+            d: R0,
+            imm: 1 << 20,
+        })
+        .expect("encodes");
         assert_eq!(decode(&wide.words()[..1]), Err(DecodeError::Truncated));
         // add with register field 15
         let bad = (op_add() << 24) | (0xF << 20);

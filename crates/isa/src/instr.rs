@@ -153,112 +153,320 @@ pub enum HostcallFn {
 #[allow(missing_docs)] // Fields are conventional: d=dest, a/b/s=sources, r=resource.
 pub enum Instr {
     // --- arithmetic / logic, three-register -------------------------------
-    Add { d: Reg, a: Reg, b: Reg },
-    Sub { d: Reg, a: Reg, b: Reg },
-    Mul { d: Reg, a: Reg, b: Reg },
-    Divs { d: Reg, a: Reg, b: Reg },
-    Divu { d: Reg, a: Reg, b: Reg },
-    Rems { d: Reg, a: Reg, b: Reg },
-    Remu { d: Reg, a: Reg, b: Reg },
-    And { d: Reg, a: Reg, b: Reg },
-    Or { d: Reg, a: Reg, b: Reg },
-    Xor { d: Reg, a: Reg, b: Reg },
-    Shl { d: Reg, a: Reg, b: Reg },
-    Shr { d: Reg, a: Reg, b: Reg },
-    Ashr { d: Reg, a: Reg, b: Reg },
-    Eq { d: Reg, a: Reg, b: Reg },
-    Lss { d: Reg, a: Reg, b: Reg },
-    Lsu { d: Reg, a: Reg, b: Reg },
+    Add {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Sub {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Mul {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Divs {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Divu {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Rems {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Remu {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    And {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Or {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Xor {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Shl {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Shr {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Ashr {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Eq {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Lss {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Lsu {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
 
     // --- arithmetic / logic, two-register ---------------------------------
-    Neg { d: Reg, a: Reg },
-    Not { d: Reg, a: Reg },
-    Clz { d: Reg, a: Reg },
-    Byterev { d: Reg, a: Reg },
-    Bitrev { d: Reg, a: Reg },
+    Neg {
+        d: Reg,
+        a: Reg,
+    },
+    Not {
+        d: Reg,
+        a: Reg,
+    },
+    Clz {
+        d: Reg,
+        a: Reg,
+    },
+    Byterev {
+        d: Reg,
+        a: Reg,
+    },
+    Bitrev {
+        d: Reg,
+        a: Reg,
+    },
 
     // --- immediate forms ---------------------------------------------------
-    AddI { d: Reg, a: Reg, imm: u16 },
-    SubI { d: Reg, a: Reg, imm: u16 },
-    EqI { d: Reg, a: Reg, imm: u16 },
-    ShlI { d: Reg, a: Reg, imm: u8 },
-    ShrI { d: Reg, a: Reg, imm: u8 },
-    AshrI { d: Reg, a: Reg, imm: u8 },
+    AddI {
+        d: Reg,
+        a: Reg,
+        imm: u16,
+    },
+    SubI {
+        d: Reg,
+        a: Reg,
+        imm: u16,
+    },
+    EqI {
+        d: Reg,
+        a: Reg,
+        imm: u16,
+    },
+    ShlI {
+        d: Reg,
+        a: Reg,
+        imm: u8,
+    },
+    ShrI {
+        d: Reg,
+        a: Reg,
+        imm: u8,
+    },
+    AshrI {
+        d: Reg,
+        a: Reg,
+        imm: u8,
+    },
     /// `mkmsk d, width`: d = (1 << width) - 1.
-    MkMskI { d: Reg, width: u8 },
+    MkMskI {
+        d: Reg,
+        width: u8,
+    },
     /// `mkmsk d, s`: d = (1 << s) - 1 (width from register).
-    MkMsk { d: Reg, s: Reg },
+    MkMsk {
+        d: Reg,
+        s: Reg,
+    },
     /// Sign-extend register in place from `bits` to 32.
-    Sext { r: Reg, bits: u8 },
+    Sext {
+        r: Reg,
+        bits: u8,
+    },
     /// Zero-extend register in place from `bits` to 32.
-    Zext { r: Reg, bits: u8 },
+    Zext {
+        r: Reg,
+        bits: u8,
+    },
     /// Load constant (up to 32 bits; wide constants use an extension word).
-    Ldc { d: Reg, imm: u32 },
+    Ldc {
+        d: Reg,
+        imm: u32,
+    },
 
     // --- memory ------------------------------------------------------------
-    Ldw { d: Reg, base: Reg, off: MemOffset },
-    Stw { s: Reg, base: Reg, off: MemOffset },
-    Ld16s { d: Reg, base: Reg, off: MemOffset },
-    Ld8u { d: Reg, base: Reg, off: MemOffset },
-    St16 { s: Reg, base: Reg, off: MemOffset },
-    St8 { s: Reg, base: Reg, off: MemOffset },
+    Ldw {
+        d: Reg,
+        base: Reg,
+        off: MemOffset,
+    },
+    Stw {
+        s: Reg,
+        base: Reg,
+        off: MemOffset,
+    },
+    Ld16s {
+        d: Reg,
+        base: Reg,
+        off: MemOffset,
+    },
+    Ld8u {
+        d: Reg,
+        base: Reg,
+        off: MemOffset,
+    },
+    St16 {
+        s: Reg,
+        base: Reg,
+        off: MemOffset,
+    },
+    St8 {
+        s: Reg,
+        base: Reg,
+        off: MemOffset,
+    },
     /// Load effective address of a word: d = base + 4*imm.
-    Ldaw { d: Reg, base: Reg, imm: i16 },
+    Ldaw {
+        d: Reg,
+        base: Reg,
+        imm: i16,
+    },
     /// Load a program-relative address: d = pc_next + 4*off.
-    Ldap { d: Reg, off: i32 },
+    Ldap {
+        d: Reg,
+        off: i32,
+    },
 
     // --- control flow (offsets in words, relative to next pc) --------------
-    Bu { off: i32 },
-    Bt { s: Reg, off: i32 },
-    Bf { s: Reg, off: i32 },
+    Bu {
+        off: i32,
+    },
+    Bt {
+        s: Reg,
+        off: i32,
+    },
+    Bf {
+        s: Reg,
+        off: i32,
+    },
     /// Branch and link (call); lr = return address.
-    Bl { off: i32 },
+    Bl {
+        off: i32,
+    },
     /// Branch absolute (register holds byte address).
-    Bau { s: Reg },
+    Bau {
+        s: Reg,
+    },
     /// Return via lr.
     Ret,
 
     // --- resources and threads ---------------------------------------------
-    GetR { d: Reg, ty: ResType },
-    FreeR { r: Reg },
+    GetR {
+        d: Reg,
+        ty: ResType,
+    },
+    FreeR {
+        r: Reg,
+    },
     /// Spawn a thread on this core: d = thread id, entry = byte address,
     /// arg becomes the new thread's r0. Condenses XS1's
     /// `getst/tsetpc/tseti/tstart` sequence (see `DESIGN.md` §5).
-    TSpawn { d: Reg, entry: Reg, arg: Reg },
+    TSpawn {
+        d: Reg,
+        entry: Reg,
+        arg: Reg,
+    },
     /// Terminate the current thread (`freet`).
     FreeT,
     /// Master synchronise on a barrier resource.
-    MSync { r: Reg },
+    MSync {
+        r: Reg,
+    },
     /// Slave synchronise on a barrier resource.
-    SSync { r: Reg },
+    SSync {
+        r: Reg,
+    },
 
     // --- channels, timers, locks, probes ------------------------------------
     /// Set the destination of a channel end (or parameter of a resource).
-    SetD { r: Reg, s: Reg },
+    SetD {
+        r: Reg,
+        s: Reg,
+    },
     /// Output a 32-bit word to a resource.
-    Out { r: Reg, s: Reg },
+    Out {
+        r: Reg,
+        s: Reg,
+    },
     /// Output a single byte token.
-    OutT { r: Reg, s: Reg },
+    OutT {
+        r: Reg,
+        s: Reg,
+    },
     /// Output a control token.
-    OutCt { r: Reg, ct: ControlToken },
+    OutCt {
+        r: Reg,
+        ct: ControlToken,
+    },
     /// Input a 32-bit word from a resource (chanend, timer, lock, probe).
-    In { d: Reg, r: Reg },
+    In {
+        d: Reg,
+        r: Reg,
+    },
     /// Input a single byte token.
-    InT { d: Reg, r: Reg },
+    InT {
+        d: Reg,
+        r: Reg,
+    },
     /// Check (consume) an expected control token; traps on mismatch.
-    ChkCt { r: Reg, ct: ControlToken },
+    ChkCt {
+        r: Reg,
+        ct: ControlToken,
+    },
     /// d = 1 if the next token on r is a control token, else 0 (peek).
-    TestCt { d: Reg, r: Reg },
+    TestCt {
+        d: Reg,
+        r: Reg,
+    },
     /// Block until the timer resource value is >= s.
-    TmWait { r: Reg, s: Reg },
+    TmWait {
+        r: Reg,
+        s: Reg,
+    },
 
     // --- events (the XS1 select mechanism) ----------------------------------
     /// Set a resource's event vector to a program-relative address.
-    SetV { r: Reg, off: i32 },
+    SetV {
+        r: Reg,
+        off: i32,
+    },
     /// Enable events on a resource for the executing thread.
-    Eeu { r: Reg },
+    Eeu {
+        r: Reg,
+    },
     /// Disable events on a resource.
-    Edu { r: Reg },
+    Edu {
+        r: Reg,
+    },
     /// Disable every event owned by the executing thread.
     ClrE,
 
@@ -268,7 +476,10 @@ pub enum Instr {
     /// no events enabled, idles the thread forever.
     Waiteu,
     /// Simulator service call.
-    Hostcall { func: HostcallFn, s: Reg },
+    Hostcall {
+        func: HostcallFn,
+        s: Reg,
+    },
 }
 
 impl Instr {
@@ -441,8 +652,17 @@ mod tests {
         assert!(Instr::Ret.is_branch());
         assert!(Instr::Bu { off: -1 }.is_branch());
         assert!(!Instr::Nop.is_branch());
-        assert!(Instr::Out { r: Reg::R0, s: Reg::R1 }.is_resource_op());
-        assert!(!Instr::Add { d: Reg::R0, a: Reg::R0, b: Reg::R0 }.is_resource_op());
+        assert!(Instr::Out {
+            r: Reg::R0,
+            s: Reg::R1
+        }
+        .is_resource_op());
+        assert!(!Instr::Add {
+            d: Reg::R0,
+            a: Reg::R0,
+            b: Reg::R0
+        }
+        .is_resource_op());
     }
 
     #[test]

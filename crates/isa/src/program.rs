@@ -72,7 +72,7 @@ impl Program {
     /// Fails for unaligned or out-of-range addresses and for words that do
     /// not decode (e.g. data sections).
     pub fn decode_at(&self, addr: u32) -> Result<(Instr, usize), DecodeError> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(DecodeError::BadAddress(addr));
         }
         let idx = (addr / 4) as usize;

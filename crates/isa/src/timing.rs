@@ -82,9 +82,19 @@ impl EnergyClass {
             GetR { .. } | FreeR { .. } | FreeT | TSpawn { .. } | MSync { .. } | SSync { .. } => {
                 EnergyClass::Resource
             }
-            SetD { .. } | Out { .. } | OutT { .. } | OutCt { .. } | In { .. } | InT { .. }
-            | ChkCt { .. } | TestCt { .. } | TmWait { .. } | SetV { .. } | Eeu { .. }
-            | Edu { .. } | ClrE => EnergyClass::Comm,
+            SetD { .. }
+            | Out { .. }
+            | OutT { .. }
+            | OutCt { .. }
+            | In { .. }
+            | InT { .. }
+            | ChkCt { .. }
+            | TestCt { .. }
+            | TmWait { .. }
+            | SetV { .. }
+            | Eeu { .. }
+            | Edu { .. }
+            | ClrE => EnergyClass::Comm,
             Hostcall { .. } => EnergyClass::Resource,
             _ => EnergyClass::Alu,
         }
@@ -102,28 +112,72 @@ mod tests {
         use Instr::*;
         let singles = [
             Nop,
-            Add { d: R0, a: R1, b: R2 },
-            Mul { d: R0, a: R1, b: R2 },
-            Ldw { d: R0, base: R1, off: MemOffset::Imm(0) },
+            Add {
+                d: R0,
+                a: R1,
+                b: R2,
+            },
+            Mul {
+                d: R0,
+                a: R1,
+                b: R2,
+            },
+            Ldw {
+                d: R0,
+                base: R1,
+                off: MemOffset::Imm(0),
+            },
             Bu { off: 0 },
             Out { r: R0, s: R1 },
         ];
         for i in singles {
             assert_eq!(issue_cycles(&i), 1, "{i}");
         }
-        assert_eq!(issue_cycles(&Instr::Divs { d: R0, a: R1, b: R2 }), 32);
-        assert_eq!(issue_cycles(&Instr::Remu { d: R0, a: R1, b: R2 }), 32);
+        assert_eq!(
+            issue_cycles(&Instr::Divs {
+                d: R0,
+                a: R1,
+                b: R2
+            }),
+            32
+        );
+        assert_eq!(
+            issue_cycles(&Instr::Remu {
+                d: R0,
+                a: R1,
+                b: R2
+            }),
+            32
+        );
     }
 
     #[test]
     fn classes_cover_expected_instructions() {
         use Instr::*;
         assert_eq!(EnergyClass::of(&Nop), EnergyClass::Idle);
-        assert_eq!(EnergyClass::of(&Add { d: R0, a: R1, b: R2 }), EnergyClass::Alu);
-        assert_eq!(EnergyClass::of(&Ldc { d: R0, imm: 1 }), EnergyClass::Alu);
-        assert_eq!(EnergyClass::of(&Mul { d: R0, a: R1, b: R2 }), EnergyClass::Mul);
         assert_eq!(
-            EnergyClass::of(&Stw { s: R0, base: R1, off: MemOffset::Imm(0) }),
+            EnergyClass::of(&Add {
+                d: R0,
+                a: R1,
+                b: R2
+            }),
+            EnergyClass::Alu
+        );
+        assert_eq!(EnergyClass::of(&Ldc { d: R0, imm: 1 }), EnergyClass::Alu);
+        assert_eq!(
+            EnergyClass::of(&Mul {
+                d: R0,
+                a: R1,
+                b: R2
+            }),
+            EnergyClass::Mul
+        );
+        assert_eq!(
+            EnergyClass::of(&Stw {
+                s: R0,
+                base: R1,
+                off: MemOffset::Imm(0)
+            }),
             EnergyClass::Mem
         );
         assert_eq!(EnergyClass::of(&Ret), EnergyClass::Branch);

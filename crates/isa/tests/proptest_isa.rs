@@ -1,8 +1,10 @@
 //! Property tests over the ISA: encode/decode and assemble/disassemble are
 //! mutually inverse for arbitrary instructions.
 
-use proptest::prelude::*;
-use swallow_isa::{decode, encode, Assembler, ControlToken, HostcallFn, Instr, MemOffset, Reg, ResType};
+use swallow_isa::{
+    decode, encode, Assembler, ControlToken, HostcallFn, Instr, MemOffset, Reg, ResType,
+};
+use swallow_testkit::proptest::prelude::*;
 
 fn any_reg() -> impl Strategy<Value = Reg> {
     (0usize..14).prop_map(|i| Reg::from_index(i).expect("valid index"))
@@ -83,8 +85,14 @@ fn any_instr() -> impl Strategy<Value = Instr> {
         r().prop_map(|r| Instr::Eeu { r }),
         r().prop_map(|r| Instr::Edu { r }),
         Just(Instr::ClrE),
-        r().prop_map(|s| Instr::Hostcall { func: HostcallFn::PrintInt, s }),
-        r().prop_map(|s| Instr::Hostcall { func: HostcallFn::PrintChar, s }),
+        r().prop_map(|s| Instr::Hostcall {
+            func: HostcallFn::PrintInt,
+            s
+        }),
+        r().prop_map(|s| Instr::Hostcall {
+            func: HostcallFn::PrintChar,
+            s
+        }),
     ]
 }
 

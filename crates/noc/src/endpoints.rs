@@ -12,8 +12,15 @@ use swallow_isa::{NodeId, ResourceId, Token};
 /// All methods address a core by its [`NodeId`]; channel ends by their
 /// per-core index.
 pub trait CoreEndpoints {
-    /// Channel-end indices with tokens waiting to transmit on `node`.
-    fn tx_pending(&self, node: NodeId) -> Vec<u8>;
+    /// True when any chanend on `node` has tokens waiting to transmit.
+    /// Must be O(1)-cheap: the fabric calls it per node per step to skip
+    /// the injection scan.
+    fn has_tx_pending(&self, node: NodeId) -> bool;
+
+    /// Visits every chanend index on `node` with tokens waiting to
+    /// transmit, in ascending index order. Allocation-free by design
+    /// (the old `-> Vec<u8>` shape allocated on every fabric step).
+    fn for_each_tx_pending(&self, node: NodeId, visit: &mut dyn FnMut(u8));
 
     /// The next outgoing token of a chanend and its destination.
     fn tx_front(&self, node: NodeId, chanend: u8) -> Option<(ResourceId, Token)>;
@@ -75,7 +82,8 @@ impl TestEndpoints {
     /// Drains and reassembles received data tokens into words (MSB first),
     /// ignoring control tokens.
     pub fn received_words(&self, node: NodeId, chanend: u8) -> Vec<u32> {
-        let bytes: Vec<u8> = self.received(node, chanend)
+        let bytes: Vec<u8> = self
+            .received(node, chanend)
             .iter()
             .filter_map(|t| t.data())
             .collect();
@@ -87,13 +95,16 @@ impl TestEndpoints {
 }
 
 impl CoreEndpoints for TestEndpoints {
-    fn tx_pending(&self, node: NodeId) -> Vec<u8> {
-        self.out[node.raw() as usize]
-            .iter()
-            .enumerate()
-            .filter(|(_, q)| !q.is_empty())
-            .map(|(i, _)| i as u8)
-            .collect()
+    fn has_tx_pending(&self, node: NodeId) -> bool {
+        self.out[node.raw() as usize].iter().any(|q| !q.is_empty())
+    }
+
+    fn for_each_tx_pending(&self, node: NodeId, visit: &mut dyn FnMut(u8)) {
+        for (i, q) in self.out[node.raw() as usize].iter().enumerate() {
+            if !q.is_empty() {
+                visit(i as u8);
+            }
+        }
     }
 
     fn tx_front(&self, node: NodeId, chanend: u8) -> Option<(ResourceId, Token)> {

@@ -220,6 +220,8 @@ impl FabricBuilder {
             dest_owner: HashMap::new(),
             sticky: HashMap::new(),
             unroutable: 0,
+            in_network: 0,
+            tx_scratch: Vec::new(),
         }
     }
 }
@@ -244,6 +246,14 @@ pub struct Fabric {
     /// how §V.B describes its use.
     sticky: HashMap<(u32, NodeId, NodeId), LinkId>,
     unroutable: u64,
+    /// Tokens currently inside the network (on a wire, in a receive
+    /// queue, or in a loopback queue). Maintained incrementally so
+    /// idleness checks and the fast-forward event query are O(1) when
+    /// the network is empty.
+    in_network: usize,
+    /// Reusable buffer for the per-node injection scan (avoids a heap
+    /// allocation per step).
+    tx_scratch: Vec<u8>,
 }
 
 impl Fabric {
@@ -264,12 +274,60 @@ impl Fabric {
     }
 
     /// True when no token is on a wire, in a receive queue or in a
-    /// loopback queue.
+    /// loopback queue. O(1): the population is counted incrementally.
     pub fn is_idle(&self) -> bool {
-        self.links
-            .iter()
-            .all(|l| l.in_flight.is_empty() && l.rx.is_empty())
-            && self.loopback.iter().all(|q| q.is_empty())
+        debug_assert_eq!(
+            self.in_network,
+            self.links
+                .iter()
+                .map(|l| l.in_flight.len() + l.rx.len())
+                .sum::<usize>()
+                + self.loopback.iter().map(|q| q.len()).sum::<usize>(),
+            "in-network token counter out of sync"
+        );
+        self.in_network == 0
+    }
+
+    /// Number of tokens currently inside the network. O(1).
+    pub fn tokens_in_network(&self) -> usize {
+        self.in_network
+    }
+
+    /// The earliest instant at which the fabric itself has work to do,
+    /// given no further core activity: `Some(now)` when tokens are
+    /// already deliverable or queued at a switch, the earliest wire /
+    /// loopback arrival otherwise, and `None` when the network is empty.
+    ///
+    /// This is the network half of the fast-forward contract: strictly
+    /// before the returned instant, [`Fabric::step`] without new core
+    /// traffic is a no-op.
+    pub fn next_event_at(&self, now: Time) -> Option<Time> {
+        if self.in_network == 0 {
+            return None;
+        }
+        let mut earliest: Option<Time> = None;
+        for link in &self.links {
+            if !link.rx.is_empty() {
+                // Queued at the switch: forwarding/delivery can progress
+                // (or is head-of-line blocked and must be retried) now.
+                return Some(now);
+            }
+            if let Some(&(arrival, ..)) = link.in_flight.front() {
+                if arrival <= now {
+                    return Some(now);
+                }
+                earliest = Some(earliest.map_or(arrival, |e: Time| e.min(arrival)));
+            }
+        }
+        for queue in &self.loopback {
+            if let Some(&(arrival, ..)) = queue.front() {
+                if arrival <= now {
+                    return Some(now);
+                }
+                earliest = Some(earliest.map_or(arrival, |e: Time| e.min(arrival)));
+            }
+        }
+        earliest
     }
 
     /// Per-link statistics.
@@ -304,9 +362,11 @@ impl Fabric {
     /// Advances the fabric to `now`: lands arrivals, forwards queued
     /// tokens, injects core traffic and delivers to cores.
     pub fn step<E: CoreEndpoints>(&mut self, now: Time, cores: &mut E) {
-        self.land_arrivals(now);
-        self.deliver_loopback(now, cores);
-        self.forward_rx(now, cores);
+        if self.in_network > 0 {
+            self.land_arrivals(now);
+            self.deliver_loopback(now, cores);
+            self.forward_rx(now, cores);
+        }
         self.inject_from_cores(now, cores);
     }
 
@@ -337,6 +397,7 @@ impl Fabric {
                     )
                 {
                     self.loopback[node].pop_front();
+                    self.in_network -= 1;
                 } else {
                     break;
                 }
@@ -378,10 +439,7 @@ impl Fabric {
         for node in 0..self.nodes {
             for i in 0..self.incoming[node].len() {
                 let lid = self.incoming[node][i];
-                loop {
-                    let Some(&(token, flow, dest)) = self.links[lid.0 as usize].rx.front() else {
-                        break;
-                    };
+                while let Some(&(token, flow, dest)) = self.links[lid.0 as usize].rx.front() {
                     if dest.node().raw() as usize == node {
                         if Self::try_deliver(
                             &mut self.dest_owner,
@@ -392,6 +450,7 @@ impl Fabric {
                             flow,
                         ) {
                             self.links[lid.0 as usize].rx.pop_front();
+                            self.in_network -= 1;
                         } else {
                             break; // head-of-line blocked on the core
                         }
@@ -399,10 +458,12 @@ impl Fabric {
                         match self.try_transmit(now, NodeId(node as u16), token, flow, dest) {
                             TxResult::Started => {
                                 self.links[lid.0 as usize].rx.pop_front();
+                                self.in_network -= 1;
                             }
                             TxResult::Busy => break,
                             TxResult::Unroutable => {
                                 self.links[lid.0 as usize].rx.pop_front();
+                                self.in_network -= 1;
                                 self.unroutable += 1;
                             }
                         }
@@ -413,13 +474,16 @@ impl Fabric {
     }
 
     fn inject_from_cores<E: CoreEndpoints>(&mut self, now: Time, cores: &mut E) {
+        let mut pending = std::mem::take(&mut self.tx_scratch);
         for node in 0..self.nodes {
             let node_id = NodeId(node as u16);
-            for chanend in cores.tx_pending(node_id) {
-                loop {
-                    let Some((dest, token)) = cores.tx_front(node_id, chanend) else {
-                        break;
-                    };
+            if !cores.has_tx_pending(node_id) {
+                continue;
+            }
+            pending.clear();
+            cores.for_each_tx_pending(node_id, &mut |ch| pending.push(ch));
+            for &chanend in &pending {
+                while let Some((dest, token)) = cores.tx_front(node_id, chanend) {
                     let flow = ResourceId::new(node_id, chanend, ResType::Chanend).raw();
                     if dest.node() == node_id {
                         // Core-local: loopback path, no serial link.
@@ -431,6 +495,7 @@ impl Fabric {
                                 token,
                                 flow,
                             ));
+                            self.in_network += 1;
                         } else {
                             break;
                         }
@@ -449,6 +514,7 @@ impl Fabric {
                 }
             }
         }
+        self.tx_scratch = pending;
     }
 
     fn try_transmit(
@@ -530,6 +596,8 @@ impl Fabric {
         }
         let arrival = start + link.params.token_time;
         link.in_flight.push_back((arrival, token, flow, dest));
+        self.in_network += 1;
+        let link = &mut self.links[lid.0 as usize];
         link.busy_until = arrival;
         link.busy_time += link.params.token_time;
         link.energy += link.params.token_energy();

@@ -309,10 +309,26 @@ mod tests {
     /// {0,1} in package 0 (vertical, horizontal) and {2,3} in package 1.
     fn mini_lattice() -> (Vec<Coord>, Vec<LinkDesc>) {
         let coords = vec![
-            Coord { x: 0, y: 0, layer: Layer::Vertical },
-            Coord { x: 0, y: 0, layer: Layer::Horizontal },
-            Coord { x: 1, y: 0, layer: Layer::Vertical },
-            Coord { x: 1, y: 0, layer: Layer::Horizontal },
+            Coord {
+                x: 0,
+                y: 0,
+                layer: Layer::Vertical,
+            },
+            Coord {
+                x: 0,
+                y: 0,
+                layer: Layer::Horizontal,
+            },
+            Coord {
+                x: 1,
+                y: 0,
+                layer: Layer::Vertical,
+            },
+            Coord {
+                x: 1,
+                y: 0,
+                layer: Layer::Horizontal,
+            },
         ];
         let links = vec![
             // Internal pairs (both directions).
@@ -333,19 +349,35 @@ mod tests {
         let r = TableRouter::vertical_first(&coords, &links);
         // Vertical-layer node 0 to horizontal-layer node 3 in the other
         // package: must first go internal (to node 1), then East.
-        let first = r.candidates(NodeId(0), NodeId(3)).iter().next().expect("routed");
+        let first = r
+            .candidates(NodeId(0), NodeId(3))
+            .iter()
+            .next()
+            .expect("routed");
         assert_eq!(first.raw(), 0, "internal link first");
-        let second = r.candidates(NodeId(1), NodeId(3)).iter().next().expect("routed");
+        let second = r
+            .candidates(NodeId(1), NodeId(3))
+            .iter()
+            .next()
+            .expect("routed");
         assert_eq!(second.raw(), 4, "then East");
         // Horizontal to horizontal, same row: straight East, no layer
         // transition at all.
         assert_eq!(
-            r.candidates(NodeId(1), NodeId(3)).iter().next().expect("routed").raw(),
+            r.candidates(NodeId(1), NodeId(3))
+                .iter()
+                .next()
+                .expect("routed")
+                .raw(),
             4
         );
         // Same package: internal.
         assert_eq!(
-            r.candidates(NodeId(2), NodeId(3)).iter().next().expect("routed").raw(),
+            r.candidates(NodeId(2), NodeId(3))
+                .iter()
+                .next()
+                .expect("routed")
+                .raw(),
             2
         );
     }
@@ -357,6 +389,13 @@ mod tests {
         let mut c = Candidates::EMPTY;
         c.push(LinkId(1));
         r.set(NodeId(1), NodeId(3), c);
-        assert_eq!(r.candidates(NodeId(1), NodeId(3)).iter().next().expect("set").raw(), 1);
+        assert_eq!(
+            r.candidates(NodeId(1), NodeId(3))
+                .iter()
+                .next()
+                .expect("set")
+                .raw(),
+            1
+        );
     }
 }

@@ -35,8 +35,7 @@ fn run(fabric: &mut Fabric, eps: &mut TestEndpoints, budget_ns: u64) -> Time {
     for _ in 0..budget_ns / 2 {
         now += step;
         fabric.step(now, eps);
-        let drained = (0..eps.out.len())
-            .all(|n| eps.out[n].iter().all(|q| q.is_empty()));
+        let drained = (0..eps.out.len()).all(|n| eps.out[n].iter().all(|q| q.is_empty()));
         if drained && fabric.is_idle() {
             break;
         }
@@ -55,7 +54,8 @@ fn single_word_crosses_one_link() {
     // 3 header + 4 data + 1 END tokens at 32 ns = 256 ns on the wire.
     let expected = TimeDelta::from_ns(8 * 32);
     assert!(
-        end.since(Time::ZERO) >= expected && end.since(Time::ZERO) <= expected + TimeDelta::from_ns(40),
+        end.since(Time::ZERO) >= expected
+            && end.since(Time::ZERO) <= expected + TimeDelta::from_ns(40),
         "took {end}"
     );
     let stats: Vec<_> = fabric.link_stats().collect();
@@ -80,7 +80,10 @@ fn packet_overhead_approaches_paper_figure() {
     }
     let end = run(&mut fabric, &mut eps, 10_000_000);
     assert_eq!(eps.received_words(NodeId(1), 0).len(), packets * 8);
-    let stats = fabric.link_stats().find(|s| s.data_tokens > 0).expect("used");
+    let stats = fabric
+        .link_stats()
+        .find(|s| s.data_tokens > 0)
+        .expect("used");
     let total_tokens = stats.data_tokens + stats.ctrl_tokens + stats.header_tokens;
     let efficiency = stats.data_tokens as f64 / total_tokens as f64;
     assert!(
@@ -252,7 +255,10 @@ fn link_energy_matches_table_i_per_bit() {
     }
     eps.queue_token(NodeId(0), 0, chan(1, 0), Token::Ctrl(ControlToken::END));
     run(&mut fabric, &mut eps, 100_000_000);
-    let stats = fabric.link_stats().find(|s| s.data_tokens > 0).expect("used");
+    let stats = fabric
+        .link_stats()
+        .find(|s| s.data_tokens > 0)
+        .expect("used");
     assert_eq!(stats.data_tokens as u32, words * 4);
     // Raw per-bit energy (payload + header + ctrl overhead amortised over
     // payload bits) is within a few percent of Table I's 5.6 pJ/bit for a
@@ -270,10 +276,26 @@ fn vertical_first_router_on_a_package_pair_reaches_everything() {
     use swallow_noc::routing::{Coord, Layer};
     // Two packages side by side: nodes 0/1 (pkg 0: V, H), 2/3 (pkg 1).
     let coords = vec![
-        Coord { x: 0, y: 0, layer: Layer::Vertical },
-        Coord { x: 0, y: 0, layer: Layer::Horizontal },
-        Coord { x: 1, y: 0, layer: Layer::Vertical },
-        Coord { x: 1, y: 0, layer: Layer::Horizontal },
+        Coord {
+            x: 0,
+            y: 0,
+            layer: Layer::Vertical,
+        },
+        Coord {
+            x: 0,
+            y: 0,
+            layer: Layer::Horizontal,
+        },
+        Coord {
+            x: 1,
+            y: 0,
+            layer: Layer::Vertical,
+        },
+        Coord {
+            x: 1,
+            y: 0,
+            layer: Layer::Horizontal,
+        },
     ];
     let mut b = FabricBuilder::new(4);
     let internal = LinkParams::from_class(WireClass::OnChip);
@@ -291,8 +313,18 @@ fn vertical_first_router_on_a_package_pair_reaches_everything() {
             if src == dst {
                 continue;
             }
-            eps.queue_word(NodeId(src), dst as u8, chan(dst, src as u8), (src as u32) << 8 | dst as u32);
-            eps.queue_token(NodeId(src), dst as u8, chan(dst, src as u8), Token::Ctrl(ControlToken::END));
+            eps.queue_word(
+                NodeId(src),
+                dst as u8,
+                chan(dst, src as u8),
+                (src as u32) << 8 | dst as u32,
+            );
+            eps.queue_token(
+                NodeId(src),
+                dst as u8,
+                chan(dst, src as u8),
+                Token::Ctrl(ControlToken::END),
+            );
         }
     }
     run(&mut fabric, &mut eps, 10_000_000);

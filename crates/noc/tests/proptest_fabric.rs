@@ -1,12 +1,12 @@
 //! Property tests over the fabric: arbitrary line/ring topologies and
 //! packetisations always deliver every token, in order, with zero loss.
 
-use proptest::prelude::*;
 use swallow_energy::WireClass;
 use swallow_isa::{ControlToken, NodeId, ResType, ResourceId, Token};
 use swallow_noc::endpoints::TestEndpoints;
 use swallow_noc::{Direction, Fabric, FabricBuilder, LinkParams, TableRouter};
 use swallow_sim::{Time, TimeDelta};
+use swallow_testkit::proptest::prelude::*;
 
 fn chan(node: u16, idx: u8) -> ResourceId {
     ResourceId::new(NodeId(node), idx, ResType::Chanend)

@@ -149,13 +149,13 @@ impl fmt::Display for TimeDelta {
         let ps = self.0;
         if ps == 0 {
             write!(f, "0s")
-        } else if ps % PS_PER_S == 0 {
+        } else if ps.is_multiple_of(PS_PER_S) {
             write!(f, "{}s", ps / PS_PER_S)
-        } else if ps % PS_PER_MS == 0 {
+        } else if ps.is_multiple_of(PS_PER_MS) {
             write!(f, "{}ms", ps / PS_PER_MS)
-        } else if ps % PS_PER_US == 0 {
+        } else if ps.is_multiple_of(PS_PER_US) {
             write!(f, "{}us", ps / PS_PER_US)
-        } else if ps % PS_PER_NS == 0 {
+        } else if ps.is_multiple_of(PS_PER_NS) {
             write!(f, "{}ns", ps / PS_PER_NS)
         } else {
             write!(f, "{}ps", ps)
@@ -294,20 +294,18 @@ impl Frequency {
 
     /// Number of whole cycles that fit into `delta`.
     pub fn cycles_in(self, delta: TimeDelta) -> u64 {
-        let p = self.period().as_ps();
-        if p == 0 {
-            0
-        } else {
-            delta.as_ps() / p
-        }
+        delta
+            .as_ps()
+            .checked_div(self.period().as_ps())
+            .unwrap_or(0)
     }
 }
 
 impl fmt::Display for Frequency {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % 1_000_000 == 0 {
+        if self.0.is_multiple_of(1_000_000) {
             write!(f, "{}MHz", self.0 / 1_000_000)
-        } else if self.0 % 1_000 == 0 {
+        } else if self.0.is_multiple_of(1_000) {
             write!(f, "{}kHz", self.0 / 1_000)
         } else {
             write!(f, "{}Hz", self.0)
@@ -350,7 +348,10 @@ mod tests {
         assert_eq!(Frequency::from_mhz(500).period(), TimeDelta::from_ps(2_000));
         assert_eq!(Frequency::from_mhz(400).period(), TimeDelta::from_ps(2_500));
         assert_eq!(Frequency::from_mhz(250).period(), TimeDelta::from_ps(4_000));
-        assert_eq!(Frequency::from_mhz(100).period(), TimeDelta::from_ps(10_000));
+        assert_eq!(
+            Frequency::from_mhz(100).period(),
+            TimeDelta::from_ps(10_000)
+        );
         // 71 MHz does not divide 1e12 exactly; the period rounds to nearest.
         assert_eq!(Frequency::from_mhz(71).period(), TimeDelta::from_ps(14_085));
     }

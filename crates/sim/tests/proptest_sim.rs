@@ -1,9 +1,9 @@
 //! Property tests of the simulation kernel: queue ordering, time
 //! arithmetic and statistics invariants under arbitrary inputs.
 
-use proptest::prelude::*;
 use swallow_sim::stats::{Histogram, LinearFit, MeanVar};
 use swallow_sim::{DetRng, EventQueue, Frequency, Time, TimeDelta};
+use swallow_testkit::proptest::prelude::*;
 
 proptest! {
     /// Pops are globally ordered by time, FIFO within a timestamp.

@@ -1,0 +1,181 @@
+//! A criterion-compatible micro-benchmark harness.
+//!
+//! Supports the subset of the `criterion` crate API used by the
+//! `[[bench]]` targets in `crates/bench`: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!`
+//! macros. Each benchmark times `sample_size` runs of the routine and
+//! prints a criterion-style `time: [min median max]` line.
+
+use std::time::Instant;
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let default_sample_size = std::env::var("SWALLOW_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_SAMPLE_SIZE);
+        Criterion {
+            default_sample_size,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.default_sample_size, f);
+    }
+}
+
+/// A named benchmark group sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+    }
+
+    /// Ends the group (report lines are already printed eagerly).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample after a short warmup.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples_ns.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+fn run_one<F>(id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        sample_size,
+        samples_ns: Vec::with_capacity(sample_size),
+    };
+    f(&mut bencher);
+    if bencher.samples_ns.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    bencher
+        .samples_ns
+        .sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let min = bencher.samples_ns[0];
+    let max = *bencher.samples_ns.last().expect("non-empty");
+    let median = bencher.samples_ns[bencher.samples_ns.len() / 2];
+    println!(
+        "{id:<40} time:   [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::bench::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("counting", |b| b.iter(|| runs += 1));
+        g.finish();
+        // 1 warmup + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2e9).ends_with('s'));
+    }
+}

@@ -159,7 +159,21 @@ mod tests {
     #[test]
     fn validation() {
         let grid = GridSpec::ONE_SLICE;
-        assert!(generate(&ServiceSpec { clients: 0, requests_per_client: 1 }, grid).is_err());
-        assert!(generate(&ServiceSpec { clients: 16, requests_per_client: 1 }, grid).is_err());
+        assert!(generate(
+            &ServiceSpec {
+                clients: 0,
+                requests_per_client: 1
+            },
+            grid
+        )
+        .is_err());
+        assert!(generate(
+            &ServiceSpec {
+                clients: 16,
+                requests_per_client: 1
+            },
+            grid
+        )
+        .is_err());
     }
 }

@@ -277,7 +277,8 @@ mod tests {
     #[test]
     fn stencil_rotates_values() {
         for (nodes, rounds) in [(4usize, 1u32), (6, 3), (16, 20)] {
-            let placement = stencil_exchange(nodes, rounds, GridSpec::ONE_SLICE).expect("generates");
+            let placement =
+                stencil_exchange(nodes, rounds, GridSpec::ONE_SLICE).expect("generates");
             let system = run(&placement);
             for i in 0..nodes {
                 assert_eq!(

@@ -77,7 +77,9 @@ impl EcScenario {
     /// operating rates of Table I.
     pub fn comm_bandwidth_bps(self, f: Frequency) -> f64 {
         let internal = swallow::energy::WireClass::OnChip.data_rate().as_hz() as f64;
-        let external = swallow::energy::WireClass::BoardVertical.data_rate().as_hz() as f64;
+        let external = swallow::energy::WireClass::BoardVertical
+            .data_rate()
+            .as_hz() as f64;
         match self {
             // Core-local communication "can sustain this data rate" (§V.D).
             EcScenario::CoreLocal => self.compute_bandwidth_bps(f),

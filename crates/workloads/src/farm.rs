@@ -81,7 +81,12 @@ pub fn generate(spec: &FarmSpec, grid: GridSpec) -> Result<Placement, GenError> 
     // The worker-rid table doubles as the dispatch-chanend table after
     // the allocation loop rewrites it.
     let table: String = (0..spec.workers)
-        .map(|i| format!("            .word {}\n", chanend_rid(NodeId((i + 1) as u16), 0)))
+        .map(|i| {
+            format!(
+                "            .word {}\n",
+                chanend_rid(NodeId((i + 1) as u16), 0)
+            )
+        })
         .collect();
     placement.assign(
         NodeId(0),
@@ -208,7 +213,23 @@ mod tests {
     #[test]
     fn validation() {
         let grid = GridSpec::ONE_SLICE;
-        assert!(generate(&FarmSpec { workers: 0, tasks: 1, work_per_task: 0 }, grid).is_err());
-        assert!(generate(&FarmSpec { workers: 16, tasks: 1, work_per_task: 0 }, grid).is_err());
+        assert!(generate(
+            &FarmSpec {
+                workers: 0,
+                tasks: 1,
+                work_per_task: 0
+            },
+            grid
+        )
+        .is_err());
+        assert!(generate(
+            &FarmSpec {
+                workers: 16,
+                tasks: 1,
+                work_per_task: 0
+            },
+            grid
+        )
+        .is_err());
     }
 }

@@ -153,8 +153,10 @@ pub fn generate(spec: &MatVecSpec, grid: GridSpec) -> Result<Placement, GenError
     }
     // One broadcast chanend, re-aimed per worker: `setd` between packets
     // is safe (each token's route is fixed when it is emitted).
-    let mut broadcast = String::from("                getr  r1, chanend
-");
+    let mut broadcast = String::from(
+        "                getr  r1, chanend
+",
+    );
     for w in 0..spec.workers {
         if (0..n).filter(|i| i % spec.workers == w).count() == 0 {
             continue;
@@ -233,27 +235,63 @@ mod tests {
 
     #[test]
     fn small_product_is_exact() {
-        let spec = MatVecSpec { n: 4, workers: 2, seed: 1 };
+        let spec = MatVecSpec {
+            n: 4,
+            workers: 2,
+            seed: 1,
+        };
         assert_eq!(run_matvec(spec), expected_y(&spec));
     }
 
     #[test]
     fn sixteen_by_sixteen_on_fifteen_workers() {
-        let spec = MatVecSpec { n: 16, workers: 15, seed: 99 };
+        let spec = MatVecSpec {
+            n: 16,
+            workers: 15,
+            seed: 99,
+        };
         assert_eq!(run_matvec(spec), expected_y(&spec));
     }
 
     #[test]
     fn more_workers_than_rows() {
-        let spec = MatVecSpec { n: 3, workers: 8, seed: 7 };
+        let spec = MatVecSpec {
+            n: 3,
+            workers: 8,
+            seed: 7,
+        };
         assert_eq!(run_matvec(spec), expected_y(&spec));
     }
 
     #[test]
     fn validation() {
         let grid = GridSpec::ONE_SLICE;
-        assert!(generate(&MatVecSpec { n: 0, workers: 1, seed: 0 }, grid).is_err());
-        assert!(generate(&MatVecSpec { n: 4, workers: 16, seed: 0 }, grid).is_err());
-        assert!(generate(&MatVecSpec { n: 300, workers: 4, seed: 0 }, grid).is_err());
+        assert!(generate(
+            &MatVecSpec {
+                n: 0,
+                workers: 1,
+                seed: 0
+            },
+            grid
+        )
+        .is_err());
+        assert!(generate(
+            &MatVecSpec {
+                n: 4,
+                workers: 16,
+                seed: 0
+            },
+            grid
+        )
+        .is_err());
+        assert!(generate(
+            &MatVecSpec {
+                n: 300,
+                workers: 4,
+                seed: 0
+            },
+            grid
+        )
+        .is_err());
     }
 }

@@ -259,11 +259,15 @@ pub fn generate(spec: &NosSpec, grid: GridSpec) -> Result<Placement, GenError> {
         return Err(GenError::BadParameter("service_name exceeds name table"));
     }
     if spec.clients.is_empty() || spec.clients.iter().any(Vec::is_empty) {
-        return Err(GenError::BadParameter("each client needs at least one call"));
+        return Err(GenError::BadParameter(
+            "each client needs at least one call",
+        ));
     }
     let ns_node = NodeId(0);
     if spec.service_node == ns_node {
-        return Err(GenError::BadParameter("service cannot share the name server's node"));
+        return Err(GenError::BadParameter(
+            "service cannot share the name server's node",
+        ));
     }
     // Allocate client nodes.
     let mut client_nodes = Vec::new();
@@ -298,7 +302,12 @@ pub fn generate(spec: &NosSpec, grid: GridSpec) -> Result<Placement, GenError> {
     let mut placement = Placement::new();
     placement.assign(
         spec.service_node,
-        &service_kernel(spec.service_name, ns_rid, spec.service_node, service_requests),
+        &service_kernel(
+            spec.service_name,
+            ns_rid,
+            spec.service_node,
+            service_requests,
+        ),
     )?;
     for (script, node) in spec.clients.iter().zip(&client_nodes) {
         placement.assign(*node, &client(*node, ns_rid, script))?;
@@ -318,9 +327,24 @@ mod tests {
             service_name: 7,
             service_node: NodeId(5),
             clients: vec![vec![
-                NosCall { service: 7, op: NosOp::Square, a: 12, b: 0 },
-                NosCall { service: 7, op: NosOp::Add, a: 30, b: 12 },
-                NosCall { service: 7, op: NosOp::Exit, a: 0, b: 0 },
+                NosCall {
+                    service: 7,
+                    op: NosOp::Square,
+                    a: 12,
+                    b: 0,
+                },
+                NosCall {
+                    service: 7,
+                    op: NosOp::Add,
+                    a: 30,
+                    b: 12,
+                },
+                NosCall {
+                    service: 7,
+                    op: NosOp::Exit,
+                    a: 0,
+                    b: 0,
+                },
             ]],
         };
         let mut system = SystemBuilder::new().build().expect("builds");
@@ -338,9 +362,24 @@ mod tests {
             service_name: 3,
             service_node: NodeId(2),
             clients: vec![vec![
-                NosCall { service: 3, op: NosOp::Poke, a: 0x6000, b: 777 },
-                NosCall { service: 3, op: NosOp::Peek, a: 0x6000, b: 0 },
-                NosCall { service: 3, op: NosOp::Exit, a: 0, b: 0 },
+                NosCall {
+                    service: 3,
+                    op: NosOp::Poke,
+                    a: 0x6000,
+                    b: 777,
+                },
+                NosCall {
+                    service: 3,
+                    op: NosOp::Peek,
+                    a: 0x6000,
+                    b: 0,
+                },
+                NosCall {
+                    service: 3,
+                    op: NosOp::Exit,
+                    a: 0,
+                    b: 0,
+                },
             ]],
         };
         let mut system = SystemBuilder::new().build().expect("builds");
@@ -362,12 +401,32 @@ mod tests {
             service_node: NodeId(8),
             clients: vec![
                 vec![
-                    NosCall { service: 1, op: NosOp::Square, a: 9, b: 0 },
-                    NosCall { service: 1, op: NosOp::Add, a: 1, b: 2 },
+                    NosCall {
+                        service: 1,
+                        op: NosOp::Square,
+                        a: 9,
+                        b: 0,
+                    },
+                    NosCall {
+                        service: 1,
+                        op: NosOp::Add,
+                        a: 1,
+                        b: 2,
+                    },
                 ],
                 vec![
-                    NosCall { service: 1, op: NosOp::Square, a: 11, b: 0 },
-                    NosCall { service: 1, op: NosOp::Add, a: 2, b: 2 },
+                    NosCall {
+                        service: 1,
+                        op: NosOp::Square,
+                        a: 11,
+                        b: 0,
+                    },
+                    NosCall {
+                        service: 1,
+                        op: NosOp::Add,
+                        a: 2,
+                        b: 2,
+                    },
                 ],
             ],
         };
@@ -389,7 +448,12 @@ mod tests {
         let bad_name = NosSpec {
             service_name: 99,
             service_node: NodeId(1),
-            clients: vec![vec![NosCall { service: 99, op: NosOp::Exit, a: 0, b: 0 }]],
+            clients: vec![vec![NosCall {
+                service: 99,
+                op: NosOp::Exit,
+                a: 0,
+                b: 0,
+            }]],
         };
         assert!(generate(&bad_name, grid).is_err());
         let empty = NosSpec {

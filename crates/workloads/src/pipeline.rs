@@ -191,11 +191,25 @@ mod tests {
     fn parameter_validation() {
         let grid = GridSpec::ONE_SLICE;
         assert!(matches!(
-            generate(&PipelineSpec { stages: 1, items: 1, work_per_item: 0 }, grid),
+            generate(
+                &PipelineSpec {
+                    stages: 1,
+                    items: 1,
+                    work_per_item: 0
+                },
+                grid
+            ),
             Err(GenError::BadParameter(_))
         ));
         assert!(matches!(
-            generate(&PipelineSpec { stages: 17, items: 1, work_per_item: 0 }, grid),
+            generate(
+                &PipelineSpec {
+                    stages: 17,
+                    items: 1,
+                    work_per_item: 0
+                },
+                grid
+            ),
             Err(GenError::TooFewCores { need: 17, have: 16 })
         ));
     }

@@ -190,7 +190,21 @@ mod tests {
     #[test]
     fn validation() {
         let grid = GridSpec::ONE_SLICE;
-        assert!(generate(&SharedMemSpec { clients: 0, ops_per_client: 1 }, grid).is_err());
-        assert!(generate(&SharedMemSpec { clients: 20, ops_per_client: 1 }, grid).is_err());
+        assert!(generate(
+            &SharedMemSpec {
+                clients: 0,
+                ops_per_client: 1
+            },
+            grid
+        )
+        .is_err());
+        assert!(generate(
+            &SharedMemSpec {
+                clients: 20,
+                ops_per_client: 1
+            },
+            grid
+        )
+        .is_err());
     }
 }

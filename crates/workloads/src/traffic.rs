@@ -32,7 +32,7 @@ pub fn stream(spec: &StreamSpec) -> Result<Placement, GenError> {
     if spec.packet_words == 0 || spec.words == 0 {
         return Err(GenError::BadParameter("words and packet_words must be > 0"));
     }
-    if spec.words % spec.packet_words != 0 {
+    if !spec.words.is_multiple_of(spec.packet_words) {
         return Err(GenError::BadParameter("words must divide into packets"));
     }
     if spec.src == spec.dst {
@@ -111,7 +111,7 @@ pub fn multi_stream(
     if !(1..=4).contains(&flows) {
         return Err(GenError::BadParameter("flows must be 1..=4"));
     }
-    if packet_words == 0 || words_per_flow == 0 || words_per_flow % packet_words != 0 {
+    if packet_words == 0 || words_per_flow == 0 || !words_per_flow.is_multiple_of(packet_words) {
         return Err(GenError::BadParameter("words must divide into packets"));
     }
     let packets = words_per_flow / packet_words;
@@ -323,7 +323,10 @@ mod tests {
             packet_words: 8,
         };
         let mut system = SystemBuilder::new().build().expect("builds");
-        stream(&spec).expect("generates").apply(&mut system).expect("loads");
+        stream(&spec)
+            .expect("generates")
+            .apply(&mut system)
+            .expect("loads");
         assert!(system.run_until_quiescent(TimeDelta::from_ms(10)));
         assert_eq!(system.output(NodeId(8)), "64\n");
     }
@@ -375,7 +378,10 @@ mod tests {
     #[test]
     fn bisection_crosses_only_vertical_mid_links() {
         let mut system = SystemBuilder::new().build().expect("builds");
-        bisection(32, 8).expect("generates").apply(&mut system).expect("loads");
+        bisection(32, 8)
+            .expect("generates")
+            .apply(&mut system)
+            .expect("loads");
         assert!(
             system.run_until_quiescent(TimeDelta::from_ms(50)),
             "trap: {:?}",

@@ -2,8 +2,8 @@
 //! always produce programs that assemble, run to quiescence and match
 //! their Rust-side oracles.
 
-use proptest::prelude::*;
 use swallow::{NodeId, SystemBuilder, TimeDelta};
+use swallow_testkit::proptest::prelude::*;
 use swallow_workloads::{collectives, matvec, nos, shared_mem};
 
 proptest! {

@@ -237,6 +237,12 @@ pub struct Core {
     threads: Vec<Thread>,
     rotation: Vec<u8>,
     wheel: u64,
+    /// Threads blocked on a self-waking condition (timer, divider, or a
+    /// timed event). Maintained incrementally so quiescence is O(1).
+    sleepers: u32,
+    /// Chanends with a non-empty output buffer. Maintained incrementally
+    /// so the network-injection scan can be skipped when zero.
+    tx_pending_count: u32,
     resources: ResourceTable,
     probe_readings: [u32; PROBE_CHANNELS],
     cycle: u64,
@@ -258,6 +264,8 @@ impl Core {
             threads: (0..MAX_THREADS).map(|_| Thread::free()).collect(),
             rotation: Vec::new(),
             wheel: 0,
+            sleepers: 0,
+            tx_pending_count: 0,
             resources: ResourceTable::new(
                 CHANEND_COUNT,
                 TIMER_COUNT,
@@ -365,20 +373,39 @@ impl Core {
 
     /// True when nothing can happen without external input: halted, or no
     /// thread is ready and none is sleeping on a timer or divider.
+    ///
+    /// O(1): the ready set is the rotation and the sleeper population is
+    /// counted incrementally at every thread state transition.
     pub fn is_quiescent(&self) -> bool {
-        if self.halted {
-            return true;
+        debug_assert_eq!(
+            self.sleepers,
+            self.threads
+                .iter()
+                .filter(|t| Self::state_is_sleeper(&t.state))
+                .count() as u32,
+            "sleeper counter out of sync"
+        );
+        self.halted || (self.rotation.is_empty() && self.sleepers == 0)
+    }
+
+    /// Whether a thread state will wake by itself (without external
+    /// input) as simulated time advances.
+    fn state_is_sleeper(state: &ThreadState) -> bool {
+        match state {
+            ThreadState::Blocked(Block::Timer { .. })
+            | ThreadState::Blocked(Block::Divide { .. }) => true,
+            ThreadState::Blocked(Block::Event { until }) => *until != Time::MAX,
+            _ => false,
         }
-        if !self.rotation.is_empty() {
-            return false;
-        }
-        !self.threads.iter().any(|t| {
-            matches!(
-                t.state,
-                ThreadState::Blocked(Block::Timer { until })
-                    | ThreadState::Blocked(Block::Event { until }) if until != Time::MAX
-            ) || matches!(t.state, ThreadState::Blocked(Block::Divide { .. }))
-        })
+    }
+
+    /// Changes a thread's scheduling state, keeping the sleeper count in
+    /// step. All state writes must go through here.
+    fn set_thread_state(&mut self, tid: u8, state: ThreadState) {
+        let was = Self::state_is_sleeper(&self.threads[tid as usize].state);
+        let is = Self::state_is_sleeper(&state);
+        self.threads[tid as usize].state = state;
+        self.sleepers = self.sleepers - was as u32 + is as u32;
     }
 
     /// The earliest timer/divider wake time, if any thread sleeps on one.
@@ -405,6 +432,83 @@ impl Core {
     /// be called next).
     pub fn next_tick_at(&self) -> Time {
         self.now + self.period
+    }
+
+    /// The next instant at which ticking this core can do anything beyond
+    /// charging idle energy: the next clock edge while any thread is
+    /// ready, else the first clock edge at or after the earliest
+    /// timer/divider/event wake. `None` when the core is halted or every
+    /// live thread is blocked on external input — then only the network
+    /// (or nothing) can make it interesting again.
+    ///
+    /// This is the core half of the fast-forward contract: skipping all
+    /// clock edges strictly before the returned instant is
+    /// indistinguishable from ticking through them.
+    pub fn next_interesting_at(&self) -> Option<Time> {
+        if self.halted {
+            return None;
+        }
+        if !self.rotation.is_empty() {
+            return Some(self.next_tick_at());
+        }
+        let wake = self.next_wake()?;
+        let next = self.next_tick_at();
+        if wake <= next {
+            return Some(next);
+        }
+        // First clock edge at or after the wake instant; stays on this
+        // core's tick grid so fast-forward matches lock-step exactly.
+        let span = wake.since(self.now).as_ps();
+        let period = self.period.as_ps();
+        Some(self.now + TimeDelta::from_ps(span.div_ceil(period) * period))
+    }
+
+    /// Fast-forwards over clock edges that provably do nothing: advances
+    /// `now`/`cycle`/the issue wheel over every edge strictly before
+    /// `limit` (capped at the earliest wake instant) and charges the
+    /// leakage + clock-tree energy those edges would have accrued,
+    /// analytically. No-op unless the core is idle (no ready thread).
+    ///
+    /// The wheel and cycle counters advance exactly as `tick` would have
+    /// advanced them, so thread scheduling after the skip is bit-identical
+    /// to the lock-step engine.
+    pub fn skip_idle_until(&mut self, limit: Time) {
+        if self.halted || !self.rotation.is_empty() {
+            return;
+        }
+        let mut stop = limit;
+        if let Some(wake) = self.next_wake() {
+            stop = stop.min(wake);
+        }
+        let span = stop.saturating_since(self.now).as_ps();
+        let period = self.period.as_ps();
+        if span <= period {
+            return;
+        }
+        // Edges at now + k·period for k = 1..=skipped are all < stop.
+        let skipped = (span - 1) / period;
+        let elapsed = TimeDelta::from_ps(skipped * period);
+        self.ledger.charge(
+            NodeCategory::Static,
+            self.config.power.static_power() * elapsed,
+        );
+        let clk = self.config.power.idle_cycle_energy() * skipped as f64;
+        self.ledger
+            .charge(NodeCategory::Static, clk * (1.0 - IDLE_NETWORK_FRACTION));
+        self.ledger
+            .charge(NodeCategory::Network, clk * IDLE_NETWORK_FRACTION);
+        self.now += elapsed;
+        self.cycle += skipped;
+        self.wheel += skipped;
+    }
+
+    /// Runs every clock edge due at or before `until` (the batched inner
+    /// loop of the machine's step). Stops immediately if the core halts.
+    pub fn run_until(&mut self, until: Time) {
+        while !self.halted && self.next_tick_at() <= until {
+            let at = self.next_tick_at();
+            self.tick(at);
+        }
     }
 
     /// Direct read access to SRAM (test/observability hook; on the real
@@ -470,16 +574,34 @@ impl Core {
         Ok(())
     }
 
-    /// Channel ends with tokens waiting to be transmitted.
-    pub fn tx_pending(&self) -> Vec<u8> {
-        (0..CHANEND_COUNT)
-            .filter(|&i| {
-                self.resources
+    /// Channel ends with tokens waiting to be transmitted, as an
+    /// allocation-free iterator. Returns nothing (without scanning) when
+    /// the cached pending count is zero.
+    pub fn tx_pending(&self) -> impl Iterator<Item = u8> + '_ {
+        let any = self.tx_pending_count > 0;
+        (0..CHANEND_COUNT).filter(move |&i| {
+            any && self
+                .resources
+                .chanend(i)
+                .map(|ch| !ch.out_buf.is_empty())
+                .unwrap_or(false)
+        })
+    }
+
+    /// True when any chanend has tokens waiting to be transmitted. O(1).
+    pub fn has_tx_pending(&self) -> bool {
+        debug_assert_eq!(
+            self.tx_pending_count as usize,
+            (0..CHANEND_COUNT)
+                .filter(|&i| self
+                    .resources
                     .chanend(i)
                     .map(|ch| !ch.out_buf.is_empty())
-                    .unwrap_or(false)
-            })
-            .collect()
+                    .unwrap_or(false))
+                .count(),
+            "tx-pending counter out of sync"
+        );
+        self.tx_pending_count > 0
     }
 
     /// Peeks the next outgoing token of a chanend and the destination it
@@ -495,6 +617,9 @@ impl Core {
         let ch = self.resources.chanend_mut(chanend)?;
         let (token, dest) = ch.out_buf.pop_front()?;
         let space = ch.out_space();
+        if ch.out_buf.is_empty() {
+            self.tx_pending_count -= 1;
+        }
         self.wake_senders(chanend, space);
         Some((dest, token))
     }
@@ -532,7 +657,7 @@ impl Core {
         if !self.rotation.contains(&tid) {
             self.rotation.push(tid);
         }
-        self.threads[tid as usize].state = ThreadState::Ready;
+        self.set_thread_state(tid, ThreadState::Ready);
     }
 
     fn deactivate(&mut self, tid: u8) {
@@ -587,7 +712,9 @@ impl Core {
                 ThreadState::Blocked(Block::Timer { until }) if until <= self.now => {
                     self.activate(tid);
                 }
-                ThreadState::Blocked(Block::Divide { until_cycle }) if until_cycle <= self.cycle => {
+                ThreadState::Blocked(Block::Divide { until_cycle })
+                    if until_cycle <= self.cycle =>
+                {
                     self.activate(tid);
                 }
                 ThreadState::Blocked(Block::Event { until }) if until <= self.now => {
@@ -613,8 +740,10 @@ impl Core {
         self.cycle += 1;
 
         // Energy: leakage + clock tree, every cycle, split per Fig. 2.
-        self.ledger
-            .charge(NodeCategory::Static, self.config.power.static_power() * self.period);
+        self.ledger.charge(
+            NodeCategory::Static,
+            self.config.power.static_power() * self.period,
+        );
         let clk = self.config.power.idle_cycle_energy();
         self.ledger
             .charge(NodeCategory::Static, clk * (1.0 - IDLE_NETWORK_FRACTION));
@@ -633,23 +762,8 @@ impl Core {
         }
     }
 
-    /// Accounts leakage and clock energy for a span during which the core
-    /// was quiescent (fast-forward path; no threads ran).
-    pub fn account_idle_span(&mut self, span: TimeDelta) {
-        let cycles = self.config.frequency.cycles_in(span);
-        self.ledger
-            .charge(NodeCategory::Static, self.config.power.static_power() * span);
-        let clk = self.config.power.idle_cycle_energy() * cycles as f64;
-        self.ledger
-            .charge(NodeCategory::Static, clk * (1.0 - IDLE_NETWORK_FRACTION));
-        self.ledger
-            .charge(NodeCategory::Network, clk * IDLE_NETWORK_FRACTION);
-        self.now += span;
-        self.cycle += cycles;
-    }
-
     fn trap_thread(&mut self, tid: u8, pc: u32, cause: TrapCause) {
-        self.threads[tid as usize].state = ThreadState::Trapped;
+        self.set_thread_state(tid, ThreadState::Trapped);
         self.deactivate(tid);
         if self.trap.is_none() {
             self.trap = Some(Trap {
@@ -698,13 +812,13 @@ impl Core {
             }
             Outcome::AdvanceSleep(n, block) => {
                 self.threads[tid as usize].pc = pc + 4 * n as u32;
-                self.threads[tid as usize].state = ThreadState::Blocked(block);
+                self.set_thread_state(tid, ThreadState::Blocked(block));
                 self.deactivate(tid);
                 self.retire(tid, &instr);
             }
             Outcome::Block(block) => {
                 // pc unchanged: the instruction re-executes when woken.
-                self.threads[tid as usize].state = ThreadState::Blocked(block);
+                self.set_thread_state(tid, ThreadState::Blocked(block));
                 self.deactivate(tid);
             }
             Outcome::Freet => {
@@ -735,7 +849,7 @@ impl Core {
     }
 
     fn free_thread(&mut self, tid: u8) {
-        self.threads[tid as usize].state = ThreadState::Free;
+        self.set_thread_state(tid, ThreadState::Free);
         self.deactivate(tid);
         // Release any barrier parties? Barriers hold ThreadIds; a freed
         // thread at a barrier is impossible (it would be Blocked).
@@ -923,7 +1037,11 @@ impl Core {
                 Outcome::Advance(words)
             }
             MkMskI { d, width } => {
-                let v = if width >= 32 { u32::MAX } else { (1u32 << width) - 1 };
+                let v = if width >= 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << width) - 1
+                };
                 set!(d, v);
                 Outcome::Advance(words)
             }
@@ -1004,7 +1122,10 @@ impl Core {
                 }
             }
             Ldaw { d, base, imm } => {
-                set!(d, get!(base).wrapping_add((imm as i32 as u32).wrapping_mul(4)));
+                set!(
+                    d,
+                    get!(base).wrapping_add((imm as i32 as u32).wrapping_mul(4))
+                );
                 Outcome::Advance(words)
             }
             Ldap { d, off } => {
@@ -1071,8 +1192,7 @@ impl Core {
             TSpawn { d, entry, arg } => {
                 let entry_pc = get!(entry);
                 let arg_val = get!(arg);
-                let free = (1..MAX_THREADS as u8)
-                    .find(|&i| !self.threads[i as usize].is_live());
+                let free = (1..MAX_THREADS as u8).find(|&i| !self.threads[i as usize].is_live());
                 match free {
                     Some(new_tid) => {
                         let sp = self
@@ -1120,15 +1240,13 @@ impl Core {
                     return Outcome::Trap(TrapCause::BadResource { raw });
                 }
                 match rid.res_type() {
-                    Some(ResType::Chanend) => {
-                        match self.resources.chanend_mut(rid.index()) {
-                            Some(ch) => {
-                                ch.dest = Some(ResourceId::from_raw(value));
-                                Outcome::Advance(words)
-                            }
-                            None => Outcome::Trap(TrapCause::BadResource { raw }),
+                    Some(ResType::Chanend) => match self.resources.chanend_mut(rid.index()) {
+                        Some(ch) => {
+                            ch.dest = Some(ResourceId::from_raw(value));
+                            Outcome::Advance(words)
                         }
-                    }
+                        None => Outcome::Trap(TrapCause::BadResource { raw }),
+                    },
                     Some(ResType::Sync) => {
                         match self.resources.syncs[rid.index() as usize].as_mut() {
                             Some(sync) => {
@@ -1177,10 +1295,16 @@ impl Core {
                     return Outcome::Trap(TrapCause::NoDest { chanend: idx });
                 };
                 if ch.out_space() < 4 {
-                    return Outcome::Block(Block::SendSpace { chanend: idx, need: 4 });
+                    return Outcome::Block(Block::SendSpace {
+                        chanend: idx,
+                        need: 4,
+                    });
                 }
-                ch.out_buf
-                    .extend(word_to_tokens(value).map(|t| (t, dest)));
+                let was_empty = ch.out_buf.is_empty();
+                ch.out_buf.extend(word_to_tokens(value).map(|t| (t, dest)));
+                if was_empty {
+                    self.tx_pending_count += 1;
+                }
                 Outcome::Advance(words)
             }
             OutT { r, s } => {
@@ -1194,7 +1318,13 @@ impl Core {
                     return Outcome::Trap(TrapCause::NoDest { chanend: idx });
                 };
                 if ch.out_space() < 1 {
-                    return Outcome::Block(Block::SendSpace { chanend: idx, need: 1 });
+                    return Outcome::Block(Block::SendSpace {
+                        chanend: idx,
+                        need: 1,
+                    });
+                }
+                if ch.out_buf.is_empty() {
+                    self.tx_pending_count += 1;
                 }
                 ch.out_buf.push_back((Token::Data(value), dest));
                 Outcome::Advance(words)
@@ -1209,7 +1339,13 @@ impl Core {
                     return Outcome::Trap(TrapCause::NoDest { chanend: idx });
                 };
                 if ch.out_space() < 1 {
-                    return Outcome::Block(Block::SendSpace { chanend: idx, need: 1 });
+                    return Outcome::Block(Block::SendSpace {
+                        chanend: idx,
+                        need: 1,
+                    });
+                }
+                if ch.out_buf.is_empty() {
+                    self.tx_pending_count += 1;
                 }
                 ch.out_buf.push_back((Token::Ctrl(ct), dest));
                 Outcome::Advance(words)
@@ -1258,7 +1394,10 @@ impl Core {
                 };
                 let ch = self.resources.chanend_mut(idx).expect("checked");
                 if ch.in_buf.len() < 4 {
-                    return Outcome::Block(Block::RecvTokens { chanend: idx, need: 4 });
+                    return Outcome::Block(Block::RecvTokens {
+                        chanend: idx,
+                        need: 4,
+                    });
                 }
                 let mut bytes = [0u8; 4];
                 for (i, byte) in bytes.iter_mut().enumerate() {
@@ -1278,7 +1417,10 @@ impl Core {
                 };
                 let ch = self.resources.chanend_mut(idx).expect("checked");
                 let Some(&front) = ch.in_buf.front() else {
-                    return Outcome::Block(Block::RecvTokens { chanend: idx, need: 1 });
+                    return Outcome::Block(Block::RecvTokens {
+                        chanend: idx,
+                        need: 1,
+                    });
                 };
                 match front {
                     Token::Data(b) => {
@@ -1296,7 +1438,10 @@ impl Core {
                 };
                 let ch = self.resources.chanend_mut(idx).expect("checked");
                 let Some(&front) = ch.in_buf.front() else {
-                    return Outcome::Block(Block::RecvTokens { chanend: idx, need: 1 });
+                    return Outcome::Block(Block::RecvTokens {
+                        chanend: idx,
+                        need: 1,
+                    });
                 };
                 if front == Token::Ctrl(ct) {
                     ch.in_buf.pop_front();
@@ -1315,7 +1460,10 @@ impl Core {
                 };
                 let ch = self.resources.chanend(idx).expect("checked");
                 let Some(&front) = ch.in_buf.front() else {
-                    return Outcome::Block(Block::RecvTokens { chanend: idx, need: 1 });
+                    return Outcome::Block(Block::RecvTokens {
+                        chanend: idx,
+                        need: 1,
+                    });
                 };
                 set!(d, front.is_ctrl() as u32);
                 Outcome::Advance(words)

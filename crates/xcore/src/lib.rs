@@ -34,9 +34,7 @@ pub mod resource;
 pub mod sram;
 pub mod thread;
 
-pub use crate::core::{
-    ClassCounts, Core, CoreConfig, DeliverError, LoadError, Trap, TrapCause,
-};
+pub use crate::core::{ClassCounts, Core, CoreConfig, DeliverError, LoadError, Trap, TrapCause};
 pub use resource::{Chanend, ResourceTable, CHANEND_BUF_TOKENS};
 pub use sram::{MemError, Sram, DEFAULT_SRAM_BYTES};
 pub use thread::{Block, Thread, ThreadState, MAX_THREADS, TERMINATOR_PC};

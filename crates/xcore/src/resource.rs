@@ -9,7 +9,6 @@
 use std::collections::VecDeque;
 use swallow_isa::{ResType, ResourceId, ThreadId, Token};
 
-
 /// Token capacity of a channel end's input and output buffers. The input
 /// buffer bound is what credit-based flow control protects (§V.B): a
 /// switch only forwards a token when the destination buffer has room.

@@ -79,7 +79,7 @@ impl Sram {
     }
 
     fn check(&self, addr: u32, width: u8) -> Result<usize, MemError> {
-        if addr % width as u32 != 0 {
+        if !addr.is_multiple_of(width as u32) {
             return Err(MemError::Misaligned { addr, width });
         }
         let end = addr as u64 + width as u64;
@@ -172,7 +172,9 @@ impl Sram {
 
 impl fmt::Debug for Sram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Sram").field("bytes", &self.bytes.len()).finish()
+        f.debug_struct("Sram")
+            .field("bytes", &self.bytes.len())
+            .finish()
     }
 }
 

@@ -20,7 +20,8 @@ fn core_with(src: &str) -> Core {
 fn pump_local(core: &mut Core) {
     loop {
         let mut moved = false;
-        for ch in core.tx_pending() {
+        let pending: Vec<u8> = core.tx_pending().collect();
+        for ch in pending {
             while let Some((dest, _)) = core.tx_front(ch) {
                 if dest.node() == core.node() && core.can_accept(dest.index(), 1) {
                     let (d, t) = core.tx_pop(ch).expect("front exists");
@@ -234,7 +235,8 @@ fn input_blocks_until_delivery() {
     ));
     // Deliver a word's worth of tokens by hand.
     for byte in [0u8, 0, 0x30, 0x39] {
-        core.deliver(0, swallow_isa::Token::Data(byte)).expect("space");
+        core.deliver(0, swallow_isa::Token::Data(byte))
+            .expect("space");
     }
     run(&mut core, 1_000);
     assert_eq!(core.output(), "12345\n");
@@ -325,9 +327,7 @@ fn traps_are_recorded() {
     ));
 
     // chkct mismatch.
-    let mut core = core_with(
-        "getr r0, chanend\n setd r0, r0\n chkct r0, end\n freet",
-    );
+    let mut core = core_with("getr r0, chanend\n setd r0, r0\n chkct r0, end\n freet");
     for _ in 0..40 {
         core.tick(core.next_tick_at()); // run getr/setd before delivering
     }
@@ -635,7 +635,11 @@ fn deterministic_replay() {
     let run_once = || {
         let mut core = core_with(src);
         run(&mut core, 2_000_000);
-        (core.cycles(), core.instret(), core.ledger().total().as_joules())
+        (
+            core.cycles(),
+            core.instret(),
+            core.ledger().total().as_joules(),
+        )
     };
     let a = run_once();
     let b = run_once();

@@ -282,7 +282,7 @@ fn program_too_large_is_rejected() {
     let mut core = Core::new(CoreConfig::swallow(NodeId(0)));
     // 64 KiB SRAM = 16384 words; emit more.
     let mut src = String::from("start: nop\n");
-    src.push_str(&".space 17000\n".to_string());
+    src.push_str(".space 17000\n");
     let program = Assembler::new().assemble(&src).expect("assembles");
     assert!(core.load_program(&program).is_err());
 }

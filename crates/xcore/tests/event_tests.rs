@@ -245,7 +245,8 @@ fn events_and_control_tokens_compose() {
     for t in swallow_isa::token::word_to_tokens(1234) {
         core.deliver(0, t).expect("space");
     }
-    core.deliver(0, Token::Ctrl(ControlToken::END)).expect("space");
+    core.deliver(0, Token::Ctrl(ControlToken::END))
+        .expect("space");
     run(&mut core, 10_000);
     assert!(core.trap().is_none(), "{:?}", core.trap());
     assert_eq!(core.output(), "1234\n");

@@ -70,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("self-measured rail power, loaded: {loaded_uw} uW");
     println!(
         "program's own conclusion: load {} the rail power (decision bit = {decision})",
-        if decision.trim() == "1" { "raised" } else { "did not raise" }
+        if decision.trim() == "1" {
+            "raised"
+        } else {
+            "did not raise"
+        }
     );
 
     // Cross-check against the host-side monitor.

@@ -98,14 +98,26 @@ fn adc_board_captures_power_traces() {
     let adc = system.machine().monitor().adc(0).expect("fitted");
     // ~11 samples in 12 µs at 1 MS/s (first due at t = 1 µs).
     let trace0 = adc.trace(0).expect("channel 0");
-    assert!((10..=13).contains(&trace0.len()), "samples = {}", trace0.len());
+    assert!(
+        (10..=13).contains(&trace0.len()),
+        "samples = {}",
+        trace0.len()
+    );
     // Rail 0 (cores 0..4: packages 0,1 — all busy) out-draws rail 3
     // (cores 12..16 — idle). Busy single-thread cores ≈ 133 mW each.
     let rail0 = trace0.mean_power().as_milliwatts();
-    let rail3 = adc.trace(3).expect("channel 3").mean_power().as_milliwatts();
+    let rail3 = adc
+        .trace(3)
+        .expect("channel 3")
+        .mean_power()
+        .as_milliwatts();
     assert!(rail0 > rail3 + 50.0, "rail0 = {rail0}, rail3 = {rail3}");
     // The I/O rail carries the support-logic floor.
-    let io = adc.trace(4).expect("io channel").mean_power().as_milliwatts();
+    let io = adc
+        .trace(4)
+        .expect("io channel")
+        .mean_power()
+        .as_milliwatts();
     assert!((140.0..200.0).contains(&io), "io rail = {io}");
     // Total mean across channels equals the monitor's slice load.
     let total = adc.total_mean_power().as_watts();

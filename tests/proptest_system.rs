@@ -1,9 +1,9 @@
 //! Property tests at machine level: arbitrary (valid) workload parameters
 //! never wedge, corrupt or crash the platform.
 
-use proptest::prelude::*;
 use swallow_repro::swallow::{NodeId, SystemBuilder, TimeDelta};
 use swallow_repro::swallow_workloads::{farm, pipeline, traffic};
+use swallow_testkit::proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig {
