@@ -7,10 +7,24 @@
 //! ```
 //!
 //! Experiment names: table1 fig2 fig3 fig4 table2 eq2 latency overhead ec
-//! table3 system system480.
+//! table3 system system480 ablation proportionality throughput.
+//!
+//! The throughput experiment additionally writes its rows to
+//! `BENCH_throughput.json` in the working directory, and accepts engine
+//! overrides for one-off measurements:
+//!
+//! ```text
+//! reproduce throughput --engine parallel --threads 8 --grid 2x2
+//! reproduce throughput --engine lockstep --grid 1x1
+//! ```
+//!
+//! `--engine {lockstep,fastforward,parallel}` pins the engine (default:
+//! the full sweep over every engine), `--threads N` sets the parallel
+//! engine's host thread count (0 = one per host CPU), and `--grid WxH`
+//! sizes the measured machine in slices for the pinned-engine run.
 
 use std::time::Instant;
-use swallow::{Frequency, TimeDelta};
+use swallow::{EngineMode, Frequency, TimeDelta};
 use swallow_bench::experiments::{
     ablation, ec_ratio, eq2, fig2, fig3, fig4, latency, overhead, proportionality, system_power,
     table1, throughput,
@@ -35,8 +49,68 @@ const ALL: [&str; 15] = [
     "throughput",
 ];
 
+/// Engine/threads/grid overrides parsed from the command line.
+struct EngineOverride {
+    engine: Option<EngineMode>,
+    grid: (u16, u16),
+}
+
+/// Pulls `--engine`, `--threads` and `--grid` (each `--flag value` or
+/// `--flag=value`) out of `args`, leaving every other argument in place.
+fn parse_engine_override(args: &mut Vec<String>) -> EngineOverride {
+    let mut take = |flag: &str| -> Option<String> {
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(v) = args[i].strip_prefix(&format!("{flag}=")) {
+                let v = v.to_owned();
+                args.remove(i);
+                return Some(v);
+            }
+            if args[i] == flag {
+                args.remove(i);
+                if i < args.len() {
+                    return Some(args.remove(i));
+                }
+                die(&format!("{flag} needs a value"));
+            }
+            i += 1;
+        }
+        None
+    };
+    let threads: usize = take("--threads")
+        .map(|t| {
+            t.parse()
+                .unwrap_or_else(|_| die("--threads wants a number"))
+        })
+        .unwrap_or(0);
+    let engine = take("--engine").map(|name| match name.as_str() {
+        "lockstep" => EngineMode::LockStep,
+        "fastforward" => EngineMode::FastForward,
+        "parallel" => EngineMode::Parallel { threads },
+        other => die(&format!(
+            "unknown engine `{other}`; known: lockstep fastforward parallel"
+        )),
+    });
+    let grid = take("--grid")
+        .map(|g| {
+            let parse = || -> Option<(u16, u16)> {
+                let (w, h) = g.split_once('x')?;
+                Some((w.parse().ok()?, h.parse().ok()?))
+            };
+            parse().unwrap_or_else(|| die("--grid wants WxH, e.g. 2x2"))
+        })
+        .unwrap_or((1, 1));
+    EngineOverride { engine, grid }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let overrides = parse_engine_override(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
     let selected: Vec<&str> = args
         .iter()
@@ -105,10 +179,27 @@ fn main() {
                 println!("  measured: {gips:.1} GIPS, {watts:.1} W at the 5 V inputs");
                 println!("  paper:    240 GIPS, 134 W");
             }
-            "throughput" => println!(
-                "{}",
-                throughput::run(TimeDelta::from_us(if quick { 5 } else { 20 }))
-            ),
+            "throughput" => {
+                let span = TimeDelta::from_us(if quick { 5 } else { 20 });
+                let t = match overrides.engine {
+                    // Pinned engine: one busy-grid measurement.
+                    Some(engine) => {
+                        let (w, h) = overrides.grid;
+                        let scenario: &'static str =
+                            Box::leak(format!("busy-{w}x{h}").into_boxed_str());
+                        throughput::Throughput {
+                            rows: vec![throughput::measure(scenario, engine, (w, h), 1, span)],
+                        }
+                    }
+                    None => throughput::run(span),
+                };
+                println!("{t}");
+                let path = std::path::Path::new("BENCH_throughput.json");
+                match t.write_json(path) {
+                    Ok(()) => println!("  wrote {}", path.display()),
+                    Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+                }
+            }
             other => {
                 eprintln!("unknown experiment `{other}`; known: {ALL:?}");
                 std::process::exit(2);

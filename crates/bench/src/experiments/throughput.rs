@@ -1,26 +1,34 @@
-//! Simulator throughput: host-side cost of the two execution engines.
+//! Simulator throughput: host-side cost of the execution engines.
 //!
 //! Not a paper artefact — this measures the simulator itself. Three
 //! scenarios bracket the workload spectrum:
 //!
 //! * **busy slice** — 16 cores all running the calibrated heavy mix; the
 //!   fast-forward engine finds activity at every tick and must degrade
-//!   to lock-step speed (the acceptance bound is ≤5 % regression).
+//!   to lock-step speed (the acceptance bound is ≤5 % regression), while
+//!   the parallel engine shards the compute-bound cores across host
+//!   threads and scales with the host's core count.
 //! * **idle 480** — a full 6×5-slice machine with nothing loaded; every
 //!   core tick is provably idle, so fast-forward jumps monitor window to
-//!   monitor window and charges the energy analytically.
+//!   monitor window and charges the energy analytically (the parallel
+//!   engine detects the idle machine and takes the same path).
 //! * **10 % active 480** — 48 of 480 cores run the heavy mix; the busy
 //!   cores bound each jump to one base period, but the idle 90 % of the
 //!   machine is still skipped analytically inside each step.
 //!
-//! Reported per engine: host wall-clock, simulated core-cycles per host
-//! second, and simulated MIPS (retired instructions per host second).
+//! Reported per engine (and per thread count for the parallel engine):
+//! host wall-clock, simulated core-cycles per host second, and simulated
+//! MIPS (retired instructions per host second). [`Throughput::write_json`]
+//! emits the rows as `BENCH_throughput.json` for CI trend tracking.
 
 use std::fmt;
 use std::time::Instant;
 use swallow::{EngineMode, NodeId, SystemBuilder, TimeDelta};
 
 use super::heavy_mix_program;
+
+/// Thread counts the default sweep measures the parallel engine at.
+pub const DEFAULT_THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// One scenario × engine measurement.
 #[derive(Clone, Copy, Debug)]
@@ -37,7 +45,26 @@ pub struct ThroughputRow {
     pub mips: f64,
 }
 
-/// The whole experiment: each scenario under both engines.
+impl ThroughputRow {
+    /// Stable engine name for tables and JSON.
+    pub fn engine_name(&self) -> &'static str {
+        match self.engine {
+            EngineMode::LockStep => "lockstep",
+            EngineMode::FastForward => "fastforward",
+            EngineMode::Parallel { .. } => "parallel",
+        }
+    }
+
+    /// Host worker threads (0 for the serial engines).
+    pub fn threads(&self) -> usize {
+        match self.engine {
+            EngineMode::Parallel { threads } => threads,
+            _ => 0,
+        }
+    }
+}
+
+/// The whole experiment: each scenario under every engine.
 #[derive(Clone, Debug)]
 pub struct Throughput {
     /// Rows in (scenario, engine) order, lock-step first.
@@ -45,33 +72,75 @@ pub struct Throughput {
 }
 
 impl Throughput {
-    /// Fast-forward speedup (host time ratio) for one scenario.
+    fn find(&self, scenario: &str, engine: EngineMode) -> Option<&ThroughputRow> {
+        self.rows
+            .iter()
+            .find(|r| r.scenario == scenario && r.engine == engine)
+    }
+
+    /// Fast-forward speedup over lock-step (host time ratio).
     pub fn speedup(&self, scenario: &str) -> Option<f64> {
-        let of = |engine: EngineMode| {
-            self.rows
-                .iter()
-                .find(|r| r.scenario == scenario && r.engine == engine)
-        };
-        let ls = of(EngineMode::LockStep)?;
-        let ff = of(EngineMode::FastForward)?;
+        let ls = self.find(scenario, EngineMode::LockStep)?;
+        let ff = self.find(scenario, EngineMode::FastForward)?;
         Some(ls.host_ms / ff.host_ms)
+    }
+
+    /// Parallel speedup over fast-forward (host time ratio) at one
+    /// thread count.
+    pub fn parallel_speedup(&self, scenario: &str, threads: usize) -> Option<f64> {
+        let ff = self.find(scenario, EngineMode::FastForward)?;
+        let par = self.find(scenario, EngineMode::Parallel { threads })?;
+        Some(ff.host_ms / par.host_ms)
+    }
+
+    /// Serialises the rows as the `BENCH_throughput.json` schema:
+    /// `{"experiment": "throughput", "rows": [{scenario, engine, threads,
+    /// host_ms, sim_cycles_per_sec, mips}, ...]}`. Hand-rolled — the
+    /// workspace builds offline with no serde dependency.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"experiment\": \"throughput\",\n  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let sep = if i + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"engine\": \"{}\", \"threads\": {}, \
+                 \"host_ms\": {:.6}, \"sim_cycles_per_sec\": {:.3}, \"mips\": {:.6}}}{sep}\n",
+                r.scenario,
+                r.engine_name(),
+                r.threads(),
+                r.host_ms,
+                r.sim_cycles_per_sec,
+                r.mips,
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes [`Self::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
     }
 }
 
 impl fmt::Display for Throughput {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Simulator throughput (host-side, both engines):")?;
+        writeln!(f, "Simulator throughput (host-side, every engine):")?;
         writeln!(
             f,
-            "  {:<16} {:<12} {:>10} {:>16} {:>10}",
-            "scenario", "engine", "host ms", "sim cycles/s", "sim MIPS"
+            "  {:<16} {:<12} {:>8} {:>10} {:>16} {:>10}",
+            "scenario", "engine", "threads", "host ms", "sim cycles/s", "sim MIPS"
         )?;
         for r in &self.rows {
             writeln!(
                 f,
-                "  {:<16} {:<12} {:>10.2} {:>16.3e} {:>10.1}",
+                "  {:<16} {:<12} {:>8} {:>10.2} {:>16.3e} {:>10.1}",
                 r.scenario,
-                format!("{:?}", r.engine),
+                r.engine_name(),
+                r.threads(),
                 r.host_ms,
                 r.sim_cycles_per_sec,
                 r.mips
@@ -80,6 +149,14 @@ impl fmt::Display for Throughput {
         for scenario in ["busy-slice", "idle-480", "active10-480"] {
             if let Some(s) = self.speedup(scenario) {
                 writeln!(f, "  fast-forward speedup, {scenario}: {s:.1}x")?;
+            }
+            for threads in DEFAULT_THREAD_COUNTS {
+                if let Some(s) = self.parallel_speedup(scenario, threads) {
+                    writeln!(
+                        f,
+                        "  parallel({threads}) vs fast-forward, {scenario}: {s:.1}x"
+                    )?;
+                }
             }
         }
         Ok(())
@@ -127,11 +204,12 @@ pub fn measure(
     }
 }
 
-/// Runs all three scenarios under both engines.
+/// Runs all three scenarios under every engine, sweeping the parallel
+/// engine over `thread_counts`.
 ///
 /// `span` is the simulated time per busy run; the idle 480-core scenario
 /// runs the same span (its lock-step cost dominates the experiment).
-pub fn run(span: TimeDelta) -> Throughput {
+pub fn run_with(span: TimeDelta, thread_counts: &[usize]) -> Throughput {
     let mut rows = Vec::new();
     for (scenario, slices, stride) in [
         ("busy-slice", (1u16, 1u16), 1usize),
@@ -141,8 +219,17 @@ pub fn run(span: TimeDelta) -> Throughput {
         for engine in [EngineMode::LockStep, EngineMode::FastForward] {
             rows.push(measure(scenario, engine, slices, stride, span));
         }
+        for &threads in thread_counts {
+            let engine = EngineMode::Parallel { threads };
+            rows.push(measure(scenario, engine, slices, stride, span));
+        }
     }
     Throughput { rows }
+}
+
+/// [`run_with`] over [`DEFAULT_THREAD_COUNTS`].
+pub fn run(span: TimeDelta) -> Throughput {
+    run_with(span, &DEFAULT_THREAD_COUNTS)
 }
 
 #[cfg(test)]
@@ -151,15 +238,38 @@ mod tests {
 
     #[test]
     fn rows_and_speedups_are_well_formed() {
-        let t = run(TimeDelta::from_us(2));
-        assert_eq!(t.rows.len(), 6);
+        let t = run_with(TimeDelta::from_us(2), &[2]);
+        assert_eq!(t.rows.len(), 9);
         for r in &t.rows {
             assert!(r.host_ms > 0.0);
             assert!(r.sim_cycles_per_sec > 0.0, "{r:?}");
         }
         assert!(t.speedup("idle-480").expect("measured") > 0.0);
+        assert!(t.parallel_speedup("busy-slice", 2).expect("measured") > 0.0);
         let rendered = t.to_string();
         assert!(rendered.contains("busy-slice"));
         assert!(rendered.contains("speedup"));
+        assert!(rendered.contains("parallel(2)"));
+    }
+
+    #[test]
+    fn json_has_every_row_and_field() {
+        let t = run_with(TimeDelta::from_us(1), &[2]);
+        let json = t.to_json();
+        assert_eq!(json.matches("\"scenario\"").count(), t.rows.len());
+        for field in [
+            "\"experiment\": \"throughput\"",
+            "\"engine\": \"lockstep\"",
+            "\"engine\": \"fastforward\"",
+            "\"engine\": \"parallel\"",
+            "\"threads\": 2",
+            "\"host_ms\":",
+            "\"sim_cycles_per_sec\":",
+            "\"mips\":",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        // Trailing-comma-free: the last row closes straight into the array.
+        assert!(json.contains("}\n  ]\n}\n"));
     }
 }

@@ -11,7 +11,9 @@
 //! * [`power`] — the five-SMPS power tree with shunt measurement points,
 //!   ADC daughter-boards and the probe feedback loop (§II),
 //! * [`machine`] — [`Machine`]: everything assembled and clocked in
-//!   lock-step.
+//!   lock-step,
+//! * [`shard`] — the chip-granular shard plan and host thread pool
+//!   behind the parallel conservative-epoch engine.
 //!
 //! ```
 //! use swallow_board::{Machine, MachineConfig};
@@ -26,9 +28,11 @@
 pub mod ethernet;
 pub mod machine;
 pub mod power;
+pub mod shard;
 pub mod topology;
 
 pub use ethernet::EthernetBridge;
 pub use machine::{EngineMode, Machine, MachineConfig, RouterKind};
 pub use power::PowerMonitor;
+pub use shard::{EpochPool, ShardPlan};
 pub use topology::{GridSpec, TopologyOptions, CORES_PER_SLICE};

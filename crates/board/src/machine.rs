@@ -5,7 +5,7 @@
 //! rules. It is the engine under the public `swallow` crate's
 //! `SwallowSystem` facade.
 //!
-//! Two engines advance the machine (see [`EngineMode`]):
+//! Three engines advance the machine (see [`EngineMode`]):
 //!
 //! * **Lock-step**: one base clock period per [`Machine::step`], every
 //!   subsystem visited every step — the reference semantics.
@@ -17,9 +17,19 @@
 //!   processing still occurs on the base-clock grid, so results are
 //!   identical to lock-step (energy within f64 rounding); only instants
 //!   where provably nothing happens are elided.
+//! * **Parallel**: conservative-epoch execution. Cores are sharded
+//!   (chip-granular, see [`crate::shard`]) across a fixed pool of host
+//!   threads; each epoch every shard advances independently up to a
+//!   horizon no token emitted inside the epoch could beat (the fabric's
+//!   minimum cross-shard token latency, §V.C). A core that *emits*
+//!   stops at that instant and a deterministic serial reconciliation
+//!   replays the affected grid instants exactly as lock-step would, so
+//!   results are bit-identical run to run and equal to lock-step within
+//!   f64 association error. See DESIGN.md §3.8.
 
 use crate::ethernet::EthernetBridge;
 use crate::power::{PowerMonitor, DEFAULT_MONITOR_WINDOW};
+use crate::shard::{EpochPool, ShardPlan};
 use crate::topology::{build_topology, GridSpec, TopologyOptions};
 use std::fmt;
 use swallow_energy::{EnergyLedger, NodeCategory};
@@ -50,6 +60,16 @@ pub enum EngineMode {
     /// Advance one base clock period at a time, visiting every subsystem
     /// every step. The reference engine, kept for differential testing.
     LockStep,
+    /// Conservative-epoch parallel execution: shard the cores
+    /// chip-granularly across `threads` host threads and advance each
+    /// shard independently in epochs bounded by the fabric's minimum
+    /// cross-shard token latency. `threads == 0` means one thread per
+    /// available host CPU. Deterministic and cycle-exact with respect to
+    /// lock-step (energy within f64 association error).
+    Parallel {
+        /// Host worker threads (0 = available parallelism).
+        threads: usize,
+    },
 }
 
 /// Machine configuration.
@@ -183,6 +203,20 @@ impl CoreEndpoints for Endpoints {
     }
 }
 
+/// Lazily built state of the parallel engine: the shard plan, the worker
+/// pool and the per-shard energy bookkeeping.
+struct ParState {
+    /// The thread count the plan was built for (to detect engine swaps).
+    threads: usize,
+    plan: ShardPlan,
+    pool: EpochPool,
+    /// Energy accrued by each shard's cores, merged in shard order.
+    shard_energy: Vec<EnergyLedger>,
+    /// Per-core ledger snapshot at the last settlement, used to compute
+    /// epoch deltas without touching the cores' own accounting.
+    last_core_ledger: Vec<EnergyLedger>,
+}
+
 /// A fully assembled Swallow machine.
 ///
 /// ```
@@ -199,6 +233,10 @@ pub struct Machine {
     base_period: TimeDelta,
     faulted_cables: usize,
     engine: EngineMode,
+    /// Conservative lookahead: the fabric's minimum cross-shard token
+    /// latency (None on a fabric with no links).
+    lookahead: Option<TimeDelta>,
+    par: Option<ParState>,
 }
 
 impl Machine {
@@ -235,6 +273,7 @@ impl Machine {
             })
             .collect();
         let base_period = config.frequency.period();
+        let lookahead = fabric.min_cross_shard_latency();
         Machine {
             spec: config.grid,
             eps: Endpoints {
@@ -248,6 +287,8 @@ impl Machine {
             base_period,
             faulted_cables: topo.faulted_cables,
             engine: config.engine,
+            lookahead,
+            par: None,
         }
     }
 
@@ -364,9 +405,9 @@ impl Machine {
         self.engine
     }
 
-    /// Switches the simulation engine. Safe at any instant: both engines
-    /// process the same grid instants, fast-forward merely skips the
-    /// empty ones.
+    /// Switches the simulation engine. Safe at any instant: every engine
+    /// processes the same grid instants; fast-forward merely skips the
+    /// empty ones and the parallel engine batches them into epochs.
     pub fn set_engine(&mut self, engine: EngineMode) {
         self.engine = engine;
     }
@@ -475,6 +516,201 @@ impl Machine {
         self.process_edge();
     }
 
+    // --- parallel engine -----------------------------------------------------
+
+    /// Builds (or rebuilds, after a thread-count change) the shard plan,
+    /// worker pool and per-shard energy bookkeeping.
+    fn ensure_par(&mut self, threads: usize) {
+        let rebuild = match &self.par {
+            Some(st) => st.threads != threads,
+            None => true,
+        };
+        if !rebuild {
+            return;
+        }
+        let plan = ShardPlan::new(self.eps.cores.len(), threads);
+        let pool = EpochPool::new(&plan);
+        let shard_energy = vec![EnergyLedger::new(); plan.shard_count()];
+        // Seed the snapshots from the cores' current ledgers so shard
+        // deltas start at zero even when the engine is enabled mid-run.
+        let last_core_ledger = self.eps.cores.iter().map(|c| *c.ledger()).collect();
+        self.par = Some(ParState {
+            threads,
+            plan,
+            pool,
+            shard_energy,
+            last_core_ledger,
+        });
+    }
+
+    /// Energy accrued by each shard's cores since the parallel engine was
+    /// enabled, in shard order. Empty before the first parallel advance.
+    pub fn shard_ledgers(&self) -> Vec<EnergyLedger> {
+        self.par
+            .as_ref()
+            .map(|st| st.shard_energy.clone())
+            .unwrap_or_default()
+    }
+
+    /// Folds each core's ledger growth since the last settlement into its
+    /// shard's ledger. Shards are visited in shard order and cores in node
+    /// order, so the f64 association is fixed and the merged totals are
+    /// bit-identical run to run. Allocation-free: ledgers are fixed-size
+    /// arrays and the snapshot vector is reused in place.
+    fn settle_shard_energy(&mut self) {
+        let (par, eps) = (&mut self.par, &self.eps);
+        let st = par.as_mut().expect("parallel state initialised");
+        for (shard, acc) in st.shard_energy.iter_mut().enumerate() {
+            let (lo, hi) = st.plan.range(shard);
+            for i in lo..hi {
+                let cur = *eps.cores[i].ledger();
+                acc.merge(&cur.delta_since(&st.last_core_ledger[i]));
+                st.last_core_ledger[i] = cur;
+            }
+        }
+    }
+
+    /// One parallel advance: pick a conservative epoch horizon, run every
+    /// shard up to it concurrently, reconcile any core that emitted, then
+    /// process the horizon edge serially. Falls back to [`Self::ff_advance`]
+    /// whenever an epoch cannot pay for its dispatch (pending output,
+    /// immediate events, or fewer than two runnable cores).
+    ///
+    /// Correctness: the horizon `target` is chosen so that no token can be
+    /// *delivered* anywhere strictly before it —
+    ///
+    /// * tokens already in the network bound it via the fabric's next
+    ///   event (aligned up to the grid like every processed instant);
+    /// * a token *emitted* during the epoch is sent no earlier than the
+    ///   earliest core wake `wake_min`, and needs at least the fabric's
+    ///   minimum cross-shard latency `L` (§V.C: 3·Ts + Tt per hop) to
+    ///   reach any other core, so `wake_min + L` — aligned *down*, so the
+    ///   cap itself cannot admit an in-epoch arrival — also bounds it;
+    /// * loopback (below `L`) only returns to the *sending* core, which
+    ///   stopped at its emission instant and is replayed by reconcile.
+    ///
+    /// Within the epoch cores interact with nothing, so each one can run
+    /// on its shard thread with lock-step-identical results.
+    fn par_advance(&mut self, deadline: Time) {
+        let immediate = self.now + self.base_period;
+        let mut runnable = 0usize;
+        let mut any_tx = false;
+        let mut wake_min: Option<Time> = None;
+        for core in &self.eps.cores {
+            if core.has_tx_pending() {
+                any_tx = true;
+                break;
+            }
+            if core.ready_threads() > 0 {
+                runnable += 1;
+            }
+            if let Some(at) = core.next_interesting_at() {
+                wake_min = Some(wake_min.map_or(at, |w| w.min(at)));
+            }
+        }
+        let Some(lookahead) = self.lookahead else {
+            self.ff_advance(deadline);
+            self.settle_shard_energy();
+            return;
+        };
+        if any_tx || runnable < 2 {
+            // Undelivered output must be injected on the very next grid
+            // instant (as lock-step would), and a mostly-idle machine is
+            // faster on the serial fast-forward path than paying a pool
+            // dispatch per epoch.
+            self.ff_advance(deadline);
+            self.settle_shard_energy();
+            return;
+        }
+        let mut bound = self.monitor.next_update().min(deadline);
+        if let Some(at) = self.fabric.next_event_at(self.now) {
+            bound = bound.min(at);
+        }
+        if let Some(bridge) = self.eps.bridge.as_ref() {
+            if bridge.tx_backlog() > 0 {
+                bound = bound.min(bridge.next_tx_at());
+            }
+        }
+        let mut target = self.grid_align(bound);
+        if let Some(w) = wake_min {
+            target = target.min((w + lookahead).align_down_to(self.now, self.base_period));
+        }
+        if target <= immediate {
+            self.ff_advance(deadline);
+            self.settle_shard_energy();
+            return;
+        }
+        {
+            let st = self.par.as_ref().expect("parallel state initialised");
+            st.pool.run_epoch(&mut self.eps.cores, target);
+        }
+        if self.eps.cores.iter().any(|c| c.has_tx_pending()) {
+            self.reconcile(target);
+        }
+        self.now = target;
+        self.process_edge();
+        self.settle_shard_energy();
+    }
+
+    /// Serial replay of the grid instants inside an epoch where a core
+    /// emitted: injects and delivers exactly as lock-step would, on the
+    /// same instants, while cores that stayed silent keep their epoch
+    /// results untouched. The cursor advances at least one base period per
+    /// injection attempt, mirroring lock-step's per-instant retry of
+    /// tokens the fabric reports busy.
+    fn reconcile(&mut self, target: Time) {
+        let mut cursor = self.now;
+        loop {
+            // Earliest instant below `target` at which anything is due:
+            // a stopped core's pending output or a fabric event
+            // (including loopback returns created by earlier injections).
+            let mut pending: Option<Time> = None;
+            for core in &self.eps.cores {
+                if core.has_tx_pending() {
+                    let at = core.local_now();
+                    pending = Some(pending.map_or(at, |p| p.min(at)));
+                }
+            }
+            if let Some(at) = self.fabric.next_event_at(cursor) {
+                if at < target {
+                    pending = Some(pending.map_or(at, |p| p.min(at)));
+                }
+            }
+            let Some(at) = pending else {
+                // Nothing due below the horizon: cores interrupted by the
+                // replay resume their isolated epoch run (stopping again
+                // on a fresh emission).
+                let mut stopped = false;
+                for core in &mut self.eps.cores {
+                    if core.local_now() < target && !core.has_tx_pending() && core.run_epoch(target)
+                    {
+                        stopped = true;
+                    }
+                }
+                if !stopped {
+                    return;
+                }
+                continue;
+            };
+            let t = self.grid_align(at).max(cursor + self.base_period);
+            if t >= target {
+                // Remaining work lands on the horizon edge itself, which
+                // `par_advance` processes next.
+                return;
+            }
+            for core in &mut self.eps.cores {
+                if core.local_now() < t {
+                    core.run_until(t);
+                }
+            }
+            if let Some(bridge) = self.eps.bridge.as_mut() {
+                bridge.set_now(t);
+            }
+            self.fabric.step(t, &mut self.eps);
+            cursor = t;
+        }
+    }
+
     /// Runs for a fixed span of simulated time.
     pub fn run_for(&mut self, span: TimeDelta) {
         let deadline = self.now + span;
@@ -489,6 +725,12 @@ impl Machine {
                     self.ff_advance(deadline);
                 }
             }
+            EngineMode::Parallel { threads } => {
+                self.ensure_par(threads);
+                while self.now < deadline {
+                    self.par_advance(deadline);
+                }
+            }
         }
     }
 
@@ -500,6 +742,9 @@ impl Machine {
     /// skipped analytically, and the fabric reuses its injection buffer.
     pub fn run_until_quiescent(&mut self, budget: TimeDelta) -> bool {
         let deadline = self.now + budget;
+        if let EngineMode::Parallel { threads } = self.engine {
+            self.ensure_par(threads);
+        }
         while self.now < deadline {
             if self.is_quiescent() {
                 return true;
@@ -507,6 +752,7 @@ impl Machine {
             match self.engine {
                 EngineMode::LockStep => self.step(),
                 EngineMode::FastForward => self.ff_advance(deadline),
+                EngineMode::Parallel { .. } => self.par_advance(deadline),
             }
         }
         self.is_quiescent()

@@ -48,6 +48,16 @@ pub struct PowerMonitor {
     adc: Vec<Option<AdcBoard>>,
     smps_core: Smps,
     smps_io: Smps,
+    /// Reusable window scratch: fresh on-chip link energy per source node.
+    /// `update` is on every engine's hot path (it runs once per monitor
+    /// window, and the parallel engine bounds every epoch by it), so all
+    /// three scratch buffers are sized once at construction and only ever
+    /// `fill`ed — the update itself performs no heap allocation.
+    scratch_internal_by_node: Vec<Energy>,
+    /// Reusable window scratch: fresh board/FFC link energy per slice.
+    scratch_external_by_slice: Vec<Energy>,
+    /// Reusable window scratch: fresh energy per rail per slice.
+    scratch_rail_energy: Vec<[Energy; RAILS]>,
 }
 
 impl PowerMonitor {
@@ -67,6 +77,9 @@ impl PowerMonitor {
             adc: (0..slices).map(|_| None).collect(),
             smps_core: Smps::swallow_core_rail(),
             smps_io: Smps::swallow_io_rail(),
+            scratch_internal_by_node: vec![Energy::ZERO; spec.core_count()],
+            scratch_external_by_slice: vec![Energy::ZERO; slices],
+            scratch_rail_energy: vec![[Energy::ZERO; RAILS]; slices],
         }
     }
 
@@ -146,42 +159,53 @@ impl PowerMonitor {
         self.next_update = now + self.window;
         let slices = self.spec.slice_count();
         let core_count = self.spec.core_count();
+        // Allocation-free invariant: the scratch buffers were sized at
+        // construction and are only refilled here; if these lengths ever
+        // drift, something resized them (and therefore reallocated).
+        debug_assert_eq!(self.scratch_internal_by_node.len(), core_count);
+        debug_assert_eq!(self.scratch_external_by_slice.len(), slices);
+        debug_assert_eq!(self.scratch_rail_energy.len(), slices);
+        self.scratch_internal_by_node.fill(Energy::ZERO);
+        self.scratch_external_by_slice.fill(Energy::ZERO);
+        self.scratch_rail_energy.fill([Energy::ZERO; RAILS]);
 
         // Split fresh link energy: on-chip links charge their source
         // node's 1 V rail; board/FFC links charge the slice I/O rail.
-        let mut internal_by_node = vec![Energy::ZERO; core_count];
-        let mut external_by_slice = vec![Energy::ZERO; slices];
         for s in fabric.link_stats() {
             let from = s.from.raw() as usize;
             if from >= core_count {
                 continue; // bridge-originated tokens: host powered
             }
             if s.dir == Direction::Internal {
-                internal_by_node[from] += s.energy;
+                self.scratch_internal_by_node[from] += s.energy;
             } else {
-                external_by_slice[self.spec.slice_of(s.from)] += s.energy;
+                self.scratch_external_by_slice[self.spec.slice_of(s.from)] += s.energy;
             }
         }
 
-        let mut rail_energy = vec![[Energy::ZERO; RAILS]; slices];
         for node in self.spec.nodes() {
             let i = node.raw() as usize;
             let core_delta = cores[i].ledger().total() - self.last_core_energy[i];
-            let link_delta = internal_by_node[i] - self.last_internal_by_node[i];
+            let link_delta = self.scratch_internal_by_node[i] - self.last_internal_by_node[i];
             self.last_core_energy[i] = cores[i].ledger().total();
-            self.last_internal_by_node[i] = internal_by_node[i];
+            self.last_internal_by_node[i] = self.scratch_internal_by_node[i];
             let slice = self.spec.slice_of(node);
             let rail = self.rail_of(node);
-            rail_energy[slice][rail] += core_delta + link_delta;
+            self.scratch_rail_energy[slice][rail] += core_delta + link_delta;
         }
         let support = Power::from_milliwatts(SUPPORT_POWER_PER_SLICE_MW);
         for slice in 0..slices {
-            let ext_delta = external_by_slice[slice] - self.last_external_by_slice[slice];
-            self.last_external_by_slice[slice] = external_by_slice[slice];
-            rail_energy[slice][IO_RAIL] += ext_delta + support * span;
+            let ext_delta =
+                self.scratch_external_by_slice[slice] - self.last_external_by_slice[slice];
+            self.last_external_by_slice[slice] = self.scratch_external_by_slice[slice];
+            self.scratch_rail_energy[slice][IO_RAIL] += ext_delta + support * span;
             self.support_energy[slice] += support * span;
 
-            for (rail, energy) in rail_energy[slice].iter().enumerate().take(RAILS) {
+            for (rail, energy) in self.scratch_rail_energy[slice]
+                .iter()
+                .enumerate()
+                .take(RAILS)
+            {
                 self.rails[slice][rail] = energy.over(span);
             }
             // Integrate conversion losses at the measured load.

@@ -1,0 +1,324 @@
+//! Sharding and the host thread pool of the parallel engine.
+//!
+//! The conservative-epoch engine (see `machine.rs` and DESIGN.md §3.8)
+//! splits the machine's cores into *shards* and advances each shard on a
+//! host worker thread for one epoch at a time. Two pieces live here:
+//!
+//! * [`ShardPlan`] — the topology→shard mapping. Shards are always
+//!   **chip-granular**: the two cores of an XS1-L2A package (nodes `2p`
+//!   and `2p+1`) are never split across shards, so a package's internal
+//!   links join cores whose epochs are planned together. Packages are
+//!   dealt to shards in contiguous runs, which also keeps a slice's
+//!   packages on as few shards as possible.
+//! * [`EpochPool`] — a persistent pool of worker threads. Spawning
+//!   threads per epoch would cost more than a short epoch simulates, so
+//!   workers park on a condvar between epochs and are woken with a job
+//!   describing the epoch target.
+//!
+//! # Safety
+//!
+//! Each epoch the control thread publishes a raw pointer to the machine's
+//! core array, runs shard 0 itself, and blocks until every worker reports
+//! done. Workers index the array only through their own shard's disjoint
+//! node ranges, so no two threads ever touch the same `Core`, and the
+//! control thread touches only shard 0's range while workers are running.
+//! This is the entire unsafe surface of the crate and it is contained in
+//! this module.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use swallow_sim::Time;
+use swallow_xcore::Core;
+
+/// Cores per XS1-L2A package; shard boundaries never cut a package.
+const CORES_PER_CHIP: usize = 2;
+
+/// The topology→shard mapping: which contiguous node-id ranges each host
+/// worker advances.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// One contiguous `[start, end)` node-id range per shard, in shard
+    /// order. Ranges are chip-aligned, disjoint and cover `0..cores`.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl ShardPlan {
+    /// Plans `threads` shards over `cores` cores (chip-granular). The
+    /// effective shard count is capped at the package count; passing
+    /// `threads == 0` asks for one shard per available host CPU.
+    pub fn new(cores: usize, threads: usize) -> Self {
+        let chips = cores.div_ceil(CORES_PER_CHIP).max(1);
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let shards = threads.min(chips).max(1);
+        // Deal chips to shards as evenly as possible, first shards one
+        // chip heavier — deterministic for any (cores, threads).
+        let per = chips / shards;
+        let extra = chips % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut chip = 0usize;
+        for s in 0..shards {
+            let take = per + usize::from(s < extra);
+            let start = chip * CORES_PER_CHIP;
+            chip += take;
+            let end = (chip * CORES_PER_CHIP).min(cores);
+            ranges.push((start, end));
+        }
+        ShardPlan { ranges }
+    }
+
+    /// Number of shards (== worker threads in the pool).
+    pub fn shard_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The `[start, end)` node-id range of one shard.
+    pub fn range(&self, shard: usize) -> (usize, usize) {
+        self.ranges[shard]
+    }
+
+    /// Which shard a node belongs to.
+    pub fn shard_of(&self, node: usize) -> usize {
+        self.ranges
+            .iter()
+            .position(|&(s, e)| node >= s && node < e)
+            .expect("node inside the planned range")
+    }
+}
+
+/// A raw pointer to the core array, made `Send` so a job can cross into
+/// the workers. Safety rests on the disjoint-range protocol documented at
+/// module level.
+#[derive(Clone, Copy)]
+struct CoresPtr(*mut Core);
+unsafe impl Send for CoresPtr {}
+
+/// One epoch's work order.
+#[derive(Clone, Copy)]
+struct Job {
+    cores: CoresPtr,
+    len: usize,
+    target: Time,
+}
+
+struct Ctrl {
+    /// Epoch sequence number; bumped to wake the workers.
+    seq: u64,
+    /// Workers still running the current epoch.
+    remaining: usize,
+    job: Option<Job>,
+    panicked: bool,
+    quit: bool,
+}
+
+struct Shared {
+    ctrl: Mutex<Ctrl>,
+    start: Condvar,
+    done: Condvar,
+}
+
+/// A persistent pool of epoch workers. Shard 0 always runs inline on the
+/// control thread — it is idle while the workers run anyway, and on a
+/// single shard this makes the engine entirely thread-free — so the pool
+/// spawns `shards - 1` workers for shards `1..shards`.
+pub struct EpochPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    shards: usize,
+    /// Shard 0's range, run inline.
+    inline_range: (usize, usize),
+}
+
+impl EpochPool {
+    /// Spawns one worker per shard of `plan` beyond the first.
+    pub fn new(plan: &ShardPlan) -> Self {
+        let shared = Arc::new(Shared {
+            ctrl: Mutex::new(Ctrl {
+                seq: 0,
+                remaining: 0,
+                job: None,
+                panicked: false,
+                quit: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..plan.shard_count())
+            .map(|s| {
+                let shared = Arc::clone(&shared);
+                let (lo, hi) = plan.range(s);
+                std::thread::Builder::new()
+                    .name(format!("swallow-shard-{s}"))
+                    .spawn(move || worker(&shared, lo, hi))
+                    .expect("spawn epoch worker")
+            })
+            .collect();
+        EpochPool {
+            shared,
+            handles,
+            shards: plan.shard_count(),
+            inline_range: plan.range(0),
+        }
+    }
+
+    /// Advances every core one epoch, sharded across the workers: each
+    /// core runs [`Core::run_epoch`]`(target)` on its shard's thread
+    /// (shard 0 on the calling thread). Blocks until all shards report
+    /// done. On return every core has either reached `target` or stopped
+    /// early with output pending (the caller reconciles those — see
+    /// `Machine`).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker panic on the calling thread.
+    pub fn run_epoch(&self, cores: &mut [Core], target: Time) {
+        if self.shards > 1 {
+            let mut g = self.shared.ctrl.lock().expect("pool lock");
+            g.job = Some(Job {
+                cores: CoresPtr(cores.as_mut_ptr()),
+                len: cores.len(),
+                target,
+            });
+            g.remaining = self.shards - 1;
+            g.seq += 1;
+            drop(g);
+            self.shared.start.notify_all();
+        }
+        let (lo, hi) = self.inline_range;
+        for core in &mut cores[lo..hi] {
+            let _ = core.run_epoch(target);
+        }
+        if self.shards > 1 {
+            let mut g = self.shared.ctrl.lock().expect("pool lock");
+            while g.remaining > 0 {
+                g = self.shared.done.wait(g).expect("pool lock");
+            }
+            g.job = None;
+            assert!(!g.panicked, "a shard worker panicked during the epoch");
+        }
+    }
+}
+
+impl Drop for EpochPool {
+    fn drop(&mut self) {
+        {
+            let mut g = self.shared.ctrl.lock().expect("pool lock");
+            g.quit = true;
+        }
+        self.shared.start.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker(shared: &Shared, lo: usize, hi: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut g = shared.ctrl.lock().expect("pool lock");
+            loop {
+                if g.quit {
+                    return;
+                }
+                if g.seq != seen {
+                    seen = g.seq;
+                    break g.job.expect("job published with sequence bump");
+                }
+                g = shared.start.wait(g).expect("pool lock");
+            }
+        };
+        debug_assert!(hi <= job.len, "shard range outside the core array");
+        // SAFETY: `lo..hi` is this worker's disjoint range; the control
+        // thread is blocked in `run_epoch` until `remaining` hits zero.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for i in lo..hi.min(job.len) {
+                let core = unsafe { &mut *job.cores.0.add(i) };
+                // The return value is intentionally unused: the control
+                // thread detects early-stopped cores by their pending
+                // output, which avoids sharing a result buffer.
+                let _ = core.run_epoch(job.target);
+            }
+        }));
+        let mut g = shared.ctrl.lock().expect("pool lock");
+        if outcome.is_err() {
+            g.panicked = true;
+        }
+        g.remaining -= 1;
+        if g.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow_sim::TimeDelta;
+    use swallow_xcore::CoreConfig;
+
+    #[test]
+    fn plan_is_chip_aligned_and_covering() {
+        for cores in [16usize, 32, 96, 480] {
+            for threads in [1usize, 2, 3, 4, 7, 8, 64] {
+                let plan = ShardPlan::new(cores, threads);
+                assert!(plan.shard_count() <= threads.max(1));
+                assert!(plan.shard_count() <= cores.div_ceil(2));
+                let mut covered = 0;
+                for s in 0..plan.shard_count() {
+                    let (lo, hi) = plan.range(s);
+                    assert_eq!(lo, covered, "ranges must be contiguous");
+                    assert_eq!(lo % 2, 0, "shard must not split a package");
+                    assert!(hi > lo);
+                    covered = hi;
+                }
+                assert_eq!(covered, cores);
+                assert_eq!(plan.shard_of(0), 0);
+                assert_eq!(plan.shard_of(cores - 1), plan.shard_count() - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_balances_within_one_chip() {
+        let plan = ShardPlan::new(480, 7);
+        let sizes: Vec<usize> = (0..plan.shard_count())
+            .map(|s| {
+                let (lo, hi) = plan.range(s);
+                hi - lo
+            })
+            .collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= CORES_PER_CHIP, "{sizes:?}");
+    }
+
+    #[test]
+    fn pool_advances_idle_cores_to_target() {
+        let mut cores: Vec<Core> = (0..8)
+            .map(|n| Core::new(CoreConfig::swallow(swallow_isa::NodeId(n))))
+            .collect();
+        let plan = ShardPlan::new(cores.len(), 3);
+        let pool = EpochPool::new(&plan);
+        let target = Time::ZERO + TimeDelta::from_ns(100);
+        pool.run_epoch(&mut cores, target);
+        for core in &cores {
+            // Idle cores skip analytically: local time lands within one
+            // period of the target and idle energy was charged.
+            assert!(core.local_now() <= target);
+            assert!(target.since(core.local_now()) < TimeDelta::from_ns(2));
+            assert!(core.ledger().total().as_joules() > 0.0);
+        }
+        // A second epoch reuses the same workers.
+        let target2 = Time::ZERO + TimeDelta::from_ns(200);
+        pool.run_epoch(&mut cores, target2);
+        for core in &cores {
+            assert!(core.local_now() > target);
+        }
+    }
+}

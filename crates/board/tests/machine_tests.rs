@@ -2,7 +2,7 @@
 //! across the lattice through the token-level fabric, with the power tree
 //! watching.
 
-use swallow_board::{Machine, MachineConfig, RouterKind};
+use swallow_board::{EngineMode, Machine, MachineConfig, RouterKind};
 use swallow_isa::{Assembler, NodeId, Program};
 use swallow_sim::{Frequency, TimeDelta};
 
@@ -339,4 +339,89 @@ fn machine_ledger_collects_all_categories() {
     }
     // Static dominates a mostly idle slice.
     assert!(ledger.fraction(NodeCategory::Static) > 0.3);
+}
+
+#[test]
+fn parallel_engine_delivers_across_the_slice() {
+    // Communication forces the conservative engine through its early-stop
+    // and reconcile paths; the message must still land, and the shard
+    // ledgers must account for every core joule.
+    let mut machine = Machine::new(MachineConfig {
+        engine: EngineMode::Parallel { threads: 4 },
+        ..MachineConfig::one_slice()
+    });
+    machine
+        .load_program(NodeId(0), &sender(14, 4242))
+        .expect("fits");
+    machine.load_program(NodeId(14), &receiver()).expect("fits");
+    assert!(machine.run_until_quiescent(TimeDelta::from_us(50)));
+    assert_eq!(machine.core(NodeId(14)).output(), "4242\n");
+    let shards = machine.shard_ledgers();
+    assert!(!shards.is_empty());
+    let shard_total: f64 = shards.iter().map(|l| l.total().as_joules()).sum();
+    let core_total: f64 = machine
+        .nodes()
+        .map(|n| machine.core(n).ledger().total().as_joules())
+        .sum();
+    assert!(
+        (shard_total - core_total).abs() <= 1e-9 * core_total.max(f64::MIN_POSITIVE),
+        "shard ledgers ({shard_total} J) must add up to the core ledgers ({core_total} J)"
+    );
+}
+
+#[test]
+fn parallel_engine_is_deterministic_across_runs_and_thread_counts() {
+    let run = |threads: usize| {
+        let mut machine = Machine::new(MachineConfig {
+            engine: EngineMode::Parallel { threads },
+            ..MachineConfig::one_slice()
+        });
+        for n in 0..8u16 {
+            machine
+                .load_program(NodeId(n), &sender(n + 8, 1000 + u32::from(n)))
+                .expect("fits");
+            machine
+                .load_program(NodeId(n + 8), &receiver())
+                .expect("fits");
+        }
+        assert!(machine.run_until_quiescent(TimeDelta::from_us(100)));
+        let outputs: Vec<String> = machine
+            .nodes()
+            .map(|n| machine.core(n).output().to_owned())
+            .collect();
+        (
+            machine.now(),
+            machine.total_instret(),
+            outputs,
+            machine.machine_ledger().total().as_joules(),
+        )
+    };
+    let reference = run(4);
+    for n in 8..16 {
+        assert_eq!(reference.2[n], format!("{}\n", 992 + n));
+    }
+    // Same thread count: bit-identical. Different shard counts: identical
+    // up to energy association (the ledger sums over the same charges).
+    assert_eq!(run(4), reference);
+    for threads in [1usize, 2, 7] {
+        let other = run(threads);
+        assert_eq!(other.0, reference.0, "time differs at {threads} threads");
+        assert_eq!(other.1, reference.1, "instret differs at {threads} threads");
+        assert_eq!(other.2, reference.2, "output differs at {threads} threads");
+        assert!((other.3 - reference.3).abs() <= 1e-9 * reference.3);
+    }
+}
+
+#[test]
+fn engine_can_switch_to_parallel_mid_run() {
+    let mut machine = Machine::new(MachineConfig::one_slice());
+    machine
+        .load_program_all(&asm("ldc r0, 7\n print r0\n freet"))
+        .expect("fits");
+    machine.run_for(TimeDelta::from_ns(100));
+    machine.set_engine(EngineMode::Parallel { threads: 2 });
+    assert!(machine.run_until_quiescent(TimeDelta::from_us(10)));
+    for node in machine.nodes().collect::<Vec<_>>() {
+        assert_eq!(machine.core(node).output(), "7\n");
+    }
 }

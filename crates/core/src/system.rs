@@ -108,6 +108,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Use the parallel conservative-epoch engine with `threads` host
+    /// worker threads (0 = one per available host CPU). Shorthand for
+    /// [`engine`](Self::engine) with [`EngineMode::Parallel`].
+    ///
+    /// [`EngineMode::Parallel`]: swallow_board::EngineMode::Parallel
+    pub fn parallel(self, threads: usize) -> Self {
+        self.engine(swallow_board::EngineMode::Parallel { threads })
+    }
+
     /// Assembles the machine.
     ///
     /// # Errors

@@ -293,6 +293,24 @@ impl Fabric {
         self.in_network
     }
 
+    /// The conservative-PDES lookahead of this fabric: the minimum time a
+    /// token injected at any switch needs before it can land at *another*
+    /// node. A token's wire time is `3·Ts + Tt` link-clock cycles per hop
+    /// (§V.C), so this is the fastest link's token time — any event one
+    /// node causes at another is at least this far in its future, which is
+    /// what lets the parallel engine advance disjoint shards independently
+    /// for an epoch of this length.
+    ///
+    /// The core-local loopback path (≈6 ns) is deliberately excluded: a
+    /// loopback token can only reach the node that sent it, so it never
+    /// crosses a shard boundary (shards are whole nodes or coarser). The
+    /// engine handles it by reconciling the sending core itself.
+    ///
+    /// Returns `None` for a fabric with no links (single isolated node).
+    pub fn min_cross_shard_latency(&self) -> Option<TimeDelta> {
+        self.links.iter().map(|l| l.params.token_time).min()
+    }
+
     /// The earliest instant at which the fabric itself has work to do,
     /// given no further core activity: `Some(now)` when tokens are
     /// already deliverable or queued at a switch, the earliest wire /

@@ -72,6 +72,48 @@ impl Time {
     pub fn min(self, other: Time) -> Time {
         Time(self.0.min(other.0))
     }
+
+    /// First instant of the form `anchor + k·period` (integer `k ≥ 0`) at
+    /// or after `self`. Both simulation engines process work only on a
+    /// clock grid; this is the shared epoch/grid-alignment primitive.
+    ///
+    /// ```
+    /// use swallow_sim::{Time, TimeDelta};
+    /// let anchor = Time::from_ps(10);
+    /// let period = TimeDelta::from_ps(4);
+    /// assert_eq!(Time::from_ps(11).align_up_to(anchor, period).as_ps(), 14);
+    /// assert_eq!(Time::from_ps(14).align_up_to(anchor, period).as_ps(), 14);
+    /// assert_eq!(Time::from_ps(3).align_up_to(anchor, period).as_ps(), 10);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `period` is zero.
+    pub fn align_up_to(self, anchor: Time, period: TimeDelta) -> Time {
+        debug_assert!(period.0 > 0, "grid period must be non-zero");
+        if self.0 <= anchor.0 {
+            return anchor;
+        }
+        let span = self.0 - anchor.0;
+        Time(anchor.0 + span.div_ceil(period.0) * period.0)
+    }
+
+    /// Last instant of the form `anchor + k·period` (integer `k ≥ 0`) at
+    /// or before `self`; `anchor` itself when `self` precedes it. The
+    /// conservative-epoch engine uses this to cap an epoch strictly below
+    /// a lookahead horizon without leaving the clock grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `period` is zero.
+    pub fn align_down_to(self, anchor: Time, period: TimeDelta) -> Time {
+        debug_assert!(period.0 > 0, "grid period must be non-zero");
+        if self.0 <= anchor.0 {
+            return anchor;
+        }
+        let span = self.0 - anchor.0;
+        Time(anchor.0 + (span / period.0) * period.0)
+    }
 }
 
 impl fmt::Display for Time {
@@ -377,5 +419,27 @@ mod tests {
         assert_eq!(total, TimeDelta::from_ns(10));
         assert_eq!(TimeDelta::from_ns(10) * 3, TimeDelta::from_ns(30));
         assert_eq!(TimeDelta::from_ns(10) / 4, TimeDelta::from_ps(2_500));
+    }
+
+    #[test]
+    fn grid_alignment_round_trips() {
+        let anchor = Time::from_ps(100);
+        let period = TimeDelta::from_ps(7);
+        for raw in 0..260 {
+            let t = Time::from_ps(raw);
+            let up = t.align_up_to(anchor, period);
+            let down = t.align_down_to(anchor, period);
+            assert!(up >= t.max(anchor));
+            assert!(down <= t.max(anchor) && down >= anchor);
+            assert_eq!((up.as_ps() - anchor.as_ps()) % 7, 0);
+            assert_eq!((down.as_ps() - anchor.as_ps()) % 7, 0);
+            // Off-grid instants straddle one period; on-grid map to
+            // themselves in both directions.
+            assert!(up.as_ps() - down.as_ps() <= 7);
+            if raw >= 100 && (raw - 100) % 7 == 0 {
+                assert_eq!(up, t);
+                assert_eq!(down, t);
+            }
+        }
     }
 }

@@ -458,9 +458,7 @@ impl Core {
         }
         // First clock edge at or after the wake instant; stays on this
         // core's tick grid so fast-forward matches lock-step exactly.
-        let span = wake.since(self.now).as_ps();
-        let period = self.period.as_ps();
-        Some(self.now + TimeDelta::from_ps(span.div_ceil(period) * period))
+        Some(wake.align_up_to(self.now, self.period))
     }
 
     /// Fast-forwards over clock edges that provably do nothing: advances
@@ -509,6 +507,53 @@ impl Core {
             let at = self.next_tick_at();
             self.tick(at);
         }
+    }
+
+    /// The instant this core has been simulated to (its local clock). All
+    /// cores agree with the machine clock under the serial engines; under
+    /// the parallel engine a core may be ahead of the machine clock (up to
+    /// one conservative epoch) or behind it (stopped early on output).
+    pub fn local_now(&self) -> Time {
+        self.now
+    }
+
+    /// Advances one conservative epoch in *isolation*: processes every
+    /// clock edge due at or before `until` exactly like [`Core::run_until`],
+    /// fast-forwarding analytically over idle spans, but **stops at the
+    /// first edge that enqueues network output** and returns `true` if it
+    /// did. Returns `false` when the core reached `until` cleanly.
+    ///
+    /// The epoch contract (the conservative-PDES argument): between two
+    /// machine-level grid instants no token can be *delivered* to this
+    /// core, so as long as the core does not *emit* anything, its
+    /// evolution over the epoch is independent of every other core and
+    /// can run on any host thread. The moment it emits, the machine must
+    /// take over at that instant so the fabric injects the token exactly
+    /// when the lock-step engine would have.
+    ///
+    /// The caller must drain pending output before starting an epoch.
+    pub fn run_epoch(&mut self, until: Time) -> bool {
+        debug_assert!(
+            !self.has_tx_pending(),
+            "epoch started with undelivered output pending"
+        );
+        while !self.halted && self.next_tick_at() <= until {
+            if self.rotation.is_empty() {
+                // No ready thread: skip the provably idle edges in one
+                // analytic step, then process the wake edge (if any is
+                // due within the epoch) below.
+                self.skip_idle_until(until);
+                if self.halted || self.next_tick_at() > until {
+                    break;
+                }
+            }
+            let at = self.next_tick_at();
+            self.tick(at);
+            if self.tx_pending_count > 0 {
+                return true;
+            }
+        }
+        false
     }
 
     /// Direct read access to SRAM (test/observability hook; on the real

@@ -1,19 +1,27 @@
-//! Differential tests: the event-driven fast-forward engine must be
-//! observationally identical to the cycle-by-cycle lock-step reference.
+//! Differential tests: the event-driven fast-forward engine and the
+//! parallel conservative-epoch engine must both be observationally
+//! identical to the cycle-by-cycle lock-step reference.
 //!
-//! Both engines process exactly the same grid-aligned instants at which
+//! Every engine processes exactly the same grid-aligned instants at which
 //! anything can happen (core ticks, wake-ups, fabric hops, bridge pacing,
 //! monitor updates); fast-forward merely skips the provably idle instants
-//! in between and charges their energy analytically. These tests pin that
-//! equivalence down for representative workloads: identical retired
-//! instruction counts, identical final simulated time, identical program
-//! outputs, and energy ledgers equal to within floating-point association
-//! error (the only permitted difference: `n` idle-tick charges summed one
-//! by one versus multiplied out in one shot).
+//! in between and charges their energy analytically, and the parallel
+//! engine additionally batches independent spans onto host threads. These
+//! tests pin that equivalence down for representative workloads:
+//! identical retired instruction counts, identical final simulated time,
+//! identical program outputs, and energy ledgers equal to within
+//! floating-point association error (the only permitted difference: `n`
+//! idle-tick charges summed one by one versus multiplied out in one shot,
+//! or grouped per shard). The parallel engine is additionally required to
+//! be *bit-identical* across repeated runs at every tested thread count.
+//!
+//! Set `SWALLOW_ENGINE` (`lockstep` | `fastforward` | `parallel`, with
+//! `SWALLOW_THREADS` for the latter) to pin the suite to one engine — the
+//! CI matrix uses this to get a dedicated parallel leg.
 
 use swallow_repro::swallow::energy::NodeCategory;
 use swallow_repro::swallow::{
-    Assembler, EngineMode, NodeId, SwallowSystem, SystemBuilder, TimeDelta,
+    Assembler, EngineMode, NodeId, RouterKind, SwallowSystem, SystemBuilder, TimeDelta,
 };
 use swallow_repro::swallow_workloads::{client_server, farm, pipeline};
 use swallow_testkit::proptest::prelude::*;
@@ -21,8 +29,15 @@ use swallow_testkit::proptest::prelude::*;
 /// Relative energy tolerance between the engines (f64 association only).
 const ENERGY_RTOL: f64 = 1e-9;
 
-/// Everything observable about a finished run.
-#[derive(Debug)]
+/// Thread counts every scenario is exercised at under the parallel
+/// engine: degenerate (1), even splits (2, 4) and an uneven split (7)
+/// that leaves shards of different sizes on a 16-core slice.
+const PARALLEL_THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// Everything observable about a finished run. `PartialEq` compares
+/// energy bit-for-bit — used for the repeated-run determinism check,
+/// not for cross-engine comparison (which allows `ENERGY_RTOL`).
+#[derive(Debug, Clone, PartialEq)]
 struct Fingerprint {
     quiescent: bool,
     now_ps: u64,
@@ -49,35 +64,87 @@ fn fingerprint(system: &SwallowSystem, quiescent: bool) -> Fingerprint {
     }
 }
 
-fn assert_equivalent(ff: &Fingerprint, ls: &Fingerprint) {
-    assert_eq!(ff.quiescent, ls.quiescent, "quiescence verdicts differ");
-    assert_eq!(ff.now_ps, ls.now_ps, "final simulated time differs");
-    assert_eq!(ff.instret, ls.instret, "retired instruction counts differ");
-    assert_eq!(ff.outputs, ls.outputs, "program outputs differ");
-    for (&(cat, a), &(_, b)) in ff.energy.iter().zip(&ls.energy) {
+fn assert_equivalent(engine: EngineMode, got: &Fingerprint, ls: &Fingerprint) {
+    assert_eq!(
+        got.quiescent, ls.quiescent,
+        "{engine:?}: quiescence verdicts differ"
+    );
+    assert_eq!(
+        got.now_ps, ls.now_ps,
+        "{engine:?}: final simulated time differs"
+    );
+    assert_eq!(
+        got.instret, ls.instret,
+        "{engine:?}: retired instruction counts differ"
+    );
+    assert_eq!(
+        got.outputs, ls.outputs,
+        "{engine:?}: program outputs differ"
+    );
+    for (&(cat, a), &(_, b)) in got.energy.iter().zip(&ls.energy) {
         let scale = a.abs().max(b.abs()).max(f64::MIN_POSITIVE);
         assert!(
             (a - b).abs() <= ENERGY_RTOL * scale,
-            "{cat} energy diverged: fast-forward {a} J vs lock-step {b} J"
+            "{engine:?}: {cat} energy diverged: {a} J vs lock-step {b} J"
         );
     }
 }
 
-/// Runs the same setup under both engines and checks the fingerprints.
-fn run_differential(
+/// The engines every scenario runs under (and compares with lock-step).
+/// `SWALLOW_ENGINE` / `SWALLOW_THREADS` pin the list to one engine.
+fn engines_under_test() -> Vec<EngineMode> {
+    if let Ok(name) = std::env::var("SWALLOW_ENGINE") {
+        let threads: usize = std::env::var("SWALLOW_THREADS")
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .unwrap_or(0);
+        return vec![match name.as_str() {
+            "lockstep" => EngineMode::LockStep,
+            "fastforward" => EngineMode::FastForward,
+            "parallel" => EngineMode::Parallel { threads },
+            other => panic!("unknown SWALLOW_ENGINE {other:?}"),
+        }];
+    }
+    let mut engines = vec![EngineMode::FastForward];
+    engines.extend(PARALLEL_THREADS.map(|threads| EngineMode::Parallel { threads }));
+    engines
+}
+
+/// Runs the same setup under lock-step and every engine under test,
+/// checking each fingerprint against the reference. Parallel engines run
+/// twice and must be bit-identical across runs. Returns the first
+/// engine's fingerprint and the lock-step one.
+fn run_differential_with(
     budget: TimeDelta,
+    builder: impl Fn() -> SystemBuilder,
     mut setup: impl FnMut(&mut SwallowSystem),
 ) -> (Fingerprint, Fingerprint) {
     let mut run = |engine: EngineMode| {
-        let mut system = SystemBuilder::new().engine(engine).build().expect("builds");
+        let mut system = builder().engine(engine).build().expect("builds");
         setup(&mut system);
         let quiescent = system.run_until_quiescent(budget);
         fingerprint(&system, quiescent)
     };
-    let ff = run(EngineMode::FastForward);
     let ls = run(EngineMode::LockStep);
-    assert_equivalent(&ff, &ls);
-    (ff, ls)
+    let mut first = None;
+    for engine in engines_under_test() {
+        let fp = run(engine);
+        assert_equivalent(engine, &fp, &ls);
+        if matches!(engine, EngineMode::Parallel { .. }) {
+            let again = run(engine);
+            assert_eq!(fp, again, "{engine:?}: repeated runs must be bit-identical");
+        }
+        first.get_or_insert(fp);
+    }
+    (first.expect("at least one engine under test"), ls)
+}
+
+/// [`run_differential_with`] on the default one-slice builder.
+fn run_differential(
+    budget: TimeDelta,
+    setup: impl FnMut(&mut SwallowSystem),
+) -> (Fingerprint, Fingerprint) {
+    run_differential_with(budget, SystemBuilder::new, setup)
 }
 
 #[test]
@@ -180,13 +247,38 @@ fn idle_machine_burns_identical_energy() {
         system.run_for(TimeDelta::from_us(200));
         fingerprint(&system, true)
     };
-    let ff = run(EngineMode::FastForward);
     let ls = run(EngineMode::LockStep);
-    assert_equivalent(&ff, &ls);
-    assert!(
-        ff.energy.iter().map(|(_, j)| j).sum::<f64>() > 0.0,
-        "idle energy must still be charged"
+    let mut total = 0.0;
+    for engine in engines_under_test() {
+        let fp = run(engine);
+        assert_equivalent(engine, &fp, &ls);
+        total = fp.energy.iter().map(|(_, j)| j).sum::<f64>();
+    }
+    assert!(total > 0.0, "idle energy must still be charged");
+}
+
+#[test]
+fn parallel_agrees_on_shortest_paths_routing() {
+    // Same pipeline, but routed breadth-first instead of vertical-first:
+    // different hop counts and link orderings must not perturb the
+    // conservative epoch horizon or the reconciliation order.
+    let spec = pipeline::PipelineSpec {
+        stages: 6,
+        items: 16,
+        work_per_item: 3,
+    };
+    let (fp, _) = run_differential_with(
+        TimeDelta::from_ms(20),
+        || SystemBuilder::new().router(RouterKind::ShortestPaths),
+        |system| {
+            pipeline::generate(&spec, system.machine().spec())
+                .expect("generates")
+                .apply(system)
+                .expect("loads");
+        },
     );
+    assert!(fp.quiescent, "pipeline must drain under shortest-paths");
+    assert_eq!(fp.outputs[5].trim(), pipeline::checksum(&spec).to_string());
 }
 
 proptest! {
