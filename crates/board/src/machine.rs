@@ -706,6 +706,15 @@ impl Machine {
             if let Some(bridge) = self.eps.bridge.as_mut() {
                 bridge.set_now(t);
             }
+            for core in &self.eps.cores {
+                if core.has_tx_pending() && core.local_now() > t {
+                    eprintln!(
+                        "RECONCILE-AHEAD: injecting at {:?} but a tx-pending core is at {:?}",
+                        t,
+                        core.local_now()
+                    );
+                }
+            }
             self.fabric.step(t, &mut self.eps);
             cursor = t;
         }
