@@ -22,14 +22,30 @@
 //! the full sweep over every engine), `--threads N` sets the parallel
 //! engine's host thread count (0 = one per host CPU), and `--grid WxH`
 //! sizes the measured machine in slices for the pinned-engine run.
+//!
+//! The observability layer is exercised with `--trace` / `--metrics`:
+//!
+//! ```text
+//! reproduce --trace out.json --metrics out.csv
+//! reproduce --trace out.json --engine parallel --threads 4
+//! ```
+//!
+//! Either flag switches to a dedicated instrumented run (a six-stage
+//! pipeline on the configured grid, honouring `--engine`/`--threads`/
+//! `--grid`): `--trace` writes the merged event log as Chrome
+//! `trace_event` JSON (open in Perfetto), `--metrics` writes the
+//! per-supply power time series as CSV and checks that the integrated
+//! series reproduces the energy-ledger total.
 
+use std::path::Path;
 use std::time::Instant;
-use swallow::{EngineMode, Frequency, TimeDelta};
+use swallow::{EngineMode, Frequency, SystemBuilder, TimeDelta};
 use swallow_bench::experiments::{
     ablation, ec_ratio, eq2, fig2, fig3, fig4, latency, overhead, proportionality, system_power,
     table1, throughput,
 };
 use swallow_bench::survey;
+use swallow_workloads::pipeline::{self, PipelineSpec};
 
 const ALL: [&str; 15] = [
     "table1",
@@ -53,6 +69,8 @@ const ALL: [&str; 15] = [
 struct EngineOverride {
     engine: Option<EngineMode>,
     grid: (u16, u16),
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
 /// Pulls `--engine`, `--threads` and `--grid` (each `--flag value` or
@@ -100,7 +118,68 @@ fn parse_engine_override(args: &mut Vec<String>) -> EngineOverride {
             parse().unwrap_or_else(|| die("--grid wants WxH, e.g. 2x2"))
         })
         .unwrap_or((1, 1));
-    EngineOverride { engine, grid }
+    let trace = take("--trace");
+    let metrics = take("--metrics");
+    EngineOverride {
+        engine,
+        grid,
+        trace,
+        metrics,
+    }
+}
+
+/// The `--trace`/`--metrics` run: a six-stage pipeline on the configured
+/// grid with the observability layer on, exported to the requested files.
+fn run_observability(overrides: &EngineOverride) {
+    let engine = overrides.engine.unwrap_or(EngineMode::FastForward);
+    let (w, h) = overrides.grid;
+    let mut builder = SystemBuilder::new().slices(w, h).engine(engine).metrics();
+    if overrides.trace.is_some() {
+        builder = builder.tracing();
+    }
+    let mut system = builder.build().unwrap_or_else(|e| die(&e.to_string()));
+    let spec = PipelineSpec {
+        stages: 6,
+        items: 24,
+        work_per_item: 3,
+    };
+    let placement = pipeline::generate(&spec, system.machine().spec())
+        .unwrap_or_else(|e| die(&format!("pipeline generation failed: {e}")));
+    placement
+        .apply(&mut system)
+        .unwrap_or_else(|e| die(&format!("pipeline load failed: {e}")));
+    let quiescent = system.run_until_quiescent(TimeDelta::from_ms(20));
+    system.flush_metrics();
+
+    println!("observability run ({engine:?}, {w}x{h} slices, quiescent: {quiescent}):");
+    println!("{}", system.metrics_report());
+    if let Some(path) = overrides.trace.as_deref() {
+        let log = system.trace_log();
+        match swallow::write_chrome_trace(Path::new(path), &log) {
+            Ok(()) => println!(
+                "  wrote {path} ({} trace records, {} dropped)",
+                log.len(),
+                log.dropped
+            ),
+            Err(e) => die(&format!("could not write {path}: {e}")),
+        }
+    }
+    if let Some(path) = overrides.metrics.as_deref() {
+        let rows = system.machine().metrics().rows();
+        match swallow::write_supply_csv(Path::new(path), rows) {
+            Ok(()) => println!("  wrote {path} ({} supply rows)", rows.len()),
+            Err(e) => die(&format!("could not write {path}: {e}")),
+        }
+        let metered = system.machine().metrics().total_energy().as_joules();
+        let ledger = system.machine().machine_ledger().total().as_joules();
+        let rel = (metered - ledger).abs() / ledger.abs().max(f64::MIN_POSITIVE);
+        println!(
+            "  conservation: integrated {metered:.9e} J vs ledger {ledger:.9e} J (rel {rel:.2e})"
+        );
+        if rel > 1e-9 {
+            die("metrics CSV does not integrate back to the energy ledger");
+        }
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -111,6 +190,10 @@ fn die(msg: &str) -> ! {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let overrides = parse_engine_override(&mut args);
+    if overrides.trace.is_some() || overrides.metrics.is_some() {
+        run_observability(&overrides);
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let selected: Vec<&str> = args
         .iter()

@@ -13,7 +13,9 @@
 //! * [`machine`] — [`Machine`]: everything assembled and clocked in
 //!   lock-step,
 //! * [`shard`] — the chip-granular shard plan and host thread pool
-//!   behind the parallel conservative-epoch engine.
+//!   behind the parallel conservative-epoch engine,
+//! * [`metrics`] — [`MetricsHub`]: per-supply energy time series sampled
+//!   on the power-monitor cadence (the observability layer's numbers).
 //!
 //! ```
 //! use swallow_board::{Machine, MachineConfig};
@@ -27,12 +29,14 @@
 
 pub mod ethernet;
 pub mod machine;
+pub mod metrics;
 pub mod power;
 pub mod shard;
 pub mod topology;
 
 pub use ethernet::EthernetBridge;
 pub use machine::{EngineMode, Machine, MachineConfig, RouterKind};
+pub use metrics::{MetricsHub, SupplyRow};
 pub use power::PowerMonitor;
 pub use shard::{EpochPool, ShardPlan};
 pub use topology::{GridSpec, TopologyOptions, CORES_PER_SLICE};

@@ -28,6 +28,7 @@
 //!   f64 association error. See DESIGN.md §3.8.
 
 use crate::ethernet::EthernetBridge;
+use crate::metrics::MetricsHub;
 use crate::power::{PowerMonitor, DEFAULT_MONITOR_WINDOW};
 use crate::shard::{EpochPool, ShardPlan};
 use crate::topology::{build_topology, GridSpec, TopologyOptions};
@@ -35,7 +36,7 @@ use std::fmt;
 use swallow_energy::{EnergyLedger, NodeCategory};
 use swallow_isa::{NodeId, Program, ResourceId, Token};
 use swallow_noc::{CoreEndpoints, Fabric, TableRouter};
-use swallow_sim::{Frequency, Time, TimeDelta};
+use swallow_sim::{Frequency, Time, TimeDelta, TraceLog, TraceSink, Tracer};
 use swallow_xcore::{Core, CoreConfig, LoadError};
 
 /// Routing strategy selection.
@@ -93,6 +94,11 @@ pub struct MachineConfig {
     pub monitor_window: TimeDelta,
     /// Simulation engine.
     pub engine: EngineMode,
+    /// Per-component trace ring capacity; `None` leaves tracing off (the
+    /// zero-cost default).
+    pub trace_capacity: Option<usize>,
+    /// Record per-supply metrics time series on the monitor cadence.
+    pub metrics: bool,
 }
 
 impl MachineConfig {
@@ -108,6 +114,8 @@ impl MachineConfig {
             fault_seed: 0,
             monitor_window: DEFAULT_MONITOR_WINDOW,
             engine: EngineMode::default(),
+            trace_capacity: None,
+            metrics: false,
         }
     }
 
@@ -237,6 +245,7 @@ pub struct Machine {
     /// latency (None on a fabric with no links).
     lookahead: Option<TimeDelta>,
     par: Option<ParState>,
+    metrics: MetricsHub,
 }
 
 impl Machine {
@@ -274,7 +283,7 @@ impl Machine {
             .collect();
         let base_period = config.frequency.period();
         let lookahead = fabric.min_cross_shard_latency();
-        Machine {
+        let mut machine = Machine {
             spec: config.grid,
             eps: Endpoints {
                 cores,
@@ -289,7 +298,12 @@ impl Machine {
             engine: config.engine,
             lookahead,
             par: None,
+            metrics: MetricsHub::new(config.grid, config.metrics),
+        };
+        if let Some(capacity) = config.trace_capacity {
+            machine.set_tracing(capacity);
         }
+        machine
     }
 
     // --- structure ---------------------------------------------------------
@@ -450,6 +464,8 @@ impl Machine {
         if self.now >= self.monitor.next_update() {
             self.monitor
                 .update(self.now, &mut self.eps.cores, &self.fabric);
+            self.metrics
+                .sample(self.now, &self.eps.cores, &self.fabric, &self.monitor);
         }
     }
 
@@ -812,6 +828,94 @@ impl Machine {
     /// The machine-wide energy ledger.
     pub fn machine_ledger(&self) -> EnergyLedger {
         self.nodes().map(|n| self.node_ledger(n)).sum()
+    }
+
+    // --- observability ------------------------------------------------------
+
+    /// Attaches a trace ring of `capacity` records to every core, the
+    /// fabric and the power monitor. Each component owns its sink, so
+    /// under the parallel engine a core's tracer travels with it onto its
+    /// shard thread and per-component record order stays deterministic —
+    /// the rings are merged in fixed component order by
+    /// [`Machine::collect_trace`], mirroring how shard `EnergyLedger`
+    /// deltas are settled in fixed shard order.
+    pub fn set_tracing(&mut self, capacity: usize) {
+        for core in &mut self.eps.cores {
+            core.set_tracer(Tracer::ring_with_capacity(capacity));
+        }
+        self.fabric.set_tracer(Tracer::ring_with_capacity(capacity));
+        self.monitor
+            .set_tracer(Tracer::ring_with_capacity(capacity));
+    }
+
+    /// Detaches every trace sink (back to the zero-cost default).
+    pub fn clear_tracing(&mut self) {
+        for core in &mut self.eps.cores {
+            core.set_tracer(Tracer::Off);
+        }
+        self.fabric.set_tracer(Tracer::Off);
+        self.monitor.set_tracer(Tracer::Off);
+    }
+
+    /// True when trace rings are attached.
+    pub fn tracing_enabled(&self) -> bool {
+        self.eps
+            .cores
+            .first()
+            .map(|c| c.tracer().is_enabled())
+            .unwrap_or(false)
+    }
+
+    /// Merges every component's trace ring into one chronological
+    /// [`TraceLog`]: cores in node order, then the fabric, then the power
+    /// monitor, stable-sorted by time — deterministic run to run.
+    pub fn collect_trace(&self) -> TraceLog {
+        let mut log = TraceLog::new();
+        for core in &self.eps.cores {
+            if let Some(ring) = core.tracer().ring() {
+                log.absorb(ring);
+            }
+        }
+        if let Some(ring) = self.fabric.tracer().ring() {
+            log.absorb(ring);
+        }
+        if let Some(ring) = self.monitor.tracer().ring() {
+            log.absorb(ring);
+        }
+        log.finish();
+        log
+    }
+
+    /// The metrics hub (per-supply energy time series).
+    pub fn metrics(&self) -> &MetricsHub {
+        &self.metrics
+    }
+
+    /// Mutable metrics hub (to enable sampling).
+    pub fn metrics_mut(&mut self) -> &mut MetricsHub {
+        &mut self.metrics
+    }
+
+    /// Closes the metrics time series at the current instant: forces a
+    /// final (possibly partial-window) power-monitor update so loss and
+    /// support energy are integrated up to `now`, then records the
+    /// residual rows. After this, the hub's integrated energy equals
+    /// [`Machine::machine_ledger`]'s total up to f64 association. Call
+    /// once at the end of a run, before exporting.
+    pub fn flush_metrics(&mut self) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        self.monitor
+            .update(self.now, &mut self.eps.cores, &self.fabric);
+        self.metrics
+            .sample(self.now, &self.eps.cores, &self.fabric, &self.monitor);
+    }
+
+    /// Read access to the raw component triple the metrics hub samples
+    /// (cores in node order, fabric, monitor) — test hook.
+    pub fn parts(&self) -> (&[Core], &Fabric, &PowerMonitor) {
+        (&self.eps.cores, &self.fabric, &self.monitor)
     }
 }
 

@@ -15,7 +15,7 @@
 use crate::topology::{GridSpec, CHIP_COLS, CHIP_ROWS};
 use swallow_energy::{AdcBoard, Energy, Power, Smps};
 use swallow_noc::{Direction, Fabric};
-use swallow_sim::{Time, TimeDelta};
+use swallow_sim::{Time, TimeDelta, TraceEvent, TraceSink, Tracer};
 use swallow_xcore::Core;
 
 /// Default monitor cadence: the ADC's 1 MS/s all-channel rate.
@@ -58,6 +58,9 @@ pub struct PowerMonitor {
     scratch_external_by_slice: Vec<Energy>,
     /// Reusable window scratch: fresh energy per rail per slice.
     scratch_rail_energy: Vec<[Energy; RAILS]>,
+    /// Trace sink for [`TraceEvent::SupplySample`] records (one per rail
+    /// per slice per update).
+    tracer: Tracer,
 }
 
 impl PowerMonitor {
@@ -80,7 +83,23 @@ impl PowerMonitor {
             scratch_internal_by_node: vec![Energy::ZERO; spec.core_count()],
             scratch_external_by_slice: vec![Energy::ZERO; slices],
             scratch_rail_energy: vec![[Energy::ZERO; RAILS]; slices],
+            tracer: Tracer::Off,
         }
+    }
+
+    /// Replaces the monitor's trace sink.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The monitor's trace sink.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The monitor cadence.
+    pub fn window(&self) -> TimeDelta {
+        self.window
     }
 
     /// Fits a measurement daughter-board to one slice.
@@ -217,6 +236,20 @@ impl PowerMonitor {
 
             if let Some(adc) = self.adc[slice].as_mut() {
                 adc.sample(now, &self.rails[slice]);
+            }
+            if self.tracer.is_enabled() {
+                for rail in 0..RAILS {
+                    let microwatts =
+                        self.rails[slice][rail].as_microwatts().max(0.0).round() as u64;
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::SupplySample {
+                            slice: slice as u16,
+                            rail: rail as u8,
+                            microwatts,
+                        },
+                    );
+                }
             }
         }
 

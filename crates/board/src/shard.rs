@@ -15,6 +15,17 @@
 //!   workers park on a condvar between epochs and are woken with a job
 //!   describing the epoch target.
 //!
+//! # Observability under sharding
+//!
+//! Each core owns its `Tracer` (see `swallow_sim::trace`), so a core's
+//! trace ring travels with the core onto whatever shard thread runs its
+//! epoch — no shared sink, no lock, no cross-thread ordering to get
+//! wrong. Per-core insertion order is deterministic because each core's
+//! evolution inside an epoch is; `Machine::collect_trace` then merges
+//! rings in fixed node order and stable-sorts by time, so the merged log
+//! is bit-identical run after run at every thread count (pinned by
+//! `tests/differential_trace.rs`).
+//!
 //! # Safety
 //!
 //! Each epoch the control thread publishes a raw pointer to the machine's

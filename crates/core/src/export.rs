@@ -1,0 +1,367 @@
+//! Trace and metrics exporters.
+//!
+//! Two interchange formats close the observability loop:
+//!
+//! * [`chrome_trace_json`] — the merged [`TraceLog`] as Chrome
+//!   `trace_event` JSON (load it in Perfetto / `chrome://tracing`). Cores,
+//!   links and supplies render as separate processes: scheduling blocks
+//!   become duration slices, token/channel happenings become instants and
+//!   rail measurements become counter tracks.
+//! * [`supply_csv`] — the [`MetricsHub`](swallow_board::MetricsHub) rows
+//!   as a per-supply power time series, one row per slice per monitor
+//!   window. Integrating `power × span` over the file reproduces the
+//!   energy ledger total (the conservation property the observability
+//!   test suite pins at 1e-9 relative).
+//!
+//! Both writers are hand-rolled (the workspace takes no serialisation
+//! dependency) and deterministic: identical logs yield identical bytes,
+//! which is what lets a golden-file test pin the schema.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use swallow_board::power::RAILS;
+use swallow_board::SupplyRow;
+use swallow_sim::{TraceEvent, TraceLog, TraceRecord};
+
+/// Synthetic "process" ids grouping tracks in the Chrome trace.
+const PID_CORES: u32 = 0;
+const PID_LINKS: u32 = 1;
+const PID_SUPPLIES: u32 = 2;
+
+fn ts_us(ps: u64) -> String {
+    // Chrome trace timestamps are microseconds; six decimals keeps full
+    // picosecond resolution and a stable textual form for golden files.
+    format!("{:.6}", ps as f64 / 1e6)
+}
+
+fn push_args(out: &mut String, event: &TraceEvent) {
+    match *event {
+        TraceEvent::CoreWake { .. } | TraceEvent::CoreSleep { .. } => {
+            out.push_str("{}");
+        }
+        TraceEvent::ThreadSchedule { thread, pc, .. } => {
+            let _ = write!(out, "{{\"thread\":{thread},\"pc\":{pc}}}");
+        }
+        TraceEvent::BlockRetire {
+            thread, instret, ..
+        } => {
+            let _ = write!(out, "{{\"thread\":{thread},\"instret\":{instret}}}");
+        }
+        TraceEvent::TokenSend {
+            chanend,
+            dest_node,
+            dest_chanend,
+            tokens,
+            ctrl,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                "{{\"chanend\":{chanend},\"dest_node\":{dest_node},\
+                 \"dest_chanend\":{dest_chanend},\"tokens\":{tokens},\"ctrl\":{ctrl}}}"
+            );
+        }
+        TraceEvent::TokenReceive { chanend, ctrl, .. } => {
+            let _ = write!(out, "{{\"chanend\":{chanend},\"ctrl\":{ctrl}}}");
+        }
+        TraceEvent::LinkTransit { from, to, ctrl, .. } => {
+            let _ = write!(out, "{{\"from\":{from},\"to\":{to},\"ctrl\":{ctrl}}}");
+        }
+        TraceEvent::ChannelOpen { chanend, .. } | TraceEvent::ChannelClose { chanend, .. } => {
+            let _ = write!(out, "{{\"chanend\":{chanend}}}");
+        }
+        TraceEvent::DvfsChange { hz, .. } => {
+            let _ = write!(out, "{{\"hz\":{hz}}}");
+        }
+        TraceEvent::SupplySample { microwatts, .. } => {
+            let _ = write!(out, "{{\"uW\":{microwatts}}}");
+        }
+    }
+}
+
+fn push_event(out: &mut String, record: &TraceRecord) {
+    let ts = ts_us(record.at.as_ps());
+    let kind = record.event.kind();
+    match record.event {
+        TraceEvent::BlockRetire {
+            core,
+            since,
+            reason,
+            ..
+        } => {
+            let dur = ts_us(record.at.saturating_since(since).as_ps());
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":{PID_CORES},\"tid\":{core},\"ts\":{},\
+                 \"dur\":{dur},\"name\":\"{reason}\",\"cat\":\"{kind}\",\"args\":",
+                ts_us(since.as_ps()),
+            );
+        }
+        TraceEvent::LinkTransit { link, busy, .. } => {
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":{PID_LINKS},\"tid\":{link},\"ts\":{ts},\
+                 \"dur\":{},\"name\":\"transit\",\"cat\":\"{kind}\",\"args\":",
+                ts_us(busy.as_ps()),
+            );
+        }
+        TraceEvent::SupplySample { slice, rail, .. } => {
+            let _ = write!(
+                out,
+                "{{\"ph\":\"C\",\"pid\":{PID_SUPPLIES},\"tid\":0,\"ts\":{ts},\
+                 \"name\":\"slice{slice}.rail{rail}\",\"cat\":\"{kind}\",\"args\":",
+            );
+        }
+        TraceEvent::CoreWake { core }
+        | TraceEvent::CoreSleep { core }
+        | TraceEvent::ThreadSchedule { core, .. }
+        | TraceEvent::TokenSend { core, .. }
+        | TraceEvent::TokenReceive { core, .. }
+        | TraceEvent::ChannelOpen { core, .. }
+        | TraceEvent::ChannelClose { core, .. }
+        | TraceEvent::DvfsChange { core, .. } => {
+            let _ = write!(
+                out,
+                "{{\"ph\":\"i\",\"pid\":{PID_CORES},\"tid\":{core},\"ts\":{ts},\
+                 \"s\":\"t\",\"name\":\"{kind}\",\"cat\":\"{kind}\",\"args\":",
+            );
+        }
+    }
+    push_args(out, &record.event);
+    out.push('}');
+}
+
+/// Renders a merged trace log as Chrome `trace_event` JSON.
+///
+/// Track layout: pid 0 = cores (one thread track per core node), pid 1 =
+/// links (one track per link id), pid 2 = supply-rail counters. Metadata
+/// records name every track, so Perfetto shows "core 3" rather than a
+/// bare tid. Output is deterministic for a given log.
+pub fn chrome_trace_json(log: &TraceLog) -> String {
+    use std::collections::BTreeSet;
+    let mut core_tids = BTreeSet::new();
+    let mut link_tids = BTreeSet::new();
+    for r in &log.records {
+        match r.event {
+            TraceEvent::LinkTransit { link, .. } => {
+                link_tids.insert(link);
+            }
+            TraceEvent::SupplySample { .. } => {}
+            TraceEvent::CoreWake { core }
+            | TraceEvent::CoreSleep { core }
+            | TraceEvent::ThreadSchedule { core, .. }
+            | TraceEvent::BlockRetire { core, .. }
+            | TraceEvent::TokenSend { core, .. }
+            | TraceEvent::TokenReceive { core, .. }
+            | TraceEvent::ChannelOpen { core, .. }
+            | TraceEvent::ChannelClose { core, .. }
+            | TraceEvent::DvfsChange { core, .. } => {
+                core_tids.insert(core);
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(128 + log.records.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let push_meta = |out: &mut String, first: &mut bool, pid: u32, what: &str, name: &str| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{what}\",\
+             \"args\":{{\"name\":\"{name}\"}}}}",
+            tid = 0,
+        );
+    };
+    push_meta(&mut out, &mut first, PID_CORES, "process_name", "cores");
+    push_meta(&mut out, &mut first, PID_LINKS, "process_name", "links");
+    push_meta(
+        &mut out,
+        &mut first,
+        PID_SUPPLIES,
+        "process_name",
+        "supplies",
+    );
+    for &core in &core_tids {
+        out.push(',');
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{PID_CORES},\"tid\":{core},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"core {core}\"}}}}"
+        );
+    }
+    for &link in &link_tids {
+        out.push(',');
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{PID_LINKS},\"tid\":{link},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"link {link}\"}}}}"
+        );
+    }
+    for record in &log.records {
+        out.push(',');
+        push_event(&mut out, record);
+    }
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ns\",\"otherData\":{{\"dropped\":{}}}}}",
+        log.dropped
+    );
+    out
+}
+
+/// Renders metrics-hub rows as a per-supply power time series in CSV.
+///
+/// Columns: `time_us,span_us,slice,rail0_mw..rail4_mw,loss_mw` — one row
+/// per slice per monitor window, powers as mean load over the window.
+/// `Σ (rail + loss powers) × span` over the file equals the cumulative
+/// measured energy (the telescoping construction in
+/// [`MetricsHub`](swallow_board::MetricsHub) makes this exact up to f64
+/// association).
+pub fn supply_csv(rows: &[SupplyRow]) -> String {
+    let mut out = String::with_capacity(64 + rows.len() * 80);
+    out.push_str("time_us,span_us,slice");
+    for rail in 0..RAILS {
+        let _ = write!(out, ",rail{rail}_mw");
+    }
+    out.push_str(",loss_mw\n");
+    for row in rows {
+        let _ = write!(
+            out,
+            "{},{},{}",
+            ts_us(row.at.as_ps()),
+            ts_us(row.span.as_ps()),
+            row.slice
+        );
+        for rail in 0..RAILS {
+            let _ = write!(
+                out,
+                ",{:.6}",
+                row.rails[rail].over(row.span).as_milliwatts()
+            );
+        }
+        let _ = writeln!(out, ",{:.6}", row.loss.over(row.span).as_milliwatts());
+    }
+    out
+}
+
+/// Writes [`chrome_trace_json`] to a file.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_chrome_trace(path: &Path, log: &TraceLog) -> io::Result<()> {
+    std::fs::write(path, chrome_trace_json(log))
+}
+
+/// Writes [`supply_csv`] to a file.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_supply_csv(path: &Path, rows: &[SupplyRow]) -> io::Result<()> {
+    std::fs::write(path, supply_csv(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow_energy::Energy;
+    use swallow_sim::{Time, TimeDelta};
+
+    fn sample_log() -> TraceLog {
+        TraceLog {
+            records: vec![
+                TraceRecord {
+                    at: Time::from_ps(1_000),
+                    event: TraceEvent::CoreWake { core: 2 },
+                },
+                TraceRecord {
+                    at: Time::from_ps(9_000),
+                    event: TraceEvent::BlockRetire {
+                        core: 2,
+                        thread: 0,
+                        instret: 4,
+                        since: Time::from_ps(1_000),
+                        reason: "recv",
+                    },
+                },
+                TraceRecord {
+                    at: Time::from_ps(9_500),
+                    event: TraceEvent::LinkTransit {
+                        link: 7,
+                        from: 2,
+                        to: 3,
+                        ctrl: false,
+                        busy: TimeDelta::from_ns(4),
+                    },
+                },
+                TraceRecord {
+                    at: Time::from_ps(10_000),
+                    event: TraceEvent::SupplySample {
+                        slice: 0,
+                        rail: 1,
+                        microwatts: 12_500,
+                    },
+                },
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_tracks_and_durations() {
+        let json = chrome_trace_json(&sample_log());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"core 2\""), "{json}");
+        assert!(json.contains("\"name\":\"link 7\""), "{json}");
+        // The retire block spans 1 ns .. 9 ns.
+        assert!(json.contains("\"ts\":0.001000,\"dur\":0.008000"), "{json}");
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(json.contains("\"uW\":12500"), "{json}");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+
+    #[test]
+    fn csv_rows_carry_mean_power() {
+        let span = TimeDelta::from_us(1);
+        let rows = [SupplyRow {
+            at: Time::from_ps(1_000_000),
+            span,
+            slice: 0,
+            rails: [Energy::from_nanojoules(1.0); RAILS],
+            loss: Energy::from_nanojoules(0.5),
+        }];
+        let csv = supply_csv(&rows);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("time_us,span_us,slice,rail0_mw,rail1_mw,rail2_mw,rail3_mw,rail4_mw,loss_mw")
+        );
+        // 1 nJ over 1 µs = 1 mW per rail; 0.5 nJ loss = 0.5 mW.
+        assert_eq!(
+            lines.next(),
+            Some(
+                "1.000000,1.000000,0,1.000000,1.000000,1.000000,1.000000,1.000000,\
+                 0.500000"
+            )
+        );
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn empty_exports_are_valid() {
+        let json = chrome_trace_json(&TraceLog::new());
+        assert!(json.contains("\"traceEvents\":["));
+        let csv = supply_csv(&[]);
+        assert_eq!(csv.lines().count(), 1);
+    }
+}

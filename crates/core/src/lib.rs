@@ -42,10 +42,12 @@
 //! | energy | [`energy`] | power models, DVFS, link energy, supplies |
 //! | board | [`board`] | packages, slices, grids, bridge, power tree |
 
+pub mod export;
 pub mod report;
 pub mod system;
 
-pub use report::{PerfReport, PowerReport};
+pub use export::{chrome_trace_json, supply_csv, write_chrome_trace, write_supply_csv};
+pub use report::{CoreMetrics, MetricsReport, PerfReport, PowerReport};
 pub use system::{BuildError, SwallowSystem, SystemBuilder};
 
 // Substrate re-exports, for users who need the full depth.
@@ -57,7 +59,7 @@ pub use swallow_sim as sim;
 pub use swallow_xcore as xcore;
 
 // The handful of names almost every user touches.
-pub use swallow_board::{EngineMode, GridSpec, Machine, MachineConfig, RouterKind};
+pub use swallow_board::{EngineMode, GridSpec, Machine, MachineConfig, RouterKind, SupplyRow};
 pub use swallow_energy::{Energy, Power};
 pub use swallow_isa::{AsmError, Assembler, NodeId, Program, ResType, ResourceId};
-pub use swallow_sim::{Frequency, Time, TimeDelta};
+pub use swallow_sim::{Frequency, Time, TimeDelta, TraceEvent, TraceLog, TraceRecord};

@@ -8,7 +8,10 @@
 use std::fmt;
 use swallow_board::Machine;
 use swallow_energy::{Energy, EnergyLedger, NodeCategory, Power};
+use swallow_isa::{NodeId, ThreadId};
+use swallow_noc::LinkStats;
 use swallow_sim::TimeDelta;
+use swallow_xcore::MAX_THREADS;
 
 /// Where a run's energy went.
 #[derive(Clone, Debug, PartialEq)]
@@ -119,6 +122,119 @@ impl fmt::Display for PerfReport {
             self.elapsed,
             self.gips()
         )
+    }
+}
+
+/// Utilization and energy of one core over a run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoreMetrics {
+    /// The core's node id.
+    pub node: NodeId,
+    /// Instructions retired.
+    pub instret: u64,
+    /// Core cycles elapsed (at the core's own clock).
+    pub cycles: u64,
+    /// Issue-slot utilization: retired instructions per elapsed cycle
+    /// (the XS1-L issues at most one instruction per cycle).
+    pub utilization: f64,
+    /// Core-level energy (compute + static + network-interface shares).
+    pub energy: Energy,
+    /// Instructions retired per hardware thread.
+    pub thread_instret: [u64; MAX_THREADS],
+}
+
+/// Per-component utilization/energy metrics: the numeric counterpart of
+/// the event trace, collected from the same run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsReport {
+    /// The span the report covers.
+    pub elapsed: TimeDelta,
+    /// One entry per core, in node order.
+    pub cores: Vec<CoreMetrics>,
+    /// One entry per directed link, in link-id order.
+    pub links: Vec<LinkStats>,
+    /// Number of per-supply measurement rows recorded by the metrics hub
+    /// (zero unless metrics collection was enabled).
+    pub supply_rows: usize,
+    /// Energy integrated over the recorded supply rows.
+    pub metered_energy: Energy,
+    /// The machine ledger total over the same run (the conservation
+    /// reference: after a final flush, `metered_energy` matches this
+    /// within f64 association when metrics are enabled).
+    pub ledger_energy: Energy,
+}
+
+impl MetricsReport {
+    /// Collects the report from a machine.
+    pub fn collect(machine: &Machine, elapsed: TimeDelta) -> Self {
+        let cores = machine
+            .nodes()
+            .map(|node| {
+                let core = machine.core(node);
+                let cycles = core.cycles();
+                let mut thread_instret = [0u64; MAX_THREADS];
+                for (tid, slot) in thread_instret.iter_mut().enumerate() {
+                    *slot = core.thread_instret(ThreadId(tid as u8));
+                }
+                CoreMetrics {
+                    node,
+                    instret: core.instret(),
+                    cycles,
+                    utilization: if cycles == 0 {
+                        0.0
+                    } else {
+                        core.instret() as f64 / cycles as f64
+                    },
+                    energy: core.ledger().total(),
+                    thread_instret,
+                }
+            })
+            .collect();
+        MetricsReport {
+            elapsed,
+            cores,
+            links: machine.fabric().link_stats().collect(),
+            supply_rows: machine.metrics().rows().len(),
+            metered_energy: machine.metrics().total_energy(),
+            ledger_energy: machine.machine_ledger().total(),
+        }
+    }
+
+    /// Mean issue-slot utilization across all cores.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.cores.is_empty() {
+            return 0.0;
+        }
+        self.cores.iter().map(|c| c.utilization).sum::<f64>() / self.cores.len() as f64
+    }
+
+    /// Links that carried at least one token.
+    pub fn active_links(&self) -> usize {
+        self.links
+            .iter()
+            .filter(|l| l.data_tokens + l.ctrl_tokens + l.header_tokens > 0)
+            .count()
+    }
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "metrics over {}: {} cores at {:.1}% mean issue utilization",
+            self.elapsed,
+            self.cores.len(),
+            self.mean_utilization() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  {} of {} links active; {} supply rows metering {}",
+            self.active_links(),
+            self.links.len(),
+            self.supply_rows,
+            self.metered_energy
+        )?;
+        write!(f, "  ledger total {}", self.ledger_energy)
     }
 }
 

@@ -1,10 +1,10 @@
 //! The system facade: building and driving a Swallow machine.
 
-use crate::report::{PerfReport, PowerReport};
+use crate::report::{MetricsReport, PerfReport, PowerReport};
 use std::fmt;
 use swallow_board::{Machine, MachineConfig, RouterKind};
 use swallow_isa::{NodeId, Program};
-use swallow_sim::{Frequency, Time, TimeDelta};
+use swallow_sim::{Frequency, Time, TimeDelta, TraceLog, DEFAULT_TRACE_CAPACITY};
 use swallow_xcore::LoadError;
 
 /// Error from [`SystemBuilder::build`].
@@ -115,6 +115,29 @@ impl SystemBuilder {
     /// [`EngineMode::Parallel`]: swallow_board::EngineMode::Parallel
     pub fn parallel(self, threads: usize) -> Self {
         self.engine(swallow_board::EngineMode::Parallel { threads })
+    }
+
+    /// Attaches typed trace rings (default capacity) to every core, the
+    /// fabric and the power monitor. Off by default — and when off, the
+    /// trace hooks compile down to one branch per event with no
+    /// allocation, so leaving them in every hot path is free.
+    pub fn tracing(self) -> Self {
+        self.tracing_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Like [`tracing`](Self::tracing) with an explicit per-component
+    /// ring capacity (records kept per core/fabric/monitor).
+    pub fn tracing_capacity(mut self, capacity: usize) -> Self {
+        self.config.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Records per-supply energy time series on the power-monitor
+    /// cadence (the paper's measurement daughter-board view), exported
+    /// via [`SwallowSystem::metrics_report`] and the CSV exporter.
+    pub fn metrics(mut self) -> Self {
+        self.config.metrics = true;
+        self
     }
 
     /// Assembles the machine.
@@ -234,6 +257,25 @@ impl SwallowSystem {
     /// Builds the performance report over the elapsed run.
     pub fn perf_report(&self) -> PerfReport {
         PerfReport::collect(&self.machine, self.elapsed())
+    }
+
+    /// Builds the per-component metrics report over the elapsed run.
+    pub fn metrics_report(&self) -> MetricsReport {
+        MetricsReport::collect(&self.machine, self.elapsed())
+    }
+
+    /// Merges every component's trace ring into one chronological log
+    /// (cores in node order, then fabric, then monitor — deterministic).
+    /// Empty unless the system was built with [`SystemBuilder::tracing`].
+    pub fn trace_log(&self) -> TraceLog {
+        self.machine.collect_trace()
+    }
+
+    /// Closes the metrics time series at the current instant (final
+    /// partial-window monitor update + residual rows). Call once at the
+    /// end of a run, before exporting metrics.
+    pub fn flush_metrics(&mut self) {
+        self.machine.flush_metrics();
     }
 
     /// The underlying machine (cores, fabric, power monitor, bridge).

@@ -28,7 +28,7 @@ use crate::routing::{LinkDesc, Router};
 use std::collections::{HashMap, VecDeque};
 use swallow_energy::Energy;
 use swallow_isa::{NodeId, ResType, ResourceId, Token};
-use swallow_sim::{Time, TimeDelta};
+use swallow_sim::{Time, TimeDelta, TraceEvent, TraceSink, Tracer};
 
 /// Receive-buffer capacity per link input port (the credit window).
 pub const RX_CAPACITY: usize = 8;
@@ -222,6 +222,7 @@ impl FabricBuilder {
             unroutable: 0,
             in_network: 0,
             tx_scratch: Vec::new(),
+            tracer: Tracer::Off,
         }
     }
 }
@@ -254,6 +255,10 @@ pub struct Fabric {
     /// Reusable buffer for the per-node injection scan (avoids a heap
     /// allocation per step).
     tx_scratch: Vec<u8>,
+    /// Trace sink for [`TraceEvent::LinkTransit`] records. The fabric is
+    /// only stepped from the control thread (serially, even under the
+    /// parallel engine), so one sink covers every link deterministically.
+    tracer: Tracer,
 }
 
 impl Fabric {
@@ -346,6 +351,16 @@ impl Fabric {
             }
         }
         earliest
+    }
+
+    /// Replaces the fabric's trace sink.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The fabric's trace sink.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Per-link statistics.
@@ -625,6 +640,19 @@ impl Fabric {
         }
         if token.closes_route() {
             link.owner = None;
+        }
+        if self.tracer.is_enabled() {
+            let link = &self.links[lid.0 as usize];
+            self.tracer.emit(
+                start,
+                TraceEvent::LinkTransit {
+                    link: lid.0,
+                    from: link.from.0,
+                    to: link.to.0,
+                    ctrl: matches!(token, Token::Ctrl(_)),
+                    busy: link.params.token_time,
+                },
+            );
         }
     }
 }

@@ -10,7 +10,8 @@
 //! * [`DetRng`] — a seedable, reproducible random number generator,
 //! * [`stats`] — counters, running statistics, histograms and least-squares
 //!   fits used by the experiment harnesses,
-//! * [`trace`] — a lightweight trace buffer for debugging simulations.
+//! * [`trace`] — typed, zero-cost-when-off trace events ([`TraceEvent`],
+//!   [`TraceSink`], [`TraceRing`]) feeding the observability exporters.
 //!
 //! Determinism is a design requirement, not an accident: the platform being
 //! modelled (Swallow, DATE 2016) is a *time-deterministic* real-time system,
@@ -35,4 +36,7 @@ pub mod trace;
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use time::{Frequency, Time, TimeDelta};
-pub use trace::{TraceBuffer, Tracer};
+pub use trace::{
+    NullSink, TraceEvent, TraceLog, TraceRecord, TraceRing, TraceSink, Tracer,
+    DEFAULT_TRACE_CAPACITY,
+};

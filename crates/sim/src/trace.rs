@@ -1,135 +1,384 @@
-//! A lightweight, optional trace facility.
+//! Typed, zero-cost-when-off trace events.
 //!
-//! Simulation components call [`Tracer::record`] with a category and a lazy
-//! message; the default [`Tracer::Off`] discards everything with no
-//! allocation, while [`Tracer::Buffer`] keeps the most recent entries for
-//! post-mortem inspection in tests and examples.
+//! The observability substrate of the whole stack: simulation components
+//! emit [`TraceEvent`]s — compact, `Copy` descriptions of scheduler,
+//! network and power happenings — through a [`TraceSink`]. The default
+//! sink ([`Tracer::Off`] / [`NullSink`]) discards events with no
+//! allocation and no side effect beyond one branch, so tracing can stay
+//! compiled into every hot path; [`Tracer::Ring`] retains the most recent
+//! records in a pre-allocated ring buffer for post-mortem export
+//! (Chrome `trace_event` JSON, CSV — see the `swallow` crate).
+//!
+//! Determinism contract: emitting events never changes simulation state,
+//! and a ring preserves *insertion* order, so merging the per-component
+//! rings of a run in a fixed component order (then stable-sorting by
+//! time) yields the same [`TraceLog`] run after run — including under the
+//! parallel engine, where each core's ring travels with the core onto its
+//! shard thread and per-core insertion order is itself deterministic.
 
-use crate::time::Time;
+use crate::time::{Time, TimeDelta};
 use std::fmt;
 
-/// Default capacity for [`TraceBuffer`].
+/// Default capacity for [`TraceRing`].
 pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
-/// A single trace entry.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct TraceEntry {
-    /// Simulated time at which the event occurred.
-    pub at: Time,
-    /// Component category, e.g. `"core"`, `"switch"`, `"link"`.
-    pub category: &'static str,
-    /// Rendered message.
-    pub message: String,
+/// One structured trace event. Everything is a small `Copy` payload —
+/// no strings, no heap — so recording is a couple of register moves and
+/// ring rotation never clones.
+///
+/// Source identity is carried *in* the event (core/link/slice ids), so a
+/// record is self-describing after per-component rings are merged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TraceEvent {
+    /// A core left the all-idle state: its first thread became ready.
+    CoreWake {
+        /// Node id of the core.
+        core: u16,
+    },
+    /// A core's last ready thread left the rotation.
+    CoreSleep {
+        /// Node id of the core.
+        core: u16,
+    },
+    /// A thread entered the issue rotation (became ready).
+    ThreadSchedule {
+        /// Node id of the core.
+        core: u16,
+        /// Hardware thread id.
+        thread: u8,
+        /// Program counter at schedule time.
+        pc: u32,
+    },
+    /// A thread left the issue rotation, retiring the block of
+    /// instructions it issued since it was scheduled.
+    BlockRetire {
+        /// Node id of the core.
+        core: u16,
+        /// Hardware thread id.
+        thread: u8,
+        /// Instructions retired in this scheduling block.
+        instret: u32,
+        /// When the block started (the matching `ThreadSchedule`).
+        since: Time,
+        /// Why the thread left the rotation (a stable static label:
+        /// `"recv"`, `"send"`, `"timer"`, `"done"`, …).
+        reason: &'static str,
+    },
+    /// A core enqueued tokens for the network on a channel end.
+    TokenSend {
+        /// Node id of the sending core.
+        core: u16,
+        /// Local channel-end index.
+        chanend: u8,
+        /// Destination node.
+        dest_node: u16,
+        /// Destination channel-end index.
+        dest_chanend: u8,
+        /// Tokens enqueued by the instruction (4 for `out`, 1 for
+        /// `outt`/`outct`).
+        tokens: u8,
+        /// True for a control token.
+        ctrl: bool,
+    },
+    /// A token landed in a core's channel-end input buffer.
+    TokenReceive {
+        /// Node id of the receiving core.
+        core: u16,
+        /// Local channel-end index.
+        chanend: u8,
+        /// True for a control token.
+        ctrl: bool,
+    },
+    /// A token started crossing a network link.
+    LinkTransit {
+        /// Link id within the fabric.
+        link: u32,
+        /// Transmitting node.
+        from: u16,
+        /// Receiving node.
+        to: u16,
+        /// True for a control token.
+        ctrl: bool,
+        /// Wire occupancy of the token (the link's token time).
+        busy: TimeDelta,
+    },
+    /// A channel end was allocated (`getr`).
+    ChannelOpen {
+        /// Node id of the core.
+        core: u16,
+        /// Local channel-end index.
+        chanend: u8,
+    },
+    /// A channel end was freed (`freer`).
+    ChannelClose {
+        /// Node id of the core.
+        core: u16,
+        /// Local channel-end index.
+        chanend: u8,
+    },
+    /// A core's clock changed (per-core DFS/DVFS).
+    DvfsChange {
+        /// Node id of the core.
+        core: u16,
+        /// New clock in hertz.
+        hz: u64,
+    },
+    /// The power monitor refreshed one supply-rail measurement.
+    SupplySample {
+        /// Slice index.
+        slice: u16,
+        /// Rail index within the slice (0–3 core rails, 4 = I/O).
+        rail: u8,
+        /// Measured rail load, rounded to microwatts.
+        microwatts: u64,
+    },
 }
 
-impl fmt::Display for TraceEntry {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {}: {}", self.at, self.category, self.message)
+impl TraceEvent {
+    /// A short, stable label for the event kind (used by exporters).
+    pub const fn kind(self) -> &'static str {
+        match self {
+            TraceEvent::CoreWake { .. } => "core_wake",
+            TraceEvent::CoreSleep { .. } => "core_sleep",
+            TraceEvent::ThreadSchedule { .. } => "thread_schedule",
+            TraceEvent::BlockRetire { .. } => "block_retire",
+            TraceEvent::TokenSend { .. } => "token_send",
+            TraceEvent::TokenReceive { .. } => "token_receive",
+            TraceEvent::LinkTransit { .. } => "link_transit",
+            TraceEvent::ChannelOpen { .. } => "channel_open",
+            TraceEvent::ChannelClose { .. } => "channel_close",
+            TraceEvent::DvfsChange { .. } => "dvfs_change",
+            TraceEvent::SupplySample { .. } => "supply_sample",
+        }
     }
 }
 
-/// A bounded ring of recent trace entries.
-#[derive(Clone, Debug, Default)]
-pub struct TraceBuffer {
-    entries: Vec<TraceEntry>,
+/// A timestamped [`TraceEvent`]. `Copy`, 32 bytes — ring rotation is a
+/// plain overwrite, never a clone of heap data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceRecord {
+    /// Simulated time of the event (the emitting component's clock).
+    pub at: Time,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {:?}", self.at, self.event.kind(), self.event)
+    }
+}
+
+/// Where trace events go. The contract every implementation must honour:
+/// emitting is observationally free — it may not touch simulation state —
+/// and when [`TraceSink::is_enabled`] is false, [`TraceSink::emit`] must
+/// be a no-op with no allocation.
+pub trait TraceSink {
+    /// True when emitted events are retained somewhere.
+    fn is_enabled(&self) -> bool;
+    /// Accepts one event at simulated time `at`.
+    fn emit(&mut self, at: Time, event: TraceEvent);
+}
+
+/// The always-off sink: discards everything, allocates nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn emit(&mut self, _at: Time, _event: TraceEvent) {}
+}
+
+/// A bounded ring of recent trace records.
+///
+/// The backing storage is allocated once at construction
+/// (`Vec::with_capacity`), so emitting — including eviction once the ring
+/// is full — performs no heap allocation.
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    records: Vec<TraceRecord>,
     capacity: usize,
     dropped: u64,
     head: usize,
 }
 
-impl TraceBuffer {
-    /// Creates a buffer with the default capacity.
+impl Default for TraceRing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRing {
+    /// Creates a ring with the default capacity.
     pub fn new() -> Self {
         Self::with_capacity(DEFAULT_TRACE_CAPACITY)
     }
 
-    /// Creates a buffer keeping at most `capacity` recent entries.
+    /// Creates a ring keeping at most `capacity` recent records
+    /// (minimum 1). All storage is allocated up front.
     pub fn with_capacity(capacity: usize) -> Self {
-        TraceBuffer {
-            entries: Vec::new(),
-            capacity: capacity.max(1),
+        let capacity = capacity.max(1);
+        TraceRing {
+            records: Vec::with_capacity(capacity),
+            capacity,
             dropped: 0,
             head: 0,
         }
     }
 
-    fn push(&mut self, entry: TraceEntry) {
-        if self.entries.len() < self.capacity {
-            self.entries.push(entry);
+    /// Appends a record, evicting the oldest when full.
+    #[inline]
+    pub fn push(&mut self, record: TraceRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(record);
         } else {
-            self.entries[self.head] = entry;
+            self.records[self.head] = record;
             self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
         }
     }
 
-    /// Entries in chronological order.
-    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
-        let (wrapped, recent) = self.entries.split_at(self.head);
+    /// Retained records in insertion order (chronological as long as the
+    /// emitter's clock is monotone, which every component's is).
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        let (wrapped, recent) = self.records.split_at(self.head);
         recent.iter().chain(wrapped.iter())
     }
 
-    /// Number of retained entries.
+    /// Number of retained records.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.records.len()
     }
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.records.is_empty()
     }
 
-    /// Number of entries evicted to honour the capacity bound.
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of records evicted to honour the capacity bound.
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Empties the ring, keeping its storage and dropped count.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.head = 0;
+    }
 }
 
-/// Trace destination selector.
+impl TraceSink for TraceRing {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn emit(&mut self, at: Time, event: TraceEvent) {
+        self.push(TraceRecord { at, event });
+    }
+}
+
+/// Trace destination selector owned by each traced component.
 ///
 /// ```
-/// use swallow_sim::{Time, Tracer};
+/// use swallow_sim::{Time, TraceEvent, TraceSink, Tracer};
 /// let mut tracer = Tracer::buffered();
-/// tracer.record(Time::ZERO, "core", || "thread 0 started".into());
-/// assert_eq!(tracer.buffer().expect("buffered").len(), 1);
+/// tracer.emit(Time::ZERO, TraceEvent::CoreWake { core: 3 });
+/// assert_eq!(tracer.ring().expect("ring").len(), 1);
 /// ```
 #[derive(Clone, Debug, Default)]
 pub enum Tracer {
     /// Discard all trace events (the default; zero cost).
     #[default]
     Off,
-    /// Retain recent events in a ring buffer.
-    Buffer(TraceBuffer),
+    /// Retain recent events in a pre-allocated ring buffer.
+    Ring(TraceRing),
 }
 
 impl Tracer {
-    /// A tracer that retains recent events with the default capacity.
+    /// A tracer retaining recent events with the default capacity.
     pub fn buffered() -> Self {
-        Tracer::Buffer(TraceBuffer::new())
+        Tracer::Ring(TraceRing::new())
     }
 
-    /// True when events are being retained.
-    pub fn is_enabled(&self) -> bool {
-        matches!(self, Tracer::Buffer(_))
+    /// A tracer retaining at most `capacity` recent events.
+    pub fn ring_with_capacity(capacity: usize) -> Self {
+        Tracer::Ring(TraceRing::with_capacity(capacity))
     }
 
-    /// Records an event; `message` is only evaluated when tracing is on.
-    pub fn record(&mut self, at: Time, category: &'static str, message: impl FnOnce() -> String) {
-        if let Tracer::Buffer(buf) = self {
-            buf.push(TraceEntry {
-                at,
-                category,
-                message: message(),
-            });
-        }
-    }
-
-    /// Access to the underlying buffer when enabled.
-    pub fn buffer(&self) -> Option<&TraceBuffer> {
+    /// Access to the underlying ring when enabled.
+    pub fn ring(&self) -> Option<&TraceRing> {
         match self {
             Tracer::Off => None,
-            Tracer::Buffer(buf) => Some(buf),
+            Tracer::Ring(ring) => Some(ring),
         }
+    }
+}
+
+impl TraceSink for Tracer {
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        matches!(self, Tracer::Ring(_))
+    }
+
+    /// Records an event. With [`Tracer::Off`] this is one branch — no
+    /// allocation, no write (the zero-cost-when-off guarantee, pinned by
+    /// the `trace_alloc` regression test).
+    #[inline]
+    fn emit(&mut self, at: Time, event: TraceEvent) {
+        if let Tracer::Ring(ring) = self {
+            ring.push(TraceRecord { at, event });
+        }
+    }
+}
+
+/// A whole run's merged trace: records from every component ring, merged
+/// in a fixed component order and stable-sorted by time (so simultaneous
+/// events keep the deterministic component order).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceLog {
+    /// All records, ascending by [`TraceRecord::at`].
+    pub records: Vec<TraceRecord>,
+    /// Total records evicted from component rings before the merge.
+    pub dropped: u64,
+}
+
+impl TraceLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// Appends one component ring (call in a fixed component order).
+    pub fn absorb(&mut self, ring: &TraceRing) {
+        self.records.extend(ring.iter().copied());
+        self.dropped += ring.dropped();
+    }
+
+    /// Stable-sorts the merged records by time. Call once after every
+    /// component has been absorbed; stability keeps the fixed component
+    /// order for simultaneous records, so the result is deterministic.
+    pub fn finish(&mut self) {
+        self.records.sort_by_key(|r| r.at);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records were captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
     }
 }
 
@@ -138,54 +387,164 @@ mod tests {
     use super::*;
 
     #[test]
-    fn off_tracer_skips_message_construction() {
+    fn off_tracer_retains_nothing() {
         let mut tracer = Tracer::Off;
-        let mut evaluated = false;
-        tracer.record(Time::ZERO, "core", || {
-            evaluated = true;
-            String::new()
-        });
-        assert!(!evaluated);
-        assert!(tracer.buffer().is_none());
+        tracer.emit(Time::ZERO, TraceEvent::CoreWake { core: 0 });
+        assert!(!tracer.is_enabled());
+        assert!(tracer.ring().is_none());
     }
 
     #[test]
-    fn buffer_keeps_chronological_order() {
+    fn null_sink_is_disabled() {
+        let mut sink = NullSink;
+        assert!(!sink.is_enabled());
+        sink.emit(Time::ZERO, TraceEvent::CoreSleep { core: 1 });
+    }
+
+    #[test]
+    fn ring_keeps_insertion_order() {
         let mut tracer = Tracer::buffered();
         for i in 0..5u64 {
-            tracer.record(Time::from_ps(i), "t", || format!("e{i}"));
+            tracer.emit(
+                Time::from_ps(i),
+                TraceEvent::ThreadSchedule {
+                    core: 0,
+                    thread: i as u8,
+                    pc: 0,
+                },
+            );
         }
-        let msgs: Vec<_> = tracer
-            .buffer()
-            .expect("buffered")
+        let at: Vec<u64> = tracer
+            .ring()
+            .expect("ring")
             .iter()
-            .map(|e| e.message.clone())
+            .map(|r| r.at.as_ps())
             .collect();
-        assert_eq!(msgs, ["e0", "e1", "e2", "e3", "e4"]);
+        assert_eq!(at, [0, 1, 2, 3, 4]);
     }
 
     #[test]
-    fn ring_evicts_oldest() {
-        let mut buf = TraceBuffer::with_capacity(3);
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut ring = TraceRing::with_capacity(3);
         for i in 0..5u64 {
-            buf.push(TraceEntry {
-                at: Time::from_ps(i),
-                category: "t",
-                message: format!("e{i}"),
-            });
+            ring.emit(Time::from_ps(i), TraceEvent::CoreWake { core: i as u16 });
         }
-        let msgs: Vec<_> = buf.iter().map(|e| e.message.as_str()).collect();
-        assert_eq!(msgs, ["e2", "e3", "e4"]);
-        assert_eq!(buf.dropped(), 2);
+        let at: Vec<u64> = ring.iter().map(|r| r.at.as_ps()).collect();
+        assert_eq!(at, [2, 3, 4]);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
     }
 
     #[test]
-    fn entry_display_is_informative() {
-        let entry = TraceEntry {
+    fn ring_storage_is_preallocated() {
+        let ring = TraceRing::with_capacity(100);
+        assert!(ring.records.capacity() >= 100);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn record_display_is_informative() {
+        let record = TraceRecord {
             at: Time::from_ps(2_000),
-            category: "link",
-            message: "token sent".into(),
+            event: TraceEvent::TokenReceive {
+                core: 4,
+                chanend: 2,
+                ctrl: false,
+            },
         };
-        assert_eq!(entry.to_string(), "[2ns] link: token sent");
+        let text = record.to_string();
+        assert!(text.contains("2ns"), "{text}");
+        assert!(text.contains("token_receive"), "{text}");
+    }
+
+    #[test]
+    fn log_merges_stably_by_time() {
+        let mut a = TraceRing::new();
+        a.emit(Time::from_ps(10), TraceEvent::CoreWake { core: 0 });
+        a.emit(Time::from_ps(30), TraceEvent::CoreSleep { core: 0 });
+        let mut b = TraceRing::new();
+        b.emit(Time::from_ps(10), TraceEvent::CoreWake { core: 1 });
+        b.emit(Time::from_ps(20), TraceEvent::CoreSleep { core: 1 });
+        let mut log = TraceLog::new();
+        log.absorb(&a);
+        log.absorb(&b);
+        log.finish();
+        let seq: Vec<(u64, &str)> = log
+            .records
+            .iter()
+            .map(|r| (r.at.as_ps(), r.event.kind()))
+            .collect();
+        // Simultaneous records keep absorb order: core 0 before core 1.
+        assert_eq!(
+            seq,
+            [
+                (10, "core_wake"),
+                (10, "core_wake"),
+                (20, "core_sleep"),
+                (30, "core_sleep"),
+            ]
+        );
+        assert_eq!(log.records[0].event, TraceEvent::CoreWake { core: 0 });
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.dropped, 0);
+    }
+
+    #[test]
+    fn every_event_kind_has_a_label() {
+        let events = [
+            TraceEvent::CoreWake { core: 0 },
+            TraceEvent::CoreSleep { core: 0 },
+            TraceEvent::ThreadSchedule {
+                core: 0,
+                thread: 0,
+                pc: 0,
+            },
+            TraceEvent::BlockRetire {
+                core: 0,
+                thread: 0,
+                instret: 0,
+                since: Time::ZERO,
+                reason: "recv",
+            },
+            TraceEvent::TokenSend {
+                core: 0,
+                chanend: 0,
+                dest_node: 1,
+                dest_chanend: 0,
+                tokens: 4,
+                ctrl: false,
+            },
+            TraceEvent::TokenReceive {
+                core: 0,
+                chanend: 0,
+                ctrl: false,
+            },
+            TraceEvent::LinkTransit {
+                link: 0,
+                from: 0,
+                to: 1,
+                ctrl: false,
+                busy: TimeDelta::from_ns(32),
+            },
+            TraceEvent::ChannelOpen {
+                core: 0,
+                chanend: 0,
+            },
+            TraceEvent::ChannelClose {
+                core: 0,
+                chanend: 0,
+            },
+            TraceEvent::DvfsChange { core: 0, hz: 500 },
+            TraceEvent::SupplySample {
+                slice: 0,
+                rail: 0,
+                microwatts: 0,
+            },
+        ];
+        let mut labels: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), events.len(), "kind labels must be distinct");
     }
 }

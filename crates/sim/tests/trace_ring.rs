@@ -1,0 +1,104 @@
+//! Property tests of the trace ring: for any push sequence the ring
+//! honours its capacity bound, accounts every eviction in `dropped`, and
+//! retains the *most recent* records in insertion order.
+
+use swallow_sim::{Time, TraceEvent, TraceLog, TraceRecord, TraceRing};
+use swallow_testkit::proptest::prelude::*;
+
+fn record(i: u64) -> TraceRecord {
+    TraceRecord {
+        at: Time::from_ps(i),
+        event: TraceEvent::ThreadSchedule {
+            core: (i % 16) as u16,
+            thread: (i % 8) as u8,
+            pc: i as u32,
+        },
+    }
+}
+
+proptest! {
+    /// Pushes never exceed capacity and every displaced record is counted.
+    #[test]
+    fn ring_bounds_and_accounts(
+        capacity in 1usize..64,
+        pushes in 0usize..300,
+    ) {
+        let mut ring = TraceRing::with_capacity(capacity);
+        for i in 0..pushes {
+            ring.push(record(i as u64));
+            prop_assert!(ring.len() <= capacity);
+        }
+        prop_assert_eq!(ring.len(), pushes.min(capacity));
+        prop_assert_eq!(ring.dropped(), pushes.saturating_sub(capacity) as u64);
+        prop_assert_eq!(ring.capacity(), capacity);
+    }
+
+    /// The ring keeps exactly the most recent records, in order.
+    #[test]
+    fn ring_keeps_a_suffix_in_order(
+        capacity in 1usize..32,
+        times in proptest::collection::vec(0u64..10_000, 0..120),
+    ) {
+        let mut ring = TraceRing::with_capacity(capacity);
+        // Monotone timestamps, as every real emitter's clock is.
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        for &t in &sorted {
+            ring.push(record(t));
+        }
+        let kept: Vec<u64> = ring.iter().map(|r| r.at.as_ps()).collect();
+        let expected: Vec<u64> = sorted
+            .iter()
+            .copied()
+            .skip(sorted.len().saturating_sub(capacity))
+            .collect();
+        prop_assert_eq!(kept.clone(), expected);
+        // Retained records are chronological.
+        prop_assert!(kept.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Merging rings into a log preserves chronology and drop totals
+    /// regardless of how records were sharded across rings.
+    #[test]
+    fn merged_log_is_chronological(
+        times_a in proptest::collection::vec(0u64..5_000, 0..80),
+        times_b in proptest::collection::vec(0u64..5_000, 0..80),
+        capacity in 1usize..48,
+    ) {
+        let mut a = TraceRing::with_capacity(capacity);
+        let mut b = TraceRing::with_capacity(capacity);
+        let (mut sa, mut sb) = (times_a.clone(), times_b.clone());
+        sa.sort_unstable();
+        sb.sort_unstable();
+        for &t in &sa {
+            a.push(record(t));
+        }
+        for &t in &sb {
+            b.push(record(t));
+        }
+        let mut log = TraceLog::new();
+        log.absorb(&a);
+        log.absorb(&b);
+        log.finish();
+        prop_assert_eq!(log.len(), a.len() + b.len());
+        prop_assert_eq!(log.dropped, a.dropped() + b.dropped());
+        prop_assert!(log.records.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    /// `clear` keeps the drop count (it is a lifetime statistic) and the
+    /// ring stays usable.
+    #[test]
+    fn clear_preserves_lifetime_drops(pushes in 0usize..100) {
+        let mut ring = TraceRing::with_capacity(8);
+        for i in 0..pushes {
+            ring.push(record(i as u64));
+        }
+        let dropped = ring.dropped();
+        ring.clear();
+        prop_assert!(ring.is_empty());
+        prop_assert_eq!(ring.dropped(), dropped);
+        ring.push(record(7));
+        prop_assert_eq!(ring.len(), 1);
+        prop_assert_eq!(ring.iter().next().map(|r| r.at.as_ps()), Some(7));
+    }
+}

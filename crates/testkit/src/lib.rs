@@ -16,10 +16,15 @@
 //!   exposing the `Criterion` / `benchmark_group` / `Bencher::iter`
 //!   surface our `[[bench]]` targets use, printing a criterion-style
 //!   `time: [min median max]` line per benchmark.
+//! * [`json`] — a structural JSON parser (`BTreeMap`-backed objects), so
+//!   golden-file tests compare exporter output by structure rather than
+//!   byte layout (the third offline replacement: `serde_json` for tests).
 
 pub mod proptest;
 
 pub mod bench;
+
+pub mod json;
 
 /// Criterion-compatible facade so bench targets can write
 /// `use swallow_testkit::criterion::{criterion_group, criterion_main, Criterion};`.

@@ -27,7 +27,7 @@ use swallow_isa::{
     decode, issue_cycles, DecodeError, EnergyClass, HostcallFn, Instr, MemOffset, NodeId, Reg,
     ResType, ResourceId, ThreadId, Token,
 };
-use swallow_sim::{Frequency, Time, TimeDelta};
+use swallow_sim::{Frequency, Time, TimeDelta, TraceEvent, TraceSink, Tracer};
 
 /// Reference-clock tick period of the architectural timers (100 MHz).
 pub const TIMER_TICK_PS: u64 = 10_000;
@@ -253,6 +253,13 @@ pub struct Core {
     class_counts: ClassCounts,
     instret: u64,
     output: String,
+    tracer: Tracer,
+    /// When each thread was last scheduled (entered the rotation); pairs
+    /// with `sched_instret` to emit `BlockRetire` spans. Maintained even
+    /// with tracing off so a tracer can be attached mid-run.
+    sched_at: [Time; MAX_THREADS],
+    /// Each thread's retired-instruction count when it was last scheduled.
+    sched_instret: [u64; MAX_THREADS],
 }
 
 impl Core {
@@ -282,6 +289,9 @@ impl Core {
             class_counts: ClassCounts::default(),
             instret: 0,
             output: String::new(),
+            tracer: Tracer::Off,
+            sched_at: [Time::ZERO; MAX_THREADS],
+            sched_instret: [0; MAX_THREADS],
             period,
             config,
         }
@@ -303,6 +313,27 @@ impl Core {
     pub fn set_frequency(&mut self, f: Frequency) {
         self.config.frequency = f;
         self.period = f.period();
+        if self.tracer.is_enabled() {
+            self.tracer.emit(
+                self.now,
+                TraceEvent::DvfsChange {
+                    core: self.config.node.0,
+                    hz: f.as_hz(),
+                },
+            );
+        }
+    }
+
+    /// Replaces this core's trace sink. The tracer is owned by the core,
+    /// so under the parallel engine it travels with the core onto its
+    /// shard thread and records stay in deterministic per-core order.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// This core's trace sink.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Replaces the power model (e.g. to apply a DVFS voltage).
@@ -614,6 +645,16 @@ impl Core {
         }
         ch.in_buf.push_back(token);
         let available = ch.in_buf.len();
+        if self.tracer.is_enabled() {
+            self.tracer.emit(
+                self.now,
+                TraceEvent::TokenReceive {
+                    core: self.config.node.0,
+                    chanend,
+                    ctrl: matches!(token, Token::Ctrl(_)),
+                },
+            );
+        }
         self.wake_receivers(chanend, available);
         self.wake_event_waiter(chanend);
         Ok(())
@@ -700,13 +741,65 @@ impl Core {
 
     fn activate(&mut self, tid: u8) {
         if !self.rotation.contains(&tid) {
+            if self.tracer.is_enabled() {
+                if self.rotation.is_empty() {
+                    self.tracer.emit(
+                        self.now,
+                        TraceEvent::CoreWake {
+                            core: self.config.node.0,
+                        },
+                    );
+                }
+                self.tracer.emit(
+                    self.now,
+                    TraceEvent::ThreadSchedule {
+                        core: self.config.node.0,
+                        thread: tid,
+                        pc: self.threads[tid as usize].pc,
+                    },
+                );
+            }
+            self.sched_at[tid as usize] = self.now;
+            self.sched_instret[tid as usize] = self.threads[tid as usize].instret;
             self.rotation.push(tid);
         }
         self.set_thread_state(tid, ThreadState::Ready);
     }
 
     fn deactivate(&mut self, tid: u8) {
+        let before = self.rotation.len();
         self.rotation.retain(|&t| t != tid);
+        if self.rotation.len() == before || !self.tracer.is_enabled() {
+            return;
+        }
+        let block = (self.threads[tid as usize].instret - self.sched_instret[tid as usize])
+            .min(u32::MAX as u64) as u32;
+        // The new state was set before deactivation (every commit arm does
+        // `set_thread_state` first), so it is the reason we left.
+        let reason = match &self.threads[tid as usize].state {
+            ThreadState::Blocked(b) => b.label(),
+            ThreadState::Free => "done",
+            ThreadState::Trapped => "trap",
+            ThreadState::Ready => "ready",
+        };
+        self.tracer.emit(
+            self.now,
+            TraceEvent::BlockRetire {
+                core: self.config.node.0,
+                thread: tid,
+                instret: block,
+                since: self.sched_at[tid as usize],
+                reason,
+            },
+        );
+        if self.rotation.is_empty() {
+            self.tracer.emit(
+                self.now,
+                TraceEvent::CoreSleep {
+                    core: self.config.node.0,
+                },
+            );
+        }
     }
 
     fn wake_receivers(&mut self, chanend: u8, available: usize) {
@@ -875,6 +968,24 @@ impl Core {
                 self.retire(tid, &instr);
                 self.halted = true;
             }
+        }
+    }
+
+    /// Emits a [`TraceEvent::TokenSend`] for tokens just queued on a
+    /// chanend's output buffer (one branch when tracing is off).
+    fn trace_send(&mut self, chanend: u8, dest: ResourceId, tokens: u8, ctrl: bool) {
+        if self.tracer.is_enabled() {
+            self.tracer.emit(
+                self.now,
+                TraceEvent::TokenSend {
+                    core: self.config.node.0,
+                    chanend,
+                    dest_node: dest.node().0,
+                    dest_chanend: dest.index(),
+                    tokens,
+                    ctrl,
+                },
+            );
         }
     }
 
@@ -1204,6 +1315,15 @@ impl Core {
                     .alloc(ty)
                     .map(|idx| ResourceId::new(self.config.node, idx, ty))
                     .unwrap_or(ResourceId::INVALID);
+                if ty == ResType::Chanend && !rid.is_invalid() && self.tracer.is_enabled() {
+                    self.tracer.emit(
+                        self.now,
+                        TraceEvent::ChannelOpen {
+                            core: self.config.node.0,
+                            chanend: rid.index(),
+                        },
+                    );
+                }
                 set!(d, rid.raw());
                 Outcome::Advance(words)
             }
@@ -1226,6 +1346,15 @@ impl Core {
                             }
                         }
                         if self.resources.free(ty, rid.index()) {
+                            if ty == ResType::Chanend && self.tracer.is_enabled() {
+                                self.tracer.emit(
+                                    self.now,
+                                    TraceEvent::ChannelClose {
+                                        core: self.config.node.0,
+                                        chanend: rid.index(),
+                                    },
+                                );
+                            }
                             Outcome::Advance(words)
                         } else {
                             Outcome::Trap(TrapCause::BadResource { raw })
@@ -1350,6 +1479,7 @@ impl Core {
                 if was_empty {
                     self.tx_pending_count += 1;
                 }
+                self.trace_send(idx, dest, 4, false);
                 Outcome::Advance(words)
             }
             OutT { r, s } => {
@@ -1372,6 +1502,7 @@ impl Core {
                     self.tx_pending_count += 1;
                 }
                 ch.out_buf.push_back((Token::Data(value), dest));
+                self.trace_send(idx, dest, 1, false);
                 Outcome::Advance(words)
             }
             OutCt { r, ct } => {
@@ -1393,6 +1524,7 @@ impl Core {
                     self.tx_pending_count += 1;
                 }
                 ch.out_buf.push_back((Token::Ctrl(ct), dest));
+                self.trace_send(idx, dest, 1, true);
                 Outcome::Advance(words)
             }
             In { d, r } => {

@@ -60,6 +60,22 @@ pub enum Block {
     },
 }
 
+impl Block {
+    /// A short, stable label for the blocking reason (used to annotate
+    /// `BlockRetire` trace events and by exporters).
+    pub const fn label(&self) -> &'static str {
+        match self {
+            Block::RecvTokens { .. } => "recv",
+            Block::SendSpace { .. } => "send",
+            Block::Timer { .. } => "timer",
+            Block::Lock { .. } => "lock",
+            Block::Barrier { .. } => "barrier",
+            Block::Divide { .. } => "divide",
+            Block::Event { .. } => "event",
+        }
+    }
+}
+
 /// Lifecycle state of a hardware thread.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ThreadState {
