@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Experiment names: table1 fig2 fig3 fig4 table2 eq2 latency overhead ec
-//! table3 system system480 ablation proportionality throughput.
+//! table3 system system480 ablation proportionality throughput resilience.
 //!
 //! The throughput experiment additionally writes its rows to
 //! `BENCH_throughput.json` in the working directory, and accepts engine
@@ -23,31 +23,36 @@
 //! engine's host thread count (0 = one per host CPU), and `--grid WxH`
 //! sizes the measured machine in slices for the pinned-engine run.
 //!
-//! The observability layer is exercised with `--trace` / `--metrics`:
+//! The observability layer is exercised with `--trace` / `--metrics`,
+//! and deterministic faults are injected with `--faults`:
 //!
 //! ```text
 //! reproduce --trace out.json --metrics out.csv
 //! reproduce --trace out.json --engine parallel --threads 4
+//! reproduce --faults "kill-link:0@2us, corrupt:8@5us+2us, brownout:600@12us+3us"
 //! ```
 //!
-//! Either flag switches to a dedicated instrumented run (a six-stage
-//! pipeline on the configured grid, honouring `--engine`/`--threads`/
-//! `--grid`): `--trace` writes the merged event log as Chrome
-//! `trace_event` JSON (open in Perfetto), `--metrics` writes the
-//! per-supply power time series as CSV and checks that the integrated
-//! series reproduces the energy-ledger total.
+//! Any of the three flags switches to a dedicated instrumented run (a
+//! six-stage pipeline on the configured grid, honouring `--engine`/
+//! `--threads`/`--grid`): `--trace` writes the merged event log as
+//! Chrome `trace_event` JSON (open in Perfetto), `--metrics` writes the
+//! per-supply power time series as CSV, and `--faults` replays the given
+//! fault schedule (grammar: `FaultPlan::parse`) while the run's fault
+//! and recovery counters are reported. Every instrumented run checks
+//! that the integrated supply series reproduces the energy-ledger total
+//! and exits non-zero when conservation fails.
 
 use std::path::Path;
 use std::time::Instant;
-use swallow::{EngineMode, Frequency, SystemBuilder, TimeDelta};
+use swallow::{EngineMode, FaultPlan, Frequency, SystemBuilder, TimeDelta};
 use swallow_bench::experiments::{
-    ablation, ec_ratio, eq2, fig2, fig3, fig4, latency, overhead, proportionality, system_power,
-    table1, throughput,
+    ablation, ec_ratio, eq2, fig2, fig3, fig4, latency, overhead, proportionality, resilience,
+    system_power, table1, throughput,
 };
 use swallow_bench::survey;
 use swallow_workloads::pipeline::{self, PipelineSpec};
 
-const ALL: [&str; 15] = [
+const ALL: [&str; 16] = [
     "table1",
     "fig2",
     "fig3",
@@ -63,6 +68,7 @@ const ALL: [&str; 15] = [
     "ablation",
     "proportionality",
     "throughput",
+    "resilience",
 ];
 
 /// Engine/threads/grid overrides parsed from the command line.
@@ -71,6 +77,7 @@ struct EngineOverride {
     grid: (u16, u16),
     trace: Option<String>,
     metrics: Option<String>,
+    faults: Option<FaultPlan>,
 }
 
 /// Pulls `--engine`, `--threads` and `--grid` (each `--flag value` or
@@ -120,22 +127,29 @@ fn parse_engine_override(args: &mut Vec<String>) -> EngineOverride {
         .unwrap_or((1, 1));
     let trace = take("--trace");
     let metrics = take("--metrics");
+    let faults = take("--faults")
+        .map(|spec| FaultPlan::parse(&spec).unwrap_or_else(|e| die(&format!("--faults: {e}"))));
     EngineOverride {
         engine,
         grid,
         trace,
         metrics,
+        faults,
     }
 }
 
-/// The `--trace`/`--metrics` run: a six-stage pipeline on the configured
-/// grid with the observability layer on, exported to the requested files.
+/// The `--trace`/`--metrics`/`--faults` run: a six-stage pipeline on the
+/// configured grid with the observability layer on, faults replayed, and
+/// the results exported to the requested files.
 fn run_observability(overrides: &EngineOverride) {
     let engine = overrides.engine.unwrap_or(EngineMode::FastForward);
     let (w, h) = overrides.grid;
     let mut builder = SystemBuilder::new().slices(w, h).engine(engine).metrics();
     if overrides.trace.is_some() {
         builder = builder.tracing();
+    }
+    if let Some(plan) = overrides.faults.clone() {
+        builder = builder.faults(plan);
     }
     let mut system = builder.build().unwrap_or_else(|e| die(&e.to_string()));
     let spec = PipelineSpec {
@@ -170,15 +184,16 @@ fn run_observability(overrides: &EngineOverride) {
             Ok(()) => println!("  wrote {path} ({} supply rows)", rows.len()),
             Err(e) => die(&format!("could not write {path}: {e}")),
         }
-        let metered = system.machine().metrics().total_energy().as_joules();
-        let ledger = system.machine().machine_ledger().total().as_joules();
-        let rel = (metered - ledger).abs() / ledger.abs().max(f64::MIN_POSITIVE);
-        println!(
-            "  conservation: integrated {metered:.9e} J vs ledger {ledger:.9e} J (rel {rel:.2e})"
-        );
-        if rel > 1e-9 {
-            die("metrics CSV does not integrate back to the energy ledger");
-        }
+    }
+    // The conservation gate runs on every instrumented run, not only
+    // when a CSV was requested: the integrated supply series must
+    // reproduce the energy-ledger total, faults or no faults.
+    let metered = system.machine().metrics().total_energy().as_joules();
+    let ledger = system.machine().machine_ledger().total().as_joules();
+    let rel = (metered - ledger).abs() / ledger.abs().max(f64::MIN_POSITIVE);
+    println!("  conservation: integrated {metered:.9e} J vs ledger {ledger:.9e} J (rel {rel:.2e})");
+    if rel > 1e-9 {
+        die("metered supply series does not integrate back to the energy ledger");
     }
 }
 
@@ -190,7 +205,7 @@ fn die(msg: &str) -> ! {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let overrides = parse_engine_override(&mut args);
-    if overrides.trace.is_some() || overrides.metrics.is_some() {
+    if overrides.trace.is_some() || overrides.metrics.is_some() || overrides.faults.is_some() {
         run_observability(&overrides);
         return;
     }
@@ -279,6 +294,15 @@ fn main() {
                 println!("{t}");
                 let path = std::path::Path::new("BENCH_throughput.json");
                 match t.write_json(path) {
+                    Ok(()) => println!("  wrote {}", path.display()),
+                    Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+                }
+            }
+            "resilience" => {
+                let r = resilience::run(quick);
+                println!("{r}");
+                let path = std::path::Path::new("BENCH_resilience.json");
+                match r.write_json(path) {
                     Ok(()) => println!("  wrote {}", path.display()),
                     Err(e) => eprintln!("  could not write {}: {e}", path.display()),
                 }

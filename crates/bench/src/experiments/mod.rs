@@ -9,6 +9,7 @@ pub mod fig4;
 pub mod latency;
 pub mod overhead;
 pub mod proportionality;
+pub mod resilience;
 pub mod system_power;
 pub mod table1;
 pub mod throughput;

@@ -15,7 +15,9 @@
 //! * [`shard`] — the chip-granular shard plan and host thread pool
 //!   behind the parallel conservative-epoch engine,
 //! * [`metrics`] — [`MetricsHub`]: per-supply energy time series sampled
-//!   on the power-monitor cadence (the observability layer's numbers).
+//!   on the power-monitor cadence (the observability layer's numbers),
+//! * `resilience` — the scheduled-fault cursor and recovery bookkeeping
+//!   behind [`MachineConfig`]'s `faults` plan (DESIGN.md §3.10).
 //!
 //! ```
 //! use swallow_board::{Machine, MachineConfig};
@@ -31,6 +33,7 @@ pub mod ethernet;
 pub mod machine;
 pub mod metrics;
 pub mod power;
+mod resilience;
 pub mod shard;
 pub mod topology;
 

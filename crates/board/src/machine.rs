@@ -30,13 +30,15 @@
 use crate::ethernet::EthernetBridge;
 use crate::metrics::MetricsHub;
 use crate::power::{PowerMonitor, DEFAULT_MONITOR_WINDOW};
+use crate::resilience::FaultEngine;
 use crate::shard::{EpochPool, ShardPlan};
 use crate::topology::{build_topology, GridSpec, TopologyOptions};
 use std::fmt;
-use swallow_energy::{EnergyLedger, NodeCategory};
+use swallow_energy::{DvfsTable, EnergyLedger, NodeCategory};
+use swallow_faults::{FaultCounters, FaultKind, FaultPlan};
 use swallow_isa::{NodeId, Program, ResourceId, Token};
-use swallow_noc::{CoreEndpoints, Fabric, TableRouter};
-use swallow_sim::{Frequency, Time, TimeDelta, TraceLog, TraceSink, Tracer};
+use swallow_noc::{CoreEndpoints, Fabric, LinkDesc, LinkId, TableRouter};
+use swallow_sim::{Frequency, Time, TimeDelta, TraceEvent, TraceLog, TraceSink, Tracer};
 use swallow_xcore::{Core, CoreConfig, LoadError};
 
 /// Routing strategy selection.
@@ -99,6 +101,9 @@ pub struct MachineConfig {
     pub trace_capacity: Option<usize>,
     /// Record per-supply metrics time series on the monitor cadence.
     pub metrics: bool,
+    /// Scheduled fault injections (empty = fault-free; an empty plan
+    /// costs one comparison per processed edge and perturbs nothing).
+    pub faults: FaultPlan,
 }
 
 impl MachineConfig {
@@ -116,6 +121,7 @@ impl MachineConfig {
             engine: EngineMode::default(),
             trace_capacity: None,
             metrics: false,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -246,6 +252,15 @@ pub struct Machine {
     lookahead: Option<TimeDelta>,
     par: Option<ParState>,
     metrics: MetricsHub,
+    /// Link descriptions as built — the basis for recomputing routes
+    /// around dead links (ids match the live fabric's).
+    descs: Vec<LinkDesc>,
+    /// Scheduled-fault cursor and recovery bookkeeping.
+    faults: FaultEngine,
+    /// Machine-level trace sink (fault, reroute and brownout events).
+    tracer: Tracer,
+    /// Reusable buffer for links the fabric escalated to dead.
+    escalated_scratch: Vec<LinkId>,
 }
 
 impl Machine {
@@ -271,6 +286,7 @@ impl Machine {
             )),
         };
         let bridge_node = topo.bridge;
+        let descs = topo.builder.link_descs().to_vec();
         let fabric = topo.builder.build(router);
         let cores: Vec<Core> = config
             .grid
@@ -299,6 +315,10 @@ impl Machine {
             lookahead,
             par: None,
             metrics: MetricsHub::new(config.grid, config.metrics),
+            descs,
+            faults: FaultEngine::new(config.faults),
+            tracer: Tracer::Off,
+            escalated_scratch: Vec::new(),
         };
         if let Some(capacity) = config.trace_capacity {
             machine.set_tracing(capacity);
@@ -402,14 +422,19 @@ impl Machine {
     /// Changes one core's clock (per-core DFS, §III.B).
     pub fn set_core_frequency(&mut self, node: NodeId, f: Frequency) {
         self.core_mut(node).set_frequency(f);
-        let min_period = self
+        self.recompute_base_period();
+    }
+
+    /// Re-derives the machine's base clock grid from the fastest core
+    /// (after any per-core frequency change, including brownouts).
+    fn recompute_base_period(&mut self) {
+        self.base_period = self
             .eps
             .cores
             .iter()
             .map(|c| c.frequency().period())
             .min()
             .expect("at least one core");
-        self.base_period = min_period;
     }
 
     // --- execution -------------------------------------------------------------
@@ -437,6 +462,13 @@ impl Machine {
     /// `now`, advances the bridge and fabric, and fires the power monitor
     /// when due.
     fn process_edge(&mut self) {
+        // Scheduled faults land first, serially, on the grid instant —
+        // before any core runs or token moves — so every engine sees an
+        // identical fault timeline (see DESIGN.md §3.10). One branch
+        // when the plan is empty.
+        if self.faults.pending(self.now) {
+            self.apply_due_faults();
+        }
         for core in &mut self.eps.cores {
             // Cores may run slower than the base clock; tick on their
             // edges only. `run_until` also stops if the core halts
@@ -460,12 +492,19 @@ impl Machine {
             || self.eps.cores.iter().any(|c| c.has_tx_pending())
         {
             self.fabric.step(self.now, &mut self.eps);
+            // A link that exhausted its retry budget during this step is
+            // dead: account for it and route around it immediately.
+            if self.fabric.has_escalations() {
+                self.handle_escalations();
+            }
         }
         if self.now >= self.monitor.next_update() {
             self.monitor
                 .update(self.now, &mut self.eps.cores, &self.fabric);
+            let fc = self.fault_counters();
             self.metrics
                 .sample(self.now, &self.eps.cores, &self.fabric, &self.monitor);
+            self.metrics.record_faults(fc);
         }
     }
 
@@ -477,6 +516,14 @@ impl Machine {
     fn next_activity_at(&self) -> Time {
         let immediate = self.now + self.base_period;
         let mut earliest = self.monitor.next_update();
+        // Scheduled faults (and the end of an active brownout) are
+        // activity: fast-forward must land on their grid instants.
+        if let Some(at) = self.faults.next_at() {
+            if at <= immediate {
+                return immediate;
+            }
+            earliest = earliest.min(at);
+        }
         for core in &self.eps.cores {
             if core.has_tx_pending() {
                 return immediate;
@@ -651,6 +698,16 @@ impl Machine {
         if let Some(w) = wake_min {
             target = target.min((w + lookahead).align_down_to(self.now, self.base_period));
         }
+        if let Some(at) = self.faults.next_at() {
+            // A fault due at or before the horizon must be applied
+            // serially before any core crosses its instant; the
+            // fast-forward path lands exactly on the fault's grid edge.
+            if self.grid_align(at) <= target {
+                self.ff_advance(deadline);
+                self.settle_shard_energy();
+                return;
+            }
+        }
         if target <= immediate {
             self.ff_advance(deadline);
             self.settle_shard_energy();
@@ -800,6 +857,224 @@ impl Machine {
                 .all(|c| c.is_quiescent() && !c.has_tx_pending())
     }
 
+    // --- faults & resilience -------------------------------------------------
+
+    /// Applies every scheduled fault due at or before `now`, in plan
+    /// order, then recomputes routes once if any link topology changed.
+    /// Events naming an out-of-range link or core are ignored (the plan
+    /// may have been written for a larger machine).
+    fn apply_due_faults(&mut self) {
+        // The end of a brownout is itself a due instant: restore the
+        // saved clocks/models before applying anything newly scheduled.
+        if self.faults.derated && self.now >= self.faults.derate_end {
+            self.restore_brownout();
+        }
+        let mut reroute = false;
+        while let Some(ev) = self.faults.pop_due(self.now) {
+            match ev.kind {
+                FaultKind::LinkDown(link) => {
+                    if self.fabric.set_link_down(link) {
+                        self.faults.counters.link_downs += 1;
+                        self.tracer.emit(
+                            self.now,
+                            TraceEvent::LinkFault {
+                                link: link.raw(),
+                                up: false,
+                            },
+                        );
+                        reroute = true;
+                    }
+                }
+                FaultKind::LinkUp(link) => {
+                    if self.fabric.set_link_up(link) {
+                        self.faults.counters.link_ups += 1;
+                        self.tracer.emit(
+                            self.now,
+                            TraceEvent::LinkFault {
+                                link: link.raw(),
+                                up: true,
+                            },
+                        );
+                        // Restored capacity: recompute so routes may use
+                        // it again. Cores already quarantined stay dead —
+                        // a rejoined island does not resurrect them.
+                        reroute = true;
+                    }
+                }
+                FaultKind::LinkCorrupt { link, until } => {
+                    self.fabric.set_link_corrupt_until(link, until);
+                }
+                FaultKind::LinkDrop { link, until } => {
+                    self.fabric.set_link_drop_until(link, until);
+                }
+                FaultKind::CoreStall { core, until } => {
+                    if let Some(c) = self.eps.cores.get_mut(core.raw() as usize) {
+                        c.fault_stall_until(until);
+                        self.faults.counters.core_stalls += 1;
+                        self.tracer.emit(
+                            self.now,
+                            TraceEvent::CoreFault {
+                                core: core.raw(),
+                                kind: "stall",
+                            },
+                        );
+                    }
+                }
+                FaultKind::CoreKill(core) => {
+                    if let Some(c) = self.eps.cores.get_mut(core.raw() as usize) {
+                        if !c.is_halted() {
+                            c.fault_kill();
+                            self.faults.counters.core_kills += 1;
+                            self.tracer.emit(
+                                self.now,
+                                TraceEvent::CoreFault {
+                                    core: core.raw(),
+                                    kind: "kill",
+                                },
+                            );
+                        }
+                    }
+                }
+                FaultKind::Brownout { milli, until } => {
+                    self.start_brownout(milli, until);
+                }
+            }
+        }
+        if reroute {
+            self.reroute_and_quarantine();
+        }
+    }
+
+    /// Enters a supply brownout: every core's clock is derated to
+    /// `milli`/1000 of its current frequency and its power model moved
+    /// to the DVFS voltage for the derated clock (a browned-out supply
+    /// forces the lower operating point, §III.B). Clocks and models are
+    /// saved and restored bit-exactly at `until`. An overlapping
+    /// brownout only extends the window — derating twice would compound.
+    fn start_brownout(&mut self, milli: u32, until: Time) {
+        if self.faults.derated {
+            self.faults.derate_end = self.faults.derate_end.max(until);
+            return;
+        }
+        self.faults.counters.brownouts += 1;
+        self.faults.derated = true;
+        self.faults.derate_end = until;
+        self.faults.nominal.clear();
+        self.faults.nominal_power.clear();
+        let table = DvfsTable::swallow();
+        let mut derated_hz = 0u64;
+        for core in &mut self.eps.cores {
+            let nominal = core.frequency();
+            self.faults.nominal.push(nominal);
+            self.faults.nominal_power.push(core.power_model());
+            let hz = (nominal.as_hz().saturating_mul(milli as u64) / 1000).max(1);
+            let derated = Frequency::from_hz(hz);
+            derated_hz = derated.as_hz();
+            core.set_frequency(derated);
+            core.set_power_model(core.power_model().at_voltage(table.voltage_at(derated)));
+        }
+        self.recompute_base_period();
+        self.tracer.emit(
+            self.now,
+            TraceEvent::Brownout {
+                active: true,
+                hz: derated_hz,
+            },
+        );
+    }
+
+    /// Leaves a brownout: restores every core's saved clock and power
+    /// model exactly.
+    fn restore_brownout(&mut self) {
+        for (i, core) in self.eps.cores.iter_mut().enumerate() {
+            core.set_frequency(self.faults.nominal[i]);
+            core.set_power_model(self.faults.nominal_power[i]);
+        }
+        self.faults.derated = false;
+        self.recompute_base_period();
+        let hz = self
+            .eps
+            .cores
+            .first()
+            .map(|c| c.frequency().as_hz())
+            .unwrap_or(0);
+        self.tracer
+            .emit(self.now, TraceEvent::Brownout { active: false, hz });
+    }
+
+    /// Accounts for links the fabric just escalated to dead (retry
+    /// budget exhausted) and routes around them.
+    fn handle_escalations(&mut self) {
+        let mut escalated = std::mem::take(&mut self.escalated_scratch);
+        self.fabric.take_escalated(&mut escalated);
+        for link in escalated.drain(..) {
+            self.faults.counters.link_downs += 1;
+            self.tracer.emit(
+                self.now,
+                TraceEvent::LinkFault {
+                    link: link.raw(),
+                    up: false,
+                },
+            );
+        }
+        self.escalated_scratch = escalated;
+        self.reroute_and_quarantine();
+    }
+
+    /// Rebuilds the routing table over the surviving links and
+    /// quarantines cores the machine's majority can no longer exchange
+    /// tokens with. Recovery routing is always a recomputed
+    /// shortest-path table, whatever [`RouterKind`] the machine was
+    /// built with — the dimension-order router assumes a fully wired
+    /// lattice, which no longer holds ("new routing algorithms can
+    /// simply be programmed", §V.A).
+    fn reroute_and_quarantine(&mut self) {
+        let alive: Vec<LinkDesc> = self
+            .descs
+            .iter()
+            .copied()
+            .filter(|d| !self.fabric.link_is_down(d.id))
+            .collect();
+        let dead = (self.descs.len() - alive.len()) as u32;
+        let n = self.fabric.node_count();
+        self.fabric
+            .set_router(Box::new(TableRouter::shortest_paths(n, &alive)));
+        self.faults.counters.reroutes += 1;
+        self.tracer
+            .emit(self.now, TraceEvent::RouteRecompute { dead_links: dead });
+        let keep = crate::resilience::largest_mutual_component(n, &alive);
+        for (i, core) in self.eps.cores.iter_mut().enumerate() {
+            if !keep.get(i).copied().unwrap_or(false) && !core.is_halted() {
+                core.fault_kill();
+                self.faults.counters.quarantined_cores += 1;
+                self.tracer.emit(
+                    self.now,
+                    TraceEvent::CoreFault {
+                        core: i as u16,
+                        kind: "quarantine",
+                    },
+                );
+            }
+        }
+    }
+
+    /// Cumulative fault/resilience counters: the board-side events
+    /// (downs, kills, brownouts, reroutes, quarantines) merged with the
+    /// fabric's live retry/drop/delivery totals.
+    pub fn fault_counters(&self) -> FaultCounters {
+        let mut c = self.faults.counters;
+        c.retransmits = self.fabric.total_retransmits();
+        c.dropped_tokens = self.fabric.total_dropped_tokens();
+        c.delivered_tokens = self.fabric.delivered_data_tokens();
+        c
+    }
+
+    /// The machine's links as built (ids match the live fabric) — the
+    /// basis for writing targeted fault plans.
+    pub fn link_descs(&self) -> &[LinkDesc] {
+        &self.descs
+    }
+
     // --- accounting ---------------------------------------------------------------
 
     /// Total instructions retired machine-wide.
@@ -846,6 +1121,7 @@ impl Machine {
         self.fabric.set_tracer(Tracer::ring_with_capacity(capacity));
         self.monitor
             .set_tracer(Tracer::ring_with_capacity(capacity));
+        self.tracer = Tracer::ring_with_capacity(capacity);
     }
 
     /// Detaches every trace sink (back to the zero-cost default).
@@ -855,6 +1131,7 @@ impl Machine {
         }
         self.fabric.set_tracer(Tracer::Off);
         self.monitor.set_tracer(Tracer::Off);
+        self.tracer = Tracer::Off;
     }
 
     /// True when trace rings are attached.
@@ -868,7 +1145,8 @@ impl Machine {
 
     /// Merges every component's trace ring into one chronological
     /// [`TraceLog`]: cores in node order, then the fabric, then the power
-    /// monitor, stable-sorted by time — deterministic run to run.
+    /// monitor, then the machine's own fault/resilience ring,
+    /// stable-sorted by time — deterministic run to run.
     pub fn collect_trace(&self) -> TraceLog {
         let mut log = TraceLog::new();
         for core in &self.eps.cores {
@@ -880,6 +1158,9 @@ impl Machine {
             log.absorb(ring);
         }
         if let Some(ring) = self.monitor.tracer().ring() {
+            log.absorb(ring);
+        }
+        if let Some(ring) = self.tracer.ring() {
             log.absorb(ring);
         }
         log.finish();
@@ -908,8 +1189,10 @@ impl Machine {
         }
         self.monitor
             .update(self.now, &mut self.eps.cores, &self.fabric);
+        let fc = self.fault_counters();
         self.metrics
             .sample(self.now, &self.eps.cores, &self.fabric, &self.monitor);
+        self.metrics.record_faults(fc);
     }
 
     /// Read access to the raw component triple the metrics hub samples

@@ -18,6 +18,7 @@
 use crate::power::{PowerMonitor, IO_RAIL, RAILS};
 use crate::topology::GridSpec;
 use swallow_energy::Energy;
+use swallow_faults::FaultCounters;
 use swallow_noc::{Direction, Fabric};
 use swallow_sim::{Time, TimeDelta};
 use swallow_xcore::Core;
@@ -61,6 +62,9 @@ pub struct MetricsHub {
     /// Reusable cumulative-energy scratch (sized once at construction).
     scratch_rail: Vec<[Energy; RAILS]>,
     rows: Vec<SupplyRow>,
+    /// Latest cumulative fault/resilience counter snapshot, recorded on
+    /// the same cadence as the rows.
+    fault_counters: FaultCounters,
 }
 
 impl MetricsHub {
@@ -75,6 +79,7 @@ impl MetricsHub {
             last_loss: vec![Energy::ZERO; slices],
             scratch_rail: vec![[Energy::ZERO; RAILS]; slices],
             rows: Vec::new(),
+            fault_counters: FaultCounters::default(),
         }
     }
 
@@ -91,6 +96,20 @@ impl MetricsHub {
     /// Recorded rows, oldest first (one per slice per monitor firing).
     pub fn rows(&self) -> &[SupplyRow] {
         &self.rows
+    }
+
+    /// Records the machine's cumulative fault/resilience counters (a
+    /// snapshot, like the rows: monotone counters, latest wins). No-op
+    /// while disabled, mirroring [`MetricsHub::sample`].
+    pub fn record_faults(&mut self, counters: FaultCounters) {
+        if self.enabled {
+            self.fault_counters = counters;
+        }
+    }
+
+    /// The latest recorded fault/resilience counter snapshot.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault_counters
     }
 
     /// Integrated energy over every recorded row (rail loads plus

@@ -77,6 +77,24 @@ fn push_args(out: &mut String, event: &TraceEvent) {
         TraceEvent::SupplySample { microwatts, .. } => {
             let _ = write!(out, "{{\"uW\":{microwatts}}}");
         }
+        TraceEvent::LinkFault { up, .. } => {
+            let _ = write!(out, "{{\"up\":{up}}}");
+        }
+        TraceEvent::LinkRetry { streak, .. } => {
+            let _ = write!(out, "{{\"streak\":{streak}}}");
+        }
+        TraceEvent::TokenDrop { .. } => {
+            out.push_str("{}");
+        }
+        TraceEvent::CoreFault { kind, .. } => {
+            let _ = write!(out, "{{\"kind\":\"{kind}\"}}");
+        }
+        TraceEvent::Brownout { active, hz } => {
+            let _ = write!(out, "{{\"active\":{active},\"hz\":{hz}}}");
+        }
+        TraceEvent::RouteRecompute { dead_links } => {
+            let _ = write!(out, "{{\"dead_links\":{dead_links}}}");
+        }
     }
 }
 
@@ -120,11 +138,28 @@ fn push_event(out: &mut String, record: &TraceRecord) {
         | TraceEvent::TokenReceive { core, .. }
         | TraceEvent::ChannelOpen { core, .. }
         | TraceEvent::ChannelClose { core, .. }
-        | TraceEvent::DvfsChange { core, .. } => {
+        | TraceEvent::DvfsChange { core, .. }
+        | TraceEvent::CoreFault { core, .. } => {
             let _ = write!(
                 out,
                 "{{\"ph\":\"i\",\"pid\":{PID_CORES},\"tid\":{core},\"ts\":{ts},\
                  \"s\":\"t\",\"name\":\"{kind}\",\"cat\":\"{kind}\",\"args\":",
+            );
+        }
+        TraceEvent::LinkFault { link, .. }
+        | TraceEvent::LinkRetry { link, .. }
+        | TraceEvent::TokenDrop { link } => {
+            let _ = write!(
+                out,
+                "{{\"ph\":\"i\",\"pid\":{PID_LINKS},\"tid\":{link},\"ts\":{ts},\
+                 \"s\":\"t\",\"name\":\"{kind}\",\"cat\":\"{kind}\",\"args\":",
+            );
+        }
+        TraceEvent::Brownout { .. } | TraceEvent::RouteRecompute { .. } => {
+            let _ = write!(
+                out,
+                "{{\"ph\":\"i\",\"pid\":{PID_SUPPLIES},\"tid\":0,\"ts\":{ts},\
+                 \"s\":\"p\",\"name\":\"{kind}\",\"cat\":\"{kind}\",\"args\":",
             );
         }
     }
@@ -144,10 +179,15 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
     let mut link_tids = BTreeSet::new();
     for r in &log.records {
         match r.event {
-            TraceEvent::LinkTransit { link, .. } => {
+            TraceEvent::LinkTransit { link, .. }
+            | TraceEvent::LinkFault { link, .. }
+            | TraceEvent::LinkRetry { link, .. }
+            | TraceEvent::TokenDrop { link } => {
                 link_tids.insert(link);
             }
-            TraceEvent::SupplySample { .. } => {}
+            TraceEvent::SupplySample { .. }
+            | TraceEvent::Brownout { .. }
+            | TraceEvent::RouteRecompute { .. } => {}
             TraceEvent::CoreWake { core }
             | TraceEvent::CoreSleep { core }
             | TraceEvent::ThreadSchedule { core, .. }
@@ -156,7 +196,8 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
             | TraceEvent::TokenReceive { core, .. }
             | TraceEvent::ChannelOpen { core, .. }
             | TraceEvent::ChannelClose { core, .. }
-            | TraceEvent::DvfsChange { core, .. } => {
+            | TraceEvent::DvfsChange { core, .. }
+            | TraceEvent::CoreFault { core, .. } => {
                 core_tids.insert(core);
             }
         }

@@ -41,6 +41,7 @@
 //! | network | [`noc`] | links, switches, wormhole + credit fabric |
 //! | energy | [`energy`] | power models, DVFS, link energy, supplies |
 //! | board | [`board`] | packages, slices, grids, bridge, power tree |
+//! | faults | [`faults`] | deterministic fault plans and resilience |
 
 pub mod export;
 pub mod report;
@@ -53,6 +54,7 @@ pub use system::{BuildError, SwallowSystem, SystemBuilder};
 // Substrate re-exports, for users who need the full depth.
 pub use swallow_board as board;
 pub use swallow_energy as energy;
+pub use swallow_faults as faults;
 pub use swallow_isa as isa;
 pub use swallow_noc as noc;
 pub use swallow_sim as sim;
@@ -61,5 +63,6 @@ pub use swallow_xcore as xcore;
 // The handful of names almost every user touches.
 pub use swallow_board::{EngineMode, GridSpec, Machine, MachineConfig, RouterKind, SupplyRow};
 pub use swallow_energy::{Energy, Power};
+pub use swallow_faults::{FaultCounters, FaultEvent, FaultKind, FaultPlan, RandomFaults};
 pub use swallow_isa::{AsmError, Assembler, NodeId, Program, ResType, ResourceId};
 pub use swallow_sim::{Frequency, Time, TimeDelta, TraceEvent, TraceLog, TraceRecord};

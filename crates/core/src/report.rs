@@ -8,6 +8,7 @@
 use std::fmt;
 use swallow_board::Machine;
 use swallow_energy::{Energy, EnergyLedger, NodeCategory, Power};
+use swallow_faults::FaultCounters;
 use swallow_isa::{NodeId, ThreadId};
 use swallow_noc::LinkStats;
 use swallow_sim::TimeDelta;
@@ -162,6 +163,9 @@ pub struct MetricsReport {
     /// reference: after a final flush, `metered_energy` matches this
     /// within f64 association when metrics are enabled).
     pub ledger_energy: Energy,
+    /// Cumulative fault-injection and resilience counters (all zero on
+    /// a fault-free run).
+    pub faults: FaultCounters,
 }
 
 impl MetricsReport {
@@ -197,6 +201,7 @@ impl MetricsReport {
             supply_rows: machine.metrics().rows().len(),
             metered_energy: machine.metrics().total_energy(),
             ledger_energy: machine.machine_ledger().total(),
+            faults: machine.fault_counters(),
         }
     }
 
@@ -234,7 +239,27 @@ impl fmt::Display for MetricsReport {
             self.supply_rows,
             self.metered_energy
         )?;
-        write!(f, "  ledger total {}", self.ledger_energy)
+        write!(f, "  ledger total {}", self.ledger_energy)?;
+        if !self.faults.is_quiet() {
+            write!(
+                f,
+                "\n  faults: {} link downs ({} recovered), {} retransmits, \
+                 {} tokens dropped, {} core stalls, {} kills, \
+                 {} quarantined, {} brownouts, {} reroutes \
+                 ({:.4} delivered-token rate)",
+                self.faults.link_downs,
+                self.faults.link_ups,
+                self.faults.retransmits,
+                self.faults.dropped_tokens,
+                self.faults.core_stalls,
+                self.faults.core_kills,
+                self.faults.quarantined_cores,
+                self.faults.brownouts,
+                self.faults.reroutes,
+                self.faults.delivered_rate(),
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -140,6 +140,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Schedules deterministic fault injections: link death/recovery,
+    /// token corruption/drop windows, core stalls/kills and supply
+    /// brownouts, applied at their instants by every engine identically
+    /// (DESIGN.md §3.10). Empty plans cost one comparison per edge.
+    pub fn faults(mut self, plan: swallow_faults::FaultPlan) -> Self {
+        self.config.faults = plan;
+        self
+    }
+
     /// Assembles the machine.
     ///
     /// # Errors

@@ -1,0 +1,324 @@
+//! The fault schedule: kinds, events and the plan builder.
+
+use swallow_isa::NodeId;
+use swallow_noc::LinkId;
+use swallow_sim::{DetRng, Time, TimeDelta};
+
+/// One kind of injected misbehaviour.
+///
+/// Window-shaped kinds carry their own `until` instant so a single
+/// scheduled event both opens and (implicitly) closes the window — the
+/// component checks `now < until` and no closing event needs to be
+/// replayed, which keeps the timeline identical under every engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Hot-unplug: the directed link stops accepting tokens. In-flight
+    /// tokens drain normally (the cable is cut between packets, not
+    /// mid-symbol) and wormhole routes bound to it rebind elsewhere.
+    LinkDown(LinkId),
+    /// Re-plug a previously downed link.
+    LinkUp(LinkId),
+    /// Until `until`, every launch on the link is detected as corrupt
+    /// and retried: the wire energy is spent, the payload is not.
+    LinkCorrupt {
+        /// The afflicted directed link.
+        link: LinkId,
+        /// End of the corruption window (exclusive).
+        until: Time,
+    },
+    /// Until `until`, data tokens launched on the link are lost after
+    /// transmission (control tokens are retried instead so routes still
+    /// close — a lost END would wedge the wormhole forever).
+    LinkDrop {
+        /// The afflicted directed link.
+        link: LinkId,
+        /// End of the drop window (exclusive).
+        until: Time,
+    },
+    /// The core issues no instructions until `until` (clock gated by a
+    /// glitch); static and clock-tree power still burn.
+    CoreStall {
+        /// The stalled core.
+        core: NodeId,
+        /// End of the stall window (exclusive).
+        until: Time,
+    },
+    /// The core halts permanently (package failure / slice removed).
+    CoreKill(NodeId),
+    /// Supply brownout: every core is derated to `milli`/1000 of its
+    /// nominal frequency (with the matching DVFS voltage) until `until`.
+    Brownout {
+        /// Frequency scale in thousandths (500 = half speed).
+        milli: u32,
+        /// End of the brownout (exclusive); nominal operating points
+        /// are restored at this instant.
+        until: Time,
+    },
+}
+
+/// A [`FaultKind`] pinned to the simulated instant it takes effect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault applies (snapped up to the next grid instant by
+    /// the machine, like every other machine-level event).
+    pub at: Time,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A time-sorted schedule of [`FaultEvent`]s.
+///
+/// The plan is plain data: cloning it, printing it or replaying it under
+/// a different execution engine yields the same timeline. Events are
+/// kept stably sorted by `at`, so two events at the same instant apply
+/// in insertion order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan — a machine built with it is bit-identical to one
+    /// built with no plan at all.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The schedule, stably sorted by instant.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Schedules an arbitrary event (builder methods below are sugar
+    /// over this). Keeps the schedule stably sorted.
+    pub fn push(&mut self, at: Time, kind: FaultKind) -> &mut Self {
+        self.events.push(FaultEvent { at, kind });
+        // Stable sort: same-instant events keep insertion order.
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// Hot-unplug `link` at `at`.
+    pub fn link_down(mut self, at: Time, link: LinkId) -> Self {
+        self.push(at, FaultKind::LinkDown(link));
+        self
+    }
+
+    /// Re-plug `link` at `at`.
+    pub fn link_up(mut self, at: Time, link: LinkId) -> Self {
+        self.push(at, FaultKind::LinkUp(link));
+        self
+    }
+
+    /// Corrupt every token launched on `link` in `[at, at + dur)`.
+    pub fn corrupt_window(mut self, at: Time, link: LinkId, dur: TimeDelta) -> Self {
+        self.push(
+            at,
+            FaultKind::LinkCorrupt {
+                link,
+                until: at + dur,
+            },
+        );
+        self
+    }
+
+    /// Drop data tokens launched on `link` in `[at, at + dur)`.
+    pub fn drop_window(mut self, at: Time, link: LinkId, dur: TimeDelta) -> Self {
+        self.push(
+            at,
+            FaultKind::LinkDrop {
+                link,
+                until: at + dur,
+            },
+        );
+        self
+    }
+
+    /// Stall `core` (no instruction issue) in `[at, at + dur)`.
+    pub fn stall_core(mut self, at: Time, core: NodeId, dur: TimeDelta) -> Self {
+        self.push(
+            at,
+            FaultKind::CoreStall {
+                core,
+                until: at + dur,
+            },
+        );
+        self
+    }
+
+    /// Halt `core` permanently at `at`.
+    pub fn kill_core(mut self, at: Time, core: NodeId) -> Self {
+        self.push(at, FaultKind::CoreKill(core));
+        self
+    }
+
+    /// Derate every core to `milli`/1000 of nominal in `[at, at + dur)`.
+    pub fn brownout(mut self, at: Time, milli: u32, dur: TimeDelta) -> Self {
+        assert!((1..=1000).contains(&milli), "brownout scale is 1..=1000");
+        self.push(
+            at,
+            FaultKind::Brownout {
+                milli,
+                until: at + dur,
+            },
+        );
+        self
+    }
+
+    /// A seeded random plan over a machine with `links` directed links
+    /// and `cores` cores. Driven by [`DetRng`], so the same seed and
+    /// shape always yield the same plan.
+    pub fn random(seed: u64, cfg: &RandomFaults, links: u32, cores: u16) -> FaultPlan {
+        assert!(links > 0 && cores > 0, "machine must have links and cores");
+        let mut rng = DetRng::seed_from(seed);
+        let mut plan = FaultPlan::new();
+        let span = cfg.span.as_ps().max(1);
+        let window = cfg.window.as_ps().max(1);
+        for _ in 0..cfg.events {
+            let at = Time::from_ps(rng.below(span));
+            let dur = TimeDelta::from_ps(rng.range(window / 2, window).max(1));
+            let link = LinkId::from_raw(rng.below(u64::from(links)) as u32);
+            let core = NodeId(rng.below(u64::from(cores)) as u16);
+            let mut roll = rng.below(100);
+            if !cfg.allow_link_down && roll < 10 {
+                roll = 10; // remap to a corrupt window
+            }
+            if !cfg.allow_core_faults && (75..90).contains(&roll) {
+                roll = 40; // remap to a corrupt window
+            }
+            if !cfg.allow_brownout && roll >= 90 {
+                roll = 60; // remap to a drop window
+            }
+            match roll {
+                // Transient hot-unplug: down now, back up after the
+                // window (the re-plug may land past `span`; fine).
+                0..=9 => {
+                    plan = plan.link_down(at, link).link_up(at + dur, link);
+                }
+                10..=54 => plan = plan.corrupt_window(at, link, dur),
+                55..=74 => plan = plan.drop_window(at, link, dur),
+                75..=89 => plan = plan.stall_core(at, core, dur),
+                _ => {
+                    let milli = rng.range(300, 800) as u32;
+                    plan = plan.brownout(at, milli, dur);
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// Shape of a [`FaultPlan::random`] schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomFaults {
+    /// Number of fault events to schedule.
+    pub events: u32,
+    /// Window the fault instants fall in, from t = 0.
+    pub span: TimeDelta,
+    /// Maximum duration of corrupt/drop/stall/brownout windows (actual
+    /// durations are drawn from `[window/2, window)`).
+    pub window: TimeDelta,
+    /// Permit transient link hot-unplugs.
+    pub allow_link_down: bool,
+    /// Permit core stalls (kills are never generated randomly).
+    pub allow_core_faults: bool,
+    /// Permit supply brownouts.
+    pub allow_brownout: bool,
+}
+
+impl Default for RandomFaults {
+    fn default() -> Self {
+        RandomFaults {
+            events: 8,
+            span: TimeDelta::from_us(40),
+            window: TimeDelta::from_us(2),
+            allow_link_down: true,
+            allow_core_faults: true,
+            allow_brownout: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_keeps_events_sorted_and_stable() {
+        let plan = FaultPlan::new()
+            .kill_core(Time::from_ps(300), NodeId(2))
+            .link_down(Time::from_ps(100), LinkId::from_raw(0))
+            .link_up(Time::from_ps(100), LinkId::from_raw(0));
+        let at: Vec<u64> = plan.events().iter().map(|e| e.at.as_ps()).collect();
+        assert_eq!(at, [100, 100, 300]);
+        // Same-instant events keep insertion order.
+        assert_eq!(
+            plan.events()[0].kind,
+            FaultKind::LinkDown(LinkId::from_raw(0))
+        );
+        assert_eq!(
+            plan.events()[1].kind,
+            FaultKind::LinkUp(LinkId::from_raw(0))
+        );
+    }
+
+    #[test]
+    fn random_is_reproducible_and_seed_sensitive() {
+        let cfg = RandomFaults::default();
+        let a = FaultPlan::random(7, &cfg, 40, 16);
+        let b = FaultPlan::random(7, &cfg, 40, 16);
+        let c = FaultPlan::random(8, &cfg, 40, 16);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.len() >= cfg.events as usize);
+    }
+
+    #[test]
+    fn random_respects_kind_gates() {
+        let cfg = RandomFaults {
+            events: 64,
+            allow_link_down: false,
+            allow_core_faults: false,
+            allow_brownout: false,
+            ..RandomFaults::default()
+        };
+        let plan = FaultPlan::random(11, &cfg, 40, 16);
+        for ev in plan.events() {
+            assert!(
+                matches!(
+                    ev.kind,
+                    FaultKind::LinkCorrupt { .. } | FaultKind::LinkDrop { .. }
+                ),
+                "gated kind generated: {:?}",
+                ev.kind
+            );
+        }
+    }
+
+    #[test]
+    fn windows_carry_their_close_instant() {
+        let plan = FaultPlan::new().corrupt_window(
+            Time::from_ps(1_000),
+            LinkId::from_raw(3),
+            TimeDelta::from_ps(500),
+        );
+        assert_eq!(plan.len(), 1);
+        match plan.events()[0].kind {
+            FaultKind::LinkCorrupt { link, until } => {
+                assert_eq!(link.raw(), 3);
+                assert_eq!(until.as_ps(), 1_500);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+}

@@ -38,6 +38,10 @@ pub const LOOPBACK_CAPACITY: usize = 8;
 /// hardware in three core cycles; a core-local word lands in ≈50 ns
 /// including instruction overhead).
 pub const LOOPBACK_DELAY: TimeDelta = TimeDelta::from_ns(6);
+/// Consecutive failed launch attempts after which a link is declared
+/// dead (persistent-error escalation): the switch gives up retrying and
+/// reports the link for rerouting, like a cable whose errors never stop.
+pub const MAX_LINK_RETRIES: u32 = 16;
 
 struct Link {
     from: NodeId,
@@ -58,6 +62,19 @@ struct Link {
     header_tokens: u64,
     energy: Energy,
     busy_time: TimeDelta,
+    /// True while the link is unplugged (scheduled fault or retry
+    /// escalation): it accepts no launches, but in-flight and queued
+    /// tokens drain normally — the cable is cut between packets.
+    down: bool,
+    /// Launches before this instant are detected as corrupt and retried.
+    corrupt_until: Time,
+    /// Data tokens launched before this instant are lost on the wire.
+    drop_until: Time,
+    /// Consecutive failed launch attempts (escalates at
+    /// [`MAX_LINK_RETRIES`]).
+    retry_streak: u32,
+    retransmits: u64,
+    dropped_tokens: u64,
 }
 
 impl Link {
@@ -89,6 +106,13 @@ pub struct LinkStats {
     pub energy: Energy,
     /// Total time the link spent transmitting.
     pub busy_time: TimeDelta,
+    /// Tokens retransmitted after a detected corruption (energy spent,
+    /// counted in `energy`/`busy_time`, payload re-sent later).
+    pub retransmits: u64,
+    /// Data tokens lost in a drop window.
+    pub dropped_tokens: u64,
+    /// True while the link is unplugged.
+    pub down: bool,
 }
 
 impl LinkStats {
@@ -107,6 +131,17 @@ enum TxResult {
     Started,
     Busy,
     Unroutable,
+    /// The token was launched into a drop window and lost on the wire:
+    /// the sender's view is identical to [`TxResult::Started`] (energy
+    /// spent, queue popped), the payload never lands.
+    Dropped,
+}
+
+/// What the link's error-detection model says about a launch attempt.
+enum LaunchGate {
+    Clear,
+    Retry,
+    Drop,
 }
 
 /// Builds a [`Fabric`].
@@ -179,6 +214,12 @@ impl FabricBuilder {
             header_tokens: 0,
             energy: Energy::ZERO,
             busy_time: TimeDelta::ZERO,
+            down: false,
+            corrupt_until: Time::ZERO,
+            drop_until: Time::ZERO,
+            retry_streak: 0,
+            retransmits: 0,
+            dropped_tokens: 0,
         });
         self.descs.push(LinkDesc { id, from, to, dir });
         id
@@ -223,6 +264,8 @@ impl FabricBuilder {
             in_network: 0,
             tx_scratch: Vec::new(),
             tracer: Tracer::Off,
+            escalated: Vec::new(),
+            delivered_data: 0,
         }
     }
 }
@@ -259,6 +302,13 @@ pub struct Fabric {
     /// only stepped from the control thread (serially, even under the
     /// parallel engine), so one sink covers every link deterministically.
     tracer: Tracer,
+    /// Links whose retry streak crossed [`MAX_LINK_RETRIES`] and were
+    /// declared down; drained by the board layer, which reroutes around
+    /// them and books the failure.
+    escalated: Vec<LinkId>,
+    /// Data tokens delivered into a destination chanend (loopback and
+    /// link paths alike) — the numerator of the delivered-token rate.
+    delivered_data: u64,
 }
 
 impl Fabric {
@@ -375,7 +425,98 @@ impl Fabric {
             header_tokens: l.header_tokens,
             energy: l.energy,
             busy_time: l.busy_time,
+            retransmits: l.retransmits,
+            dropped_tokens: l.dropped_tokens,
+            down: l.down,
         })
+    }
+
+    /// Takes a link out of service ("hot-unplug"). New launches are
+    /// refused, wormhole routes bound to it are unbound so their flows
+    /// re-open over another link, and tokens already on the wire or in
+    /// the receive queue drain normally. Idempotent; an out-of-range id
+    /// is ignored. Returns true when the link state changed.
+    pub fn set_link_down(&mut self, lid: LinkId) -> bool {
+        let Some(link) = self.links.get_mut(lid.0 as usize) else {
+            return false;
+        };
+        if link.down {
+            return false;
+        }
+        link.down = true;
+        link.owner = None;
+        link.retry_streak = 0;
+        self.sticky.retain(|_, &mut bound| bound != lid);
+        true
+    }
+
+    /// Puts a downed link back in service. Idempotent; out-of-range ids
+    /// are ignored. Returns true when the link state changed.
+    pub fn set_link_up(&mut self, lid: LinkId) -> bool {
+        let Some(link) = self.links.get_mut(lid.0 as usize) else {
+            return false;
+        };
+        let was_down = link.down;
+        link.down = false;
+        link.retry_streak = 0;
+        was_down
+    }
+
+    /// True while the link is out of service.
+    pub fn link_is_down(&self, lid: LinkId) -> bool {
+        self.links.get(lid.0 as usize).is_some_and(|link| link.down)
+    }
+
+    /// Opens a corruption window on a link: every launch strictly before
+    /// `until` is detected as corrupt and retried (energy spent, payload
+    /// re-sent). Extends, never shortens, an existing window.
+    pub fn set_link_corrupt_until(&mut self, lid: LinkId, until: Time) {
+        if let Some(link) = self.links.get_mut(lid.0 as usize) {
+            link.corrupt_until = link.corrupt_until.max(until);
+        }
+    }
+
+    /// Opens a drop window on a link: data tokens launched strictly
+    /// before `until` are lost on the wire (control tokens are retried
+    /// instead, so routes still close). Extends an existing window.
+    pub fn set_link_drop_until(&mut self, lid: LinkId, until: Time) {
+        if let Some(link) = self.links.get_mut(lid.0 as usize) {
+            link.drop_until = link.drop_until.max(until);
+        }
+    }
+
+    /// Replaces the routing strategy — the board layer's hook for
+    /// recomputing tables around dead links. Sticky flow bindings and
+    /// wormhole ownerships survive: flows already crossing a live link
+    /// keep it, new packets follow the new tables.
+    pub fn set_router(&mut self, router: Box<dyn Router>) {
+        self.router = router;
+    }
+
+    /// True when a retry escalation is waiting to be handled.
+    pub fn has_escalations(&self) -> bool {
+        !self.escalated.is_empty()
+    }
+
+    /// Drains the links declared dead by retry escalation into `out`
+    /// (each already marked down; the caller reroutes and books them).
+    pub fn take_escalated(&mut self, out: &mut Vec<LinkId>) {
+        out.append(&mut self.escalated);
+    }
+
+    /// Total tokens retransmitted after detected corruptions.
+    pub fn total_retransmits(&self) -> u64 {
+        self.links.iter().map(|l| l.retransmits).sum()
+    }
+
+    /// Total data tokens lost in drop windows.
+    pub fn total_dropped_tokens(&self) -> u64 {
+        self.links.iter().map(|l| l.dropped_tokens).sum()
+    }
+
+    /// Total data tokens delivered into destination chanends.
+    pub fn delivered_data_tokens(&self) -> u64 {
+        self.delivered_data
     }
 
     /// Total wire energy dissipated so far.
@@ -431,6 +572,9 @@ impl Fabric {
                 {
                     self.loopback[node].pop_front();
                     self.in_network -= 1;
+                    if matches!(token, Token::Data(_)) {
+                        self.delivered_data += 1;
+                    }
                 } else {
                     break;
                 }
@@ -484,12 +628,15 @@ impl Fabric {
                         ) {
                             self.links[lid.0 as usize].rx.pop_front();
                             self.in_network -= 1;
+                            if matches!(token, Token::Data(_)) {
+                                self.delivered_data += 1;
+                            }
                         } else {
                             break; // head-of-line blocked on the core
                         }
                     } else {
                         match self.try_transmit(now, NodeId(node as u16), token, flow, dest) {
-                            TxResult::Started => {
+                            TxResult::Started | TxResult::Dropped => {
                                 self.links[lid.0 as usize].rx.pop_front();
                                 self.in_network -= 1;
                             }
@@ -534,7 +681,7 @@ impl Fabric {
                         }
                     } else {
                         match self.try_transmit(now, node_id, token, flow, dest) {
-                            TxResult::Started => {
+                            TxResult::Started | TxResult::Dropped => {
                                 cores.tx_pop(node_id, chanend);
                             }
                             TxResult::Busy => break,
@@ -567,45 +714,159 @@ impl Fabric {
         // channel could race over parallel aggregated links and arrive
         // interleaved — XS1 channels are strictly serial.
         if let Some(&bound) = self.sticky.get(&(flow, at, dest.node())) {
-            let link = &self.links[bound.0 as usize];
-            return match link.owner {
-                Some(owner) if owner == flow => {
-                    if self.can_launch(bound, now) {
-                        self.launch(bound, now, token, flow, dest, false);
-                        TxResult::Started
-                    } else {
-                        TxResult::Busy
-                    }
+            if self.links[bound.0 as usize].down {
+                // The bound link died under the flow: unbind it and fall
+                // through to fresh selection below. The rebind re-opens
+                // the route with a full three-token header — the energy
+                // cost of the reroute is charged where it is spent.
+                self.sticky.remove(&(flow, at, dest.node()));
+                let link = &mut self.links[bound.0 as usize];
+                if link.owner == Some(flow) {
+                    link.owner = None;
                 }
-                Some(_) => TxResult::Busy, // another packet holds our link
-                None => {
-                    if self.can_launch(bound, now) {
-                        self.links[bound.0 as usize].owner = Some(flow);
-                        self.launch(bound, now, token, flow, dest, true);
-                        TxResult::Started
-                    } else {
-                        TxResult::Busy
+            } else {
+                let link = &self.links[bound.0 as usize];
+                return match link.owner {
+                    Some(owner) if owner == flow => {
+                        if self.can_launch(bound, now) {
+                            self.commit_launch(bound, now, token, flow, dest, false)
+                        } else {
+                            TxResult::Busy
+                        }
                     }
-                }
-            };
+                    Some(_) => TxResult::Busy, // another packet holds our link
+                    None => {
+                        if self.can_launch(bound, now) {
+                            self.bind_and_launch(bound, now, at, token, flow, dest)
+                        } else {
+                            TxResult::Busy
+                        }
+                    }
+                };
+            }
         }
-        // First packet of this flow here: take the first free link ("the
-        // next unused link", §V.B) and bind to it.
+        // First packet of this flow here (or a rebind after its link
+        // died): take the first free link ("the next unused link", §V.B)
+        // and bind to it. A retry-gated attempt leaves the faulty link
+        // busy for a token time, so the next attempt naturally picks the
+        // following aggregated link if one is free.
         for lid in candidates.iter() {
             let link = &self.links[lid.0 as usize];
-            if link.owner.is_none() && self.can_launch(lid, now) {
-                self.links[lid.0 as usize].owner = Some(flow);
-                self.sticky.insert((flow, at, dest.node()), lid);
-                self.launch(lid, now, token, flow, dest, true);
-                return TxResult::Started;
+            if !link.down && link.owner.is_none() && self.can_launch(lid, now) {
+                return self.bind_and_launch(lid, now, at, token, flow, dest);
             }
         }
         TxResult::Busy
     }
 
+    /// What the error-detection model says about launching `token` on
+    /// `lid` at `now`, charging the cost of a failed attempt. A corrupt
+    /// launch spends one token's wire time and energy and will be
+    /// retried by the caller's next step; [`MAX_LINK_RETRIES`]
+    /// consecutive failures declare the link dead (escalation).
+    fn launch_gate(&mut self, lid: LinkId, now: Time, token: Token) -> LaunchGate {
+        let link = &mut self.links[lid.0 as usize];
+        if now < link.drop_until && matches!(token, Token::Data(_)) {
+            return LaunchGate::Drop;
+        }
+        if now < link.corrupt_until || now < link.drop_until {
+            // Corrupt window — or a control token in a drop window,
+            // which is retried rather than lost so routes still close
+            // (a lost END would wedge the wormhole forever).
+            link.retransmits += 1;
+            link.retry_streak += 1;
+            link.energy += link.params.token_energy();
+            link.busy_time += link.params.token_time;
+            link.busy_until = now + link.params.token_time;
+            let streak = link.retry_streak;
+            if self.tracer.is_enabled() {
+                self.tracer.emit(
+                    now,
+                    TraceEvent::LinkRetry {
+                        link: lid.0,
+                        streak,
+                    },
+                );
+            }
+            if streak >= MAX_LINK_RETRIES {
+                // Persistent errors: give up on the link. Ownership and
+                // sticky bindings are cleared here; the board layer
+                // drains `escalated`, reroutes and books the failure.
+                self.set_link_down(lid);
+                self.escalated.push(lid);
+            }
+            return LaunchGate::Retry;
+        }
+        link.retry_streak = 0;
+        LaunchGate::Clear
+    }
+
+    /// Launches on an unowned link, binding ownership and the sticky
+    /// flow association first — unless the launch gate refuses, in which
+    /// case nothing is bound and the caller retries later.
+    fn bind_and_launch(
+        &mut self,
+        lid: LinkId,
+        now: Time,
+        at: NodeId,
+        token: Token,
+        flow: u32,
+        dest: ResourceId,
+    ) -> TxResult {
+        match self.launch_gate(lid, now, token) {
+            LaunchGate::Retry => TxResult::Busy,
+            gate => {
+                self.links[lid.0 as usize].owner = Some(flow);
+                self.sticky.insert((flow, at, dest.node()), lid);
+                self.launch(lid, now, token, flow, dest, true);
+                self.finish_gated(gate, lid)
+            }
+        }
+    }
+
+    /// Launches on a link the flow already owns, subject to the gate.
+    fn commit_launch(
+        &mut self,
+        lid: LinkId,
+        now: Time,
+        token: Token,
+        flow: u32,
+        dest: ResourceId,
+        header: bool,
+    ) -> TxResult {
+        match self.launch_gate(lid, now, token) {
+            LaunchGate::Retry => TxResult::Busy,
+            gate => {
+                self.launch(lid, now, token, flow, dest, header);
+                self.finish_gated(gate, lid)
+            }
+        }
+    }
+
+    /// After a gated launch: on a drop, take the token back off the wire
+    /// — the sender saw a normal launch (energy spent, ownership moved),
+    /// the payload is gone.
+    fn finish_gated(&mut self, gate: LaunchGate, lid: LinkId) -> TxResult {
+        match gate {
+            LaunchGate::Clear => TxResult::Started,
+            LaunchGate::Retry => unreachable!("retries never reach launch"),
+            LaunchGate::Drop => {
+                let link = &mut self.links[lid.0 as usize];
+                link.in_flight.pop_back();
+                link.dropped_tokens += 1;
+                self.in_network -= 1;
+                if self.tracer.is_enabled() {
+                    let at = self.links[lid.0 as usize].busy_until;
+                    self.tracer.emit(at, TraceEvent::TokenDrop { link: lid.0 });
+                }
+                TxResult::Dropped
+            }
+        }
+    }
+
     fn can_launch(&self, lid: LinkId, now: Time) -> bool {
         let link = &self.links[lid.0 as usize];
-        link.busy_until <= now && link.credit() >= 1
+        !link.down && link.busy_until <= now && link.credit() >= 1
     }
 
     fn launch(

@@ -28,6 +28,6 @@ pub mod link;
 pub mod routing;
 
 pub use endpoints::CoreEndpoints;
-pub use fabric::{Fabric, FabricBuilder, LinkStats};
+pub use fabric::{Fabric, FabricBuilder, LinkStats, MAX_LINK_RETRIES};
 pub use link::{Direction, LinkId, LinkParams, HEADER_TOKENS};
-pub use routing::{Candidates, Coord, Layer, Router, TableRouter};
+pub use routing::{Candidates, Coord, Layer, LinkDesc, Router, TableRouter};

@@ -22,6 +22,14 @@ impl LinkId {
     pub const fn raw(self) -> u32 {
         self.0
     }
+
+    /// A link id from its raw index, for naming links in fault plans
+    /// and tests. Indices come from [`LinkStats`](crate::LinkStats) or
+    /// the builder's [`LinkDesc`](crate::routing::LinkDesc) list; an
+    /// out-of-range id simply never matches a real link.
+    pub const fn from_raw(raw: u32) -> Self {
+        LinkId(raw)
+    }
 }
 
 impl fmt::Display for LinkId {

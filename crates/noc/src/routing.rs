@@ -33,11 +33,18 @@ impl Candidates {
         len: 0,
     };
 
-    /// Appends a candidate; silently ignores more than four.
-    pub fn push(&mut self, link: LinkId) {
+    /// Appends a candidate. Returns false (and keeps the set unchanged)
+    /// when all four slots are taken — the XS1 switch aggregates at most
+    /// four links per direction, so overflow means the caller offered
+    /// more equal-preference routes than the hardware can hold and the
+    /// surplus is deliberately truncated.
+    pub fn push(&mut self, link: LinkId) -> bool {
         if (self.len as usize) < self.links.len() {
             self.links[self.len as usize] = link.raw();
             self.len += 1;
+            true
+        } else {
+            false
         }
     }
 
@@ -63,7 +70,8 @@ impl FromIterator<LinkId> for Candidates {
     fn from_iter<I: IntoIterator<Item = LinkId>>(iter: I) -> Self {
         let mut c = Candidates::EMPTY;
         for l in iter {
-            c.push(l);
+            // Truncation past four is the hardware's aggregation cap.
+            let _ = c.push(l);
         }
         c
     }
@@ -150,7 +158,9 @@ impl TableRouter {
                 }
                 let cands: Candidates = fwd[at]
                     .iter()
-                    .filter(|&&(next, _)| dist[next] + 1 == dist[at])
+                    // saturating: a neighbour that cannot reach `dest`
+                    // at all has dist MAX and must never qualify.
+                    .filter(|&&(next, _)| dist[next].saturating_add(1) == dist[at])
                     .map(|&(_, id)| id)
                     .collect();
                 table[at * nodes + dest] = cands;
@@ -257,11 +267,26 @@ mod tests {
     fn candidates_cap_at_four() {
         let mut c = Candidates::EMPTY;
         for i in 0..6 {
-            c.push(LinkId(i));
+            let accepted = c.push(LinkId(i));
+            assert_eq!(accepted, i < 4, "push {i}");
         }
         assert_eq!(c.len(), 4);
         let ids: Vec<u32> = c.iter().map(|l| l.raw()).collect();
         assert_eq!(ids, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn push_overflow_leaves_set_unchanged() {
+        let mut c = Candidates::EMPTY;
+        for i in 0..4 {
+            assert!(c.push(LinkId(i)));
+        }
+        let before = c;
+        assert!(!c.push(LinkId(99)));
+        assert_eq!(c, before, "rejected push must not mutate");
+        // FromIterator silently truncates at the aggregation cap.
+        let collected: Candidates = (0..8).map(LinkId).collect();
+        assert_eq!(collected, before);
     }
 
     #[test]

@@ -132,6 +132,48 @@ pub enum TraceEvent {
         /// Measured rail load, rounded to microwatts.
         microwatts: u64,
     },
+    /// A link changed availability: scheduled hot-unplug/re-plug, or a
+    /// retry-streak escalation taking the link down.
+    LinkFault {
+        /// Raw link index.
+        link: u32,
+        /// True when the link came (back) up, false when it went down.
+        up: bool,
+    },
+    /// A token launch was detected as corrupt and will be retried; the
+    /// wire energy was spent anyway.
+    LinkRetry {
+        /// Raw link index.
+        link: u32,
+        /// Consecutive failed attempts on this link (escalates to a
+        /// fault when it exceeds the retry bound).
+        streak: u32,
+    },
+    /// A data token was lost on the wire inside a drop window.
+    TokenDrop {
+        /// Raw link index.
+        link: u32,
+    },
+    /// A core-level fault applied: stall window, kill, or quarantine.
+    CoreFault {
+        /// Node id of the core.
+        core: u16,
+        /// What happened: "stall", "kill" or "quarantine".
+        kind: &'static str,
+    },
+    /// A supply brownout started (cores derated through the DVFS model)
+    /// or ended (nominal operating points restored).
+    Brownout {
+        /// True while the brownout holds.
+        active: bool,
+        /// Derated (or restored) core clock in hertz, core 0's value.
+        hz: u64,
+    },
+    /// The routing tables were recomputed around dead links.
+    RouteRecompute {
+        /// Directed links excluded from the new tables.
+        dead_links: u32,
+    },
 }
 
 impl TraceEvent {
@@ -149,6 +191,12 @@ impl TraceEvent {
             TraceEvent::ChannelClose { .. } => "channel_close",
             TraceEvent::DvfsChange { .. } => "dvfs_change",
             TraceEvent::SupplySample { .. } => "supply_sample",
+            TraceEvent::LinkFault { .. } => "link_fault",
+            TraceEvent::LinkRetry { .. } => "link_retry",
+            TraceEvent::TokenDrop { .. } => "token_drop",
+            TraceEvent::CoreFault { .. } => "core_fault",
+            TraceEvent::Brownout { .. } => "brownout",
+            TraceEvent::RouteRecompute { .. } => "route_recompute",
         }
     }
 }
@@ -541,6 +589,18 @@ mod tests {
                 rail: 0,
                 microwatts: 0,
             },
+            TraceEvent::LinkFault { link: 0, up: false },
+            TraceEvent::LinkRetry { link: 0, streak: 1 },
+            TraceEvent::TokenDrop { link: 0 },
+            TraceEvent::CoreFault {
+                core: 0,
+                kind: "stall",
+            },
+            TraceEvent::Brownout {
+                active: true,
+                hz: 250_000_000,
+            },
+            TraceEvent::RouteRecompute { dead_links: 1 },
         ];
         let mut labels: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         labels.sort_unstable();

@@ -260,6 +260,12 @@ pub struct Core {
     sched_at: [Time; MAX_THREADS],
     /// Each thread's retired-instruction count when it was last scheduled.
     sched_instret: [u64; MAX_THREADS],
+    /// Fault injection: no instruction issues strictly before this
+    /// instant (the pipeline is glitch-gated). `Time::ZERO` — the
+    /// default — means no stall; everything else about the cycle
+    /// (energy, timer wakes, the issue wheel) is unaffected, so a stall
+    /// perturbs nothing when absent.
+    stalled_until: Time,
 }
 
 impl Core {
@@ -292,6 +298,7 @@ impl Core {
             tracer: Tracer::Off,
             sched_at: [Time::ZERO; MAX_THREADS],
             sched_instret: [0; MAX_THREADS],
+            stalled_until: Time::ZERO,
             period,
             config,
         }
@@ -339,6 +346,34 @@ impl Core {
     /// Replaces the power model (e.g. to apply a DVFS voltage).
     pub fn set_power_model(&mut self, power: CorePowerModel) {
         self.config.power = power;
+    }
+
+    /// The active power model (to save before a temporary derating).
+    pub fn power_model(&self) -> CorePowerModel {
+        self.config.power
+    }
+
+    /// Fault injection: gate instruction issue until `until` (a clock
+    /// glitch / pipeline stall). The core keeps ticking — static and
+    /// clock-tree energy burn, timers fire, sleepers wake — it just
+    /// issues nothing. Extends, never shortens, an existing stall.
+    pub fn fault_stall_until(&mut self, until: Time) {
+        self.stalled_until = self.stalled_until.max(until);
+    }
+
+    /// End of the current issue-stall window (`Time::ZERO` when the core
+    /// was never stalled).
+    pub fn stalled_until(&self) -> Time {
+        self.stalled_until
+    }
+
+    /// Fault injection: the core dies — permanently halted, exactly like
+    /// the powered-down state a halted program reaches, so it charges no
+    /// further energy and counts as quiescent. Its switch stays alive
+    /// (the XS1 switch is a separate block): tokens already queued or
+    /// addressed to it keep using the fabric.
+    pub fn fault_kill(&mut self) {
+        self.halted = true;
     }
 
     /// Total instructions retired.
@@ -891,10 +926,13 @@ impl Core {
         self.wake_sleepers();
 
         // Eq. 2: one issue slot per cycle, rotated over max(4, Nt) slots.
+        // A stalled core burns the cycle (and its energy) without
+        // issuing: the wheel still turns, so thread interleaving after
+        // the stall is position-identical under every engine.
         let nslots = self.rotation.len().max(4) as u64;
         let pos = (self.wheel % nslots) as usize;
         self.wheel += 1;
-        if pos < self.rotation.len() {
+        if pos < self.rotation.len() && now >= self.stalled_until {
             let tid = self.rotation[pos];
             self.step_thread(tid);
         }
