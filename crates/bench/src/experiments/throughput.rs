@@ -18,8 +18,11 @@
 //!
 //! Reported per engine (and per thread count for the parallel engine):
 //! host wall-clock, simulated core-cycles per host second, and simulated
-//! MIPS (retired instructions per host second). [`Throughput::write_json`]
-//! emits the rows as `BENCH_throughput.json` for CI trend tracking.
+//! MIPS (retired instructions per host second). The busy-slice scenario
+//! is additionally measured with the predecoded-instruction cache off
+//! (`busy-slice-nocache`) to quantify what decode-once execution buys.
+//! [`Throughput::write_json`] emits the rows as `BENCH_throughput.json`
+//! for CI trend tracking.
 
 use std::fmt;
 use std::time::Instant;
@@ -37,6 +40,8 @@ pub struct ThroughputRow {
     pub scenario: &'static str,
     /// Which engine ran it.
     pub engine: EngineMode,
+    /// Whether the predecoded-instruction cache was on.
+    pub decode_cache: bool,
     /// Host wall-clock for the run (milliseconds).
     pub host_ms: f64,
     /// Simulated core-cycles advanced per host second (all cores).
@@ -103,10 +108,12 @@ impl Throughput {
             let sep = if i + 1 < self.rows.len() { "," } else { "" };
             out.push_str(&format!(
                 "    {{\"scenario\": \"{}\", \"engine\": \"{}\", \"threads\": {}, \
-                 \"host_ms\": {:.6}, \"sim_cycles_per_sec\": {:.3}, \"mips\": {:.6}}}{sep}\n",
+                 \"decode_cache\": {}, \"host_ms\": {:.6}, \
+                 \"sim_cycles_per_sec\": {:.3}, \"mips\": {:.6}}}{sep}\n",
                 r.scenario,
                 r.engine_name(),
                 r.threads(),
+                r.decode_cache,
                 r.host_ms,
                 r.sim_cycles_per_sec,
                 r.mips,
@@ -131,16 +138,17 @@ impl fmt::Display for Throughput {
         writeln!(f, "Simulator throughput (host-side, every engine):")?;
         writeln!(
             f,
-            "  {:<16} {:<12} {:>8} {:>10} {:>16} {:>10}",
-            "scenario", "engine", "threads", "host ms", "sim cycles/s", "sim MIPS"
+            "  {:<16} {:<12} {:>8} {:>6} {:>10} {:>16} {:>10}",
+            "scenario", "engine", "threads", "cache", "host ms", "sim cycles/s", "sim MIPS"
         )?;
         for r in &self.rows {
             writeln!(
                 f,
-                "  {:<16} {:<12} {:>8} {:>10.2} {:>16.3e} {:>10.1}",
+                "  {:<16} {:<12} {:>8} {:>6} {:>10.2} {:>16.3e} {:>10.1}",
                 r.scenario,
                 r.engine_name(),
                 r.threads(),
+                if r.decode_cache { "on" } else { "off" },
                 r.host_ms,
                 r.sim_cycles_per_sec,
                 r.mips
@@ -165,10 +173,16 @@ impl fmt::Display for Throughput {
 
 /// Builds a scenario machine: `slices` grid with every `stride`-th core
 /// (0 = none) running the calibrated heavy mix.
-fn build(engine: EngineMode, slices: (u16, u16), stride: usize) -> swallow::SwallowSystem {
+fn build(
+    engine: EngineMode,
+    slices: (u16, u16),
+    stride: usize,
+    decode_cache: bool,
+) -> swallow::SwallowSystem {
     let mut system = SystemBuilder::new()
         .slices(slices.0, slices.1)
         .engine(engine)
+        .decode_cache(decode_cache)
         .build()
         .expect("builds");
     if stride > 0 {
@@ -181,7 +195,10 @@ fn build(engine: EngineMode, slices: (u16, u16), stride: usize) -> swallow::Swal
     system
 }
 
-/// Runs one scenario under one engine for `span` of simulated time.
+/// Runs one scenario under one engine for `span` of simulated time,
+/// with the predecoded cache at the process-wide default
+/// (`SWALLOW_DECODE_CACHE` — the CI smoke leg compares on vs off
+/// through this knob).
 pub fn measure(
     scenario: &'static str,
     engine: EngineMode,
@@ -189,7 +206,21 @@ pub fn measure(
     stride: usize,
     span: TimeDelta,
 ) -> ThroughputRow {
-    let mut system = build(engine, slices, stride);
+    let cache = swallow::xcore::decode_cache_default();
+    measure_with_cache(scenario, engine, slices, stride, span, cache)
+}
+
+/// [`measure`] with an explicit predecoded-cache setting (the cache-off
+/// rows quantify what decode-once buys).
+pub fn measure_with_cache(
+    scenario: &'static str,
+    engine: EngineMode,
+    slices: (u16, u16),
+    stride: usize,
+    span: TimeDelta,
+    decode_cache: bool,
+) -> ThroughputRow {
+    let mut system = build(engine, slices, stride, decode_cache);
     let t0 = Instant::now();
     system.run_for(span);
     let host = t0.elapsed().as_secs_f64().max(1e-9);
@@ -198,6 +229,7 @@ pub fn measure(
     ThroughputRow {
         scenario,
         engine,
+        decode_cache,
         host_ms: host * 1e3,
         sim_cycles_per_sec: cycles as f64 / host,
         mips: machine.total_instret() as f64 / host / 1e6,
@@ -224,6 +256,20 @@ pub fn run_with(span: TimeDelta, thread_counts: &[usize]) -> Throughput {
             rows.push(measure(scenario, engine, slices, stride, span));
         }
     }
+    // Cache-off reference rows on the decode-bound scenario: the
+    // busy-slice delta quantifies what the predecoded-instruction cache
+    // buys (results are bit-identical either way; see the differential
+    // suites).
+    for engine in [EngineMode::LockStep, EngineMode::FastForward] {
+        rows.push(measure_with_cache(
+            "busy-slice-nocache",
+            engine,
+            (1, 1),
+            1,
+            span,
+            false,
+        ));
+    }
     Throughput { rows }
 }
 
@@ -239,17 +285,42 @@ mod tests {
     #[test]
     fn rows_and_speedups_are_well_formed() {
         let t = run_with(TimeDelta::from_us(2), &[2]);
-        assert_eq!(t.rows.len(), 9);
+        assert_eq!(t.rows.len(), 11);
         for r in &t.rows {
             assert!(r.host_ms > 0.0);
             assert!(r.sim_cycles_per_sec > 0.0, "{r:?}");
         }
         assert!(t.speedup("idle-480").expect("measured") > 0.0);
         assert!(t.parallel_speedup("busy-slice", 2).expect("measured") > 0.0);
+        assert!(t
+            .rows
+            .iter()
+            .any(|r| r.scenario == "busy-slice-nocache" && !r.decode_cache));
         let rendered = t.to_string();
         assert!(rendered.contains("busy-slice"));
         assert!(rendered.contains("speedup"));
         assert!(rendered.contains("parallel(2)"));
+    }
+
+    /// Guards the busy-slice inversion fixed in this PR: fast-forward
+    /// must not regress materially below lock-step on a machine where
+    /// every tick has activity (the dense-mode hint makes its advance
+    /// identical to a lock-step edge). Min-of-3 on both sides and a
+    /// lenient 1.3x bound keep this stable on noisy CI hosts.
+    #[test]
+    fn fastforward_keeps_up_with_lockstep_when_busy() {
+        let span = TimeDelta::from_us(4);
+        let best = |engine: EngineMode| {
+            (0..3)
+                .map(|_| measure("busy-slice", engine, (1, 1), 1, span).host_ms)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let ls = best(EngineMode::LockStep);
+        let ff = best(EngineMode::FastForward);
+        assert!(
+            ff <= ls * 1.3,
+            "fast-forward ({ff:.2} ms) regressed past lock-step ({ls:.2} ms) on a busy machine"
+        );
     }
 
     #[test]

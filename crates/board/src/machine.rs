@@ -104,6 +104,9 @@ pub struct MachineConfig {
     /// Scheduled fault injections (empty = fault-free; an empty plan
     /// costs one comparison per processed edge and perturbs nothing).
     pub faults: FaultPlan,
+    /// Per-core predecoded-instruction cache (architecturally invisible;
+    /// defaults to on unless `SWALLOW_DECODE_CACHE=off`).
+    pub decode_cache: bool,
 }
 
 impl MachineConfig {
@@ -122,6 +125,7 @@ impl MachineConfig {
             trace_capacity: None,
             metrics: false,
             faults: FaultPlan::new(),
+            decode_cache: swallow_xcore::decode_cache_default(),
         }
     }
 
@@ -247,6 +251,12 @@ pub struct Machine {
     base_period: TimeDelta,
     faulted_cables: usize,
     engine: EngineMode,
+    /// Dense-mode hint maintained by `process_edge`: true when the last
+    /// processed edge left some core with a ready thread due at the very
+    /// next grid instant, in which case the next-activity scan would
+    /// necessarily answer `immediate` and fast-forward degenerates to
+    /// lock-step (see `ff_advance`).
+    dense: bool,
     /// Conservative lookahead: the fabric's minimum cross-shard token
     /// latency (None on a fabric with no links).
     lookahead: Option<TimeDelta>,
@@ -294,7 +304,9 @@ impl Machine {
             .map(|node| {
                 let mut cc = CoreConfig::swallow(node);
                 cc.frequency = config.frequency;
-                Core::new(cc)
+                let mut core = Core::new(cc);
+                core.set_decode_cache(config.decode_cache);
+                core
             })
             .collect();
         let base_period = config.frequency.period();
@@ -312,6 +324,7 @@ impl Machine {
             base_period,
             faulted_cables: topo.faulted_cables,
             engine: config.engine,
+            dense: false,
             lookahead,
             par: None,
             metrics: MetricsHub::new(config.grid, config.metrics),
@@ -506,6 +519,16 @@ impl Machine {
                 .sample(self.now, &self.eps.cores, &self.fabric, &self.monitor);
             self.metrics.record_faults(fc);
         }
+        // Refresh the dense-mode hint: a ready thread due at the very
+        // next grid instant pins the next activity to `immediate`, so
+        // fast-forward can skip its scan. Early-exits at the first busy
+        // core, and goes false the moment the machine drains.
+        let immediate = self.now + self.base_period;
+        self.dense = self
+            .eps
+            .cores
+            .iter()
+            .any(|c| c.ready_threads() > 0 && c.next_tick_at() <= immediate);
     }
 
     /// The earliest instant at or after `now` when anything can happen:
@@ -569,6 +592,16 @@ impl Machine {
     /// anything can happen (capped at `deadline`), analytically skipping
     /// the idle span for every core, then process that edge.
     fn ff_advance(&mut self, deadline: Time) {
+        // Busy machines tick on every edge: when the dense hint is set,
+        // the scan below would answer `immediate`, so this advance is
+        // exactly a lock-step edge. Processing an edge is always sound
+        // (lock-step processes all of them), so a stale hint can only
+        // cost one extra edge, never correctness — and `process_edge`
+        // clears it the moment the machine drains.
+        if self.dense {
+            self.step();
+            return;
+        }
         let target = self.grid_align(self.next_activity_at().min(deadline));
         if target > self.now + self.base_period {
             for core in &mut self.eps.cores {

@@ -149,6 +149,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Enables or disables the per-core predecoded-instruction cache.
+    /// Architecturally invisible either way — identical timelines,
+    /// outputs, traces and energy — this is the differential-testing
+    /// escape hatch (also reachable via `SWALLOW_DECODE_CACHE=off`).
+    pub fn decode_cache(mut self, enabled: bool) -> Self {
+        self.config.decode_cache = enabled;
+        self
+    }
+
     /// Assembles the machine.
     ///
     /// # Errors

@@ -35,6 +35,7 @@ pub mod asm;
 pub mod encode;
 pub mod ident;
 pub mod instr;
+pub mod predecode;
 pub mod program;
 pub mod reg;
 pub mod timing;
@@ -44,6 +45,7 @@ pub use asm::{AsmError, Assembler};
 pub use encode::{decode, encode, DecodeError, EncodeError, Encoded};
 pub use ident::{NodeId, ResourceId, ThreadId};
 pub use instr::{ControlToken, HostcallFn, Instr, MemOffset, ResType};
+pub use predecode::{predecode, Predecoded};
 pub use program::Program;
 pub use reg::Reg;
 pub use timing::{issue_cycles, EnergyClass};

@@ -1,0 +1,64 @@
+//! The decode→execute hot loop: one busy core ticked through a
+//! calibrated ALU/memory/branch mix, with the predecoded-instruction
+//! cache on vs off. The delta is what decode-once execution buys in the
+//! steady state (the cache-on path is a single array load per issue
+//! slot; the cache-off path re-decodes the SRAM words every time).
+
+use swallow_isa::{Assembler, NodeId};
+use swallow_testkit::criterion::{criterion_group, criterion_main, Criterion};
+use swallow_xcore::{Core, CoreConfig};
+
+/// Clock edges per timed sample (enough to dwarf setup cost).
+const TICKS: u64 = 50_000;
+
+fn busy_core(decode_cache: bool) -> Core {
+    let program = Assembler::new()
+        .assemble(
+            "
+                ldc   r0, 0
+                ldc   r10, 0x1000
+            mix:
+                add   r1, r1, 1
+                add   r2, r2, r1
+                xor   r3, r3, r1
+                shl   r4, r1, 3
+                and   r5, r3, r4
+                or    r6, r5, r2
+                sub   r7, r6, r1
+                mul   r8, r1, r2
+                ldw   r9, r10[0]
+                stw   r9, r10[1]
+                bu    mix
+            ",
+        )
+        .expect("mix assembles");
+    let mut core = Core::new(CoreConfig::swallow(NodeId(0)));
+    core.set_decode_cache(decode_cache);
+    core.load_program(&program).expect("fits");
+    core
+}
+
+fn run(core: &mut Core) -> u64 {
+    for _ in 0..TICKS {
+        core.tick(core.next_tick_at());
+    }
+    assert!(core.trap().is_none(), "trap: {:?}", core.trap());
+    core.instret()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("step_thread");
+    g.sample_size(10);
+    for (id, cache) in [("cache_on", true), ("cache_off", false)] {
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                let mut core = busy_core(cache);
+                run(&mut core)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

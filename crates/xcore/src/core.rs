@@ -17,14 +17,14 @@
 //! between the Fig. 2 categories is made here, at the moment of spending.
 
 use crate::resource::{EventCfg, ResourceTable};
-use crate::sram::{MemError, Sram, DEFAULT_SRAM_BYTES};
+use crate::sram::{FetchError, MemError, Sram, DEFAULT_SRAM_BYTES};
 use crate::thread::{Block, Thread, ThreadState, MAX_THREADS, TERMINATOR_PC};
 use std::fmt;
 use swallow_energy::core_power::IDLE_NETWORK_FRACTION;
-use swallow_energy::{CorePowerModel, EnergyLedger, NodeCategory};
+use swallow_energy::{CorePowerModel, Energy, EnergyLedger, NodeCategory};
 use swallow_isa::token::{bytes_to_word, word_to_tokens};
 use swallow_isa::{
-    decode, issue_cycles, DecodeError, EnergyClass, HostcallFn, Instr, MemOffset, NodeId, Reg,
+    issue_cycles, DecodeError, EnergyClass, HostcallFn, Instr, MemOffset, NodeId, Predecoded, Reg,
     ResType, ResourceId, ThreadId, Token,
 };
 use swallow_sim::{Frequency, Time, TimeDelta, TraceEvent, TraceSink, Tracer};
@@ -195,6 +195,38 @@ impl ClassCounts {
     }
 }
 
+/// Per-tick energy constants. Every field is a pure function of the
+/// power model and clock period, so caching them is bit-exact (the same
+/// f64 products the uncached expressions would produce); they are
+/// refreshed whenever either input changes (DVFS, brownout derating).
+#[derive(Clone, Copy, Debug)]
+struct TickEnergy {
+    /// Leakage over one clock period plus the core share of the
+    /// clock-tree/idle-pipeline energy — both land in
+    /// [`NodeCategory::Static`], so they are summed once here instead of
+    /// charged separately every cycle.
+    static_cycle: Energy,
+    /// Clock-tree/idle-pipeline energy per cycle, network share.
+    clk_net: Energy,
+    /// Active-slot energy per issue cycle, indexed by `EnergyClass`.
+    slot: [Energy; 8],
+}
+
+impl TickEnergy {
+    fn of(power: &CorePowerModel, period: TimeDelta) -> Self {
+        let clk = power.idle_cycle_energy();
+        let mut slot = [Energy::ZERO; 8];
+        for class in EnergyClass::ALL {
+            slot[class as usize] = power.slot_energy(class);
+        }
+        TickEnergy {
+            static_cycle: power.static_power() * period + clk * (1.0 - IDLE_NETWORK_FRACTION),
+            clk_net: clk * IDLE_NETWORK_FRACTION,
+            slot,
+        }
+    }
+}
+
 /// Outcome of executing one instruction (before commit).
 enum Outcome {
     /// Advance the pc by `words`.
@@ -266,6 +298,8 @@ pub struct Core {
     /// (energy, timer wakes, the issue wheel) is unaffected, so a stall
     /// perturbs nothing when absent.
     stalled_until: Time,
+    /// Cached per-tick energy charges (see [`TickEnergy`]).
+    tick_energy: TickEnergy,
 }
 
 impl Core {
@@ -299,6 +333,7 @@ impl Core {
             sched_at: [Time::ZERO; MAX_THREADS],
             sched_instret: [0; MAX_THREADS],
             stalled_until: Time::ZERO,
+            tick_energy: TickEnergy::of(&config.power, period),
             period,
             config,
         }
@@ -320,6 +355,7 @@ impl Core {
     pub fn set_frequency(&mut self, f: Frequency) {
         self.config.frequency = f;
         self.period = f.period();
+        self.tick_energy = TickEnergy::of(&self.config.power, self.period);
         if self.tracer.is_enabled() {
             self.tracer.emit(
                 self.now,
@@ -346,6 +382,7 @@ impl Core {
     /// Replaces the power model (e.g. to apply a DVFS voltage).
     pub fn set_power_model(&mut self, power: CorePowerModel) {
         self.config.power = power;
+        self.tick_energy = TickEnergy::of(&self.config.power, self.period);
     }
 
     /// The active power model (to save before a temporary derating).
@@ -475,7 +512,14 @@ impl Core {
     }
 
     /// The earliest timer/divider wake time, if any thread sleeps on one.
+    ///
+    /// O(1) on the hot path: the sleeper population is counted
+    /// incrementally, so a fully busy core answers `None` without
+    /// scanning the thread table.
     pub fn next_wake(&self) -> Option<Time> {
+        if self.sleepers == 0 {
+            return None;
+        }
         self.threads
             .iter()
             .filter_map(|t| match t.state {
@@ -568,10 +612,18 @@ impl Core {
 
     /// Runs every clock edge due at or before `until` (the batched inner
     /// loop of the machine's step). Stops immediately if the core halts.
+    #[inline]
     pub fn run_until(&mut self, until: Time) {
-        while !self.halted && self.next_tick_at() <= until {
-            let at = self.next_tick_at();
+        if self.halted {
+            return;
+        }
+        let mut at = self.now + self.period;
+        while at <= until {
             self.tick(at);
+            if self.halted {
+                return;
+            }
+            at = self.now + self.period;
         }
     }
 
@@ -631,6 +683,17 @@ impl Core {
     /// Direct write access to SRAM (the boot/JTAG path).
     pub fn sram_mut(&mut self) -> &mut Sram {
         &mut self.sram
+    }
+
+    /// Enables or disables this core's predecoded-instruction cache
+    /// (architecturally invisible either way; see `decode_cache`).
+    pub fn set_decode_cache(&mut self, enabled: bool) {
+        self.sram.set_decode_cache(enabled);
+    }
+
+    /// Whether this core's predecoded-instruction cache is active.
+    pub fn decode_cache_enabled(&self) -> bool {
+        self.sram.decode_cache_enabled()
     }
 
     // --- boot -------------------------------------------------------------
@@ -912,25 +975,32 @@ impl Core {
         self.now = now;
         self.cycle += 1;
 
-        // Energy: leakage + clock tree, every cycle, split per Fig. 2.
-        self.ledger.charge(
-            NodeCategory::Static,
-            self.config.power.static_power() * self.period,
-        );
-        let clk = self.config.power.idle_cycle_energy();
+        // Energy: leakage + clock tree, every cycle, split per Fig. 2
+        // (precomputed in `tick_energy` — same values the model would
+        // produce, charged without re-deriving them each cycle).
         self.ledger
-            .charge(NodeCategory::Static, clk * (1.0 - IDLE_NETWORK_FRACTION));
+            .charge(NodeCategory::Static, self.tick_energy.static_cycle);
         self.ledger
-            .charge(NodeCategory::Network, clk * IDLE_NETWORK_FRACTION);
+            .charge(NodeCategory::Network, self.tick_energy.clk_net);
 
-        self.wake_sleepers();
+        if self.sleepers > 0 {
+            self.wake_sleepers();
+        }
 
         // Eq. 2: one issue slot per cycle, rotated over max(4, Nt) slots.
         // A stalled core burns the cycle (and its energy) without
         // issuing: the wheel still turns, so thread interleaving after
         // the stall is position-identical under every engine.
+        //
+        // `nslots` is 4 or 8 for most populations; the masked path is
+        // exactly `wheel % nslots` for powers of two and skips the
+        // hardware divide the hot loop would otherwise pay every cycle.
         let nslots = self.rotation.len().max(4) as u64;
-        let pos = (self.wheel % nslots) as usize;
+        let pos = if nslots & (nslots - 1) == 0 {
+            (self.wheel & (nslots - 1)) as usize
+        } else {
+            (self.wheel % nslots) as usize
+        };
         self.wheel += 1;
         if pos < self.rotation.len() && now >= self.stalled_until {
             let tid = self.rotation[pos];
@@ -956,23 +1026,16 @@ impl Core {
             self.free_thread(tid);
             return;
         }
-        // Fetch one or two words.
-        let w0 = match self.sram.read_u32(pc) {
-            Ok(w) => w,
-            Err(e) => return self.trap_thread(tid, pc, TrapCause::Mem(e)),
+        // Fetch through the predecode cache: steady state is one array
+        // load, the miss path reads one or two SRAM words and decodes
+        // exactly as the uncached interpreter did.
+        let entry = match self.sram.fetch(pc) {
+            Ok(entry) => entry,
+            Err(FetchError::Mem(e)) => return self.trap_thread(tid, pc, TrapCause::Mem(e)),
+            Err(FetchError::Decode(e)) => return self.trap_thread(tid, pc, TrapCause::Decode(e)),
         };
-        let decoded = match decode(&[w0]) {
-            Ok(ok) => Ok(ok),
-            Err(DecodeError::Truncated) => match self.sram.read_u32(pc + 4) {
-                Ok(w1) => decode(&[w0, w1]),
-                Err(e) => return self.trap_thread(tid, pc, TrapCause::Mem(e)),
-            },
-            Err(e) => Err(e),
-        };
-        let (instr, words) = match decoded {
-            Ok(ok) => ok,
-            Err(e) => return self.trap_thread(tid, pc, TrapCause::Decode(e)),
-        };
+        let instr = entry.instr;
+        let words = entry.words as usize;
 
         let outcome = self.execute(tid, pc, words, &instr);
 
@@ -980,17 +1043,17 @@ impl Core {
         match outcome {
             Outcome::Advance(n) => {
                 self.threads[tid as usize].pc = pc + 4 * n as u32;
-                self.retire(tid, &instr);
+                self.retire(tid, &entry);
             }
             Outcome::Jump(target) => {
                 self.threads[tid as usize].pc = target;
-                self.retire(tid, &instr);
+                self.retire(tid, &entry);
             }
             Outcome::AdvanceSleep(n, block) => {
                 self.threads[tid as usize].pc = pc + 4 * n as u32;
                 self.set_thread_state(tid, ThreadState::Blocked(block));
                 self.deactivate(tid);
-                self.retire(tid, &instr);
+                self.retire(tid, &entry);
             }
             Outcome::Block(block) => {
                 // pc unchanged: the instruction re-executes when woken.
@@ -998,12 +1061,12 @@ impl Core {
                 self.deactivate(tid);
             }
             Outcome::Freet => {
-                self.retire(tid, &instr);
+                self.retire(tid, &entry);
                 self.free_thread(tid);
             }
             Outcome::Trap(cause) => self.trap_thread(tid, pc, cause),
             Outcome::HaltCore => {
-                self.retire(tid, &instr);
+                self.retire(tid, &entry);
                 self.halted = true;
             }
         }
@@ -1027,10 +1090,9 @@ impl Core {
         }
     }
 
-    fn retire(&mut self, tid: u8, instr: &Instr) {
-        let class = EnergyClass::of(instr);
-        let cycles = issue_cycles(instr);
-        let energy = self.config.power.slot_energy(class) * cycles as f64;
+    fn retire(&mut self, tid: u8, entry: &Predecoded) {
+        let class = entry.class;
+        let energy = self.tick_energy.slot[class as usize] * entry.issue_cycles as f64;
         let category = if class == EnergyClass::Comm {
             NodeCategory::Network
         } else {

@@ -30,11 +30,13 @@
 //! ```
 
 pub mod core;
+pub mod decode_cache;
 pub mod resource;
 pub mod sram;
 pub mod thread;
 
 pub use crate::core::{ClassCounts, Core, CoreConfig, DeliverError, LoadError, Trap, TrapCause};
+pub use decode_cache::{decode_cache_default, DecodeCache, DECODE_CACHE_ENV};
 pub use resource::{Chanend, ResourceTable, CHANEND_BUF_TOKENS};
-pub use sram::{MemError, Sram, DEFAULT_SRAM_BYTES};
+pub use sram::{FetchError, MemError, Sram, DEFAULT_SRAM_BYTES};
 pub use thread::{Block, Thread, ThreadState, MAX_THREADS, TERMINATOR_PC};

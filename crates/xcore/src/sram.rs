@@ -5,8 +5,17 @@
 //! uniformity is one of the two pillars of Swallow's time determinism
 //! (Table II), so the model is deliberately boring: flat bytes, checked
 //! alignment, checked bounds, fixed latency.
+//!
+//! The *simulator* does keep one piece of derived state here: the
+//! [`DecodeCache`] of predecoded instruction entries ([`Sram::fetch`]).
+//! It lives inside the SRAM so that every write funnel invalidates it —
+//! there is no way to change a byte without the cache seeing it — and it
+//! is excluded from `PartialEq`, which compares architectural bytes
+//! only. See `decode_cache` for the invisibility argument.
 
+use crate::decode_cache::{decode_cache_default, DecodeCache};
 use std::fmt;
+use swallow_isa::{predecode, DecodeError, Predecoded};
 
 /// Default SRAM size per core (64 KiB, §IV.A).
 pub const DEFAULT_SRAM_BYTES: u32 = 64 * 1024;
@@ -45,6 +54,27 @@ impl fmt::Display for MemError {
 
 impl std::error::Error for MemError {}
 
+/// An instruction-fetch fault (see [`Sram::fetch`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchError {
+    /// The fetch itself faulted (misaligned pc, or a word off the end of
+    /// SRAM).
+    Mem(MemError),
+    /// The fetched words do not decode.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchError::Mem(e) => write!(f, "fetch fault: {e}"),
+            FetchError::Decode(e) => write!(f, "decode fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
 /// A core's unified SRAM.
 ///
 /// ```
@@ -54,18 +84,89 @@ impl std::error::Error for MemError {}
 /// assert_eq!(mem.read_u32(0), Ok(0xDEAD_BEEF));
 /// assert!(mem.read_u32(1).is_err()); // misaligned
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Sram {
     bytes: Vec<u8>,
+    /// Predecoded instruction entries (derived state, not architectural;
+    /// ignored by `PartialEq`).
+    cache: DecodeCache,
 }
 
+impl PartialEq for Sram {
+    fn eq(&self, other: &Self) -> bool {
+        // Architectural state only: the decode cache is a pure function
+        // of the bytes it was filled from.
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for Sram {}
+
 impl Sram {
-    /// Creates a zeroed SRAM of `size` bytes (rounded up to 4).
+    /// Creates a zeroed SRAM of `size` bytes (rounded up to 4). The
+    /// decode cache starts at the process-wide default
+    /// (`SWALLOW_DECODE_CACHE`).
     pub fn new(size: u32) -> Self {
         let size = size.next_multiple_of(4);
         Sram {
             bytes: vec![0; size as usize],
+            cache: DecodeCache::new(size, decode_cache_default()),
         }
+    }
+
+    /// Enables or disables the predecoded-instruction cache (the
+    /// differential-testing escape hatch). Disabling drops every cached
+    /// entry; behaviour is bit-identical either way.
+    pub fn set_decode_cache(&mut self, enabled: bool) {
+        self.cache.set_enabled(enabled);
+    }
+
+    /// Whether the predecoded-instruction cache is active.
+    pub fn decode_cache_enabled(&self) -> bool {
+        self.cache.is_enabled()
+    }
+
+    /// Live predecoded entries (test/observability hook).
+    pub fn decode_cache_entries(&self) -> usize {
+        self.cache.live_entries()
+    }
+
+    /// Fetches and decodes the instruction at byte address `pc`,
+    /// predecode-cached: the steady-state path is a single array load.
+    /// On a miss, reads one word (retrying with a second on a truncated
+    /// two-word encoding, exactly like the uncached interpreter did),
+    /// decodes, classifies and caches the entry. Failures are never
+    /// cached.
+    ///
+    /// # Errors
+    ///
+    /// [`FetchError::Mem`] when `pc` (or the extension word of a
+    /// two-word instruction) faults; [`FetchError::Decode`] when the
+    /// words do not decode.
+    #[inline]
+    pub fn fetch(&mut self, pc: u32) -> Result<Predecoded, FetchError> {
+        if pc & 3 == 0 {
+            if let Some(entry) = self.cache.lookup((pc >> 2) as usize) {
+                return Ok(entry);
+            }
+        }
+        self.fetch_slow(pc)
+    }
+
+    /// The miss path of [`Sram::fetch`]: decode from bytes and fill.
+    #[cold]
+    fn fetch_slow(&mut self, pc: u32) -> Result<Predecoded, FetchError> {
+        let w0 = self.read_u32(pc).map_err(FetchError::Mem)?;
+        let entry = match predecode(&[w0]) {
+            Ok(entry) => entry,
+            Err(DecodeError::Truncated) => {
+                let w1 = self.read_u32(pc + 4).map_err(FetchError::Mem)?;
+                predecode(&[w0, w1]).map_err(FetchError::Decode)?
+            }
+            Err(e) => return Err(FetchError::Decode(e)),
+        };
+        self.cache.fill((pc >> 2) as usize, entry);
+        Ok(entry)
     }
 
     /// The SRAM size in bytes.
@@ -109,6 +210,7 @@ impl Sram {
     pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
         let i = self.check(addr, 4)?;
         self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        self.cache.invalidate_word(i >> 2);
         Ok(())
     }
 
@@ -132,6 +234,7 @@ impl Sram {
     pub fn write_u16(&mut self, addr: u32, value: u16) -> Result<(), MemError> {
         let i = self.check(addr, 2)?;
         self.bytes[i..i + 2].copy_from_slice(&value.to_le_bytes());
+        self.cache.invalidate_word(i >> 2);
         Ok(())
     }
 
@@ -153,6 +256,7 @@ impl Sram {
     pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), MemError> {
         let i = self.check(addr, 1)?;
         self.bytes[i] = value;
+        self.cache.invalidate_word(i >> 2);
         Ok(())
     }
 
@@ -166,6 +270,11 @@ impl Sram {
         for (i, w) in words.iter().enumerate() {
             self.bytes[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
         }
+        self.cache.invalidate_all();
+        // A core that loads a program is about to execute: allocate the
+        // slot table now so the one-time zeroing happens at boot rather
+        // than on the first fetch of a measured run.
+        self.cache.ensure_allocated();
         true
     }
 }
