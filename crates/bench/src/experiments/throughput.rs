@@ -40,6 +40,11 @@ pub struct ThroughputRow {
     pub scenario: &'static str,
     /// Which engine ran it.
     pub engine: EngineMode,
+    /// Epoch-synchronisation strategy the run used: `"negotiated"` or
+    /// `"global"` for the parallel engine, `"-"` for the serial engines.
+    /// Recorded so a JSON row is interpretable without knowing the
+    /// producing build's `SWALLOW_EPOCH_MODE`.
+    pub epoch_mode: &'static str,
     /// Whether the predecoded-instruction cache was on.
     pub decode_cache: bool,
     /// Host wall-clock for the run (milliseconds).
@@ -99,20 +104,28 @@ impl Throughput {
     }
 
     /// Serialises the rows as the `BENCH_throughput.json` schema:
-    /// `{"experiment": "throughput", "rows": [{scenario, engine, threads,
-    /// host_ms, sim_cycles_per_sec, mips}, ...]}`. Hand-rolled — the
-    /// workspace builds offline with no serde dependency.
+    /// `{"experiment": "throughput", "host_parallelism": N, "rows":
+    /// [{scenario, engine, threads, epoch_mode, decode_cache, host_ms,
+    /// sim_cycles_per_sec, mips}, ...]}`. `host_parallelism` is the
+    /// producing host's `std::thread::available_parallelism` — without it
+    /// a flat thread-scaling curve is indistinguishable from a scaling
+    /// regression. Hand-rolled — the workspace builds offline with no
+    /// serde dependency.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"experiment\": \"throughput\",\n  \"rows\": [\n");
+        let host = host_parallelism();
+        let mut out = format!(
+            "{{\n  \"experiment\": \"throughput\",\n  \"host_parallelism\": {host},\n  \"rows\": [\n"
+        );
         for (i, r) in self.rows.iter().enumerate() {
             let sep = if i + 1 < self.rows.len() { "," } else { "" };
             out.push_str(&format!(
                 "    {{\"scenario\": \"{}\", \"engine\": \"{}\", \"threads\": {}, \
-                 \"decode_cache\": {}, \"host_ms\": {:.6}, \
+                 \"epoch_mode\": \"{}\", \"decode_cache\": {}, \"host_ms\": {:.6}, \
                  \"sim_cycles_per_sec\": {:.3}, \"mips\": {:.6}}}{sep}\n",
                 r.scenario,
                 r.engine_name(),
                 r.threads(),
+                r.epoch_mode,
                 r.decode_cache,
                 r.host_ms,
                 r.sim_cycles_per_sec,
@@ -135,19 +148,24 @@ impl Throughput {
 
 impl fmt::Display for Throughput {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Simulator throughput (host-side, every engine):")?;
         writeln!(
             f,
-            "  {:<16} {:<12} {:>8} {:>6} {:>10} {:>16} {:>10}",
-            "scenario", "engine", "threads", "cache", "host ms", "sim cycles/s", "sim MIPS"
+            "Simulator throughput (host-side, every engine; host parallelism {}):",
+            host_parallelism()
+        )?;
+        writeln!(
+            f,
+            "  {:<16} {:<12} {:>8} {:>11} {:>6} {:>10} {:>16} {:>10}",
+            "scenario", "engine", "threads", "sync", "cache", "host ms", "sim cycles/s", "sim MIPS"
         )?;
         for r in &self.rows {
             writeln!(
                 f,
-                "  {:<16} {:<12} {:>8} {:>6} {:>10.2} {:>16.3e} {:>10.1}",
+                "  {:<16} {:<12} {:>8} {:>11} {:>6} {:>10.2} {:>16.3e} {:>10.1}",
                 r.scenario,
                 r.engine_name(),
                 r.threads(),
+                r.epoch_mode,
                 if r.decode_cache { "on" } else { "off" },
                 r.host_ms,
                 r.sim_cycles_per_sec,
@@ -169,6 +187,13 @@ impl fmt::Display for Throughput {
         }
         Ok(())
     }
+}
+
+/// Host CPUs available to the pool (1 when the query fails).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Builds a scenario machine: `slices` grid with every `stride`-th core
@@ -226,9 +251,17 @@ pub fn measure_with_cache(
     let host = t0.elapsed().as_secs_f64().max(1e-9);
     let machine = system.machine();
     let cycles: u64 = machine.nodes().map(|n| machine.core(n).cycles()).sum();
+    let epoch_mode = match engine {
+        EngineMode::Parallel { .. } => match machine.epoch_mode() {
+            swallow::EpochMode::Negotiated => "negotiated",
+            swallow::EpochMode::Global => "global",
+        },
+        _ => "-",
+    };
     ThroughputRow {
         scenario,
         engine,
+        epoch_mode,
         decode_cache,
         host_ms: host * 1e3,
         sim_cycles_per_sec: cycles as f64 / host,
@@ -323,17 +356,64 @@ mod tests {
         );
     }
 
+    /// Guards the tentpole of the negotiated-window PR: on a busy slice
+    /// the parallel engine at 4 threads must not be slower than at 1
+    /// (monotone thread scaling — the minimum the lock-free negotiation
+    /// guarantees). Min-of-3 MIPS on both sides absorbs host noise; a
+    /// host without 4 CPUs cannot exercise real parallelism, so the test
+    /// logs and skips there rather than measuring scheduler jitter.
+    #[test]
+    fn parallel_four_threads_keeps_up_with_one_when_busy() {
+        if host_parallelism() < 4 {
+            eprintln!(
+                "skipping parallel-scaling regression: host has {} CPUs (< 4)",
+                host_parallelism()
+            );
+            return;
+        }
+        let span = TimeDelta::from_us(4);
+        let best = |threads: usize| {
+            (0..3)
+                .map(|_| {
+                    measure(
+                        "busy-slice",
+                        EngineMode::Parallel { threads },
+                        (1, 1),
+                        1,
+                        span,
+                    )
+                    .mips
+                })
+                .fold(0.0f64, f64::max)
+        };
+        let one = best(1);
+        let four = best(4);
+        assert!(
+            four >= one,
+            "parallel/4 ({four:.1} MIPS) regressed below parallel/1 ({one:.1} MIPS) on a busy slice"
+        );
+    }
+
     #[test]
     fn json_has_every_row_and_field() {
         let t = run_with(TimeDelta::from_us(1), &[2]);
         let json = t.to_json();
         assert_eq!(json.matches("\"scenario\"").count(), t.rows.len());
+        // Parallel rows carry the process-default sync strategy (the CI
+        // global-mode leg flips it via SWALLOW_EPOCH_MODE).
+        let par_mode = match swallow::board::epoch_mode_default() {
+            swallow::EpochMode::Negotiated => "\"epoch_mode\": \"negotiated\"",
+            swallow::EpochMode::Global => "\"epoch_mode\": \"global\"",
+        };
         for field in [
             "\"experiment\": \"throughput\"",
+            "\"host_parallelism\":",
             "\"engine\": \"lockstep\"",
             "\"engine\": \"fastforward\"",
             "\"engine\": \"parallel\"",
             "\"threads\": 2",
+            par_mode,
+            "\"epoch_mode\": \"-\"",
             "\"host_ms\":",
             "\"sim_cycles_per_sec\":",
             "\"mips\":",

@@ -38,8 +38,8 @@ pub mod shard;
 pub mod topology;
 
 pub use ethernet::EthernetBridge;
-pub use machine::{EngineMode, Machine, MachineConfig, RouterKind};
+pub use machine::{epoch_mode_default, EngineMode, EpochMode, Machine, MachineConfig, RouterKind};
 pub use metrics::{MetricsHub, SupplyRow};
 pub use power::PowerMonitor;
-pub use shard::{EpochPool, ShardPlan};
+pub use shard::{EpochPool, NegotiationOutcome, NegotiationParams, ShardPlan};
 pub use topology::{GridSpec, TopologyOptions, CORES_PER_SLICE};

@@ -75,6 +75,30 @@ pub enum EngineMode {
     },
 }
 
+/// Epoch-synchronisation strategy of the parallel engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EpochMode {
+    /// Pairwise watermark negotiation with per-shard-pair lookahead
+    /// derived from routed distances (DESIGN.md §3.12): shards advance
+    /// through a whole serial window in lock-free rounds and the pool
+    /// barrier is paid once per window instead of once per 32 ns epoch.
+    #[default]
+    Negotiated,
+    /// One global conservative epoch per pool dispatch (the PR 2
+    /// behaviour) — the bisection escape hatch, also selected by
+    /// `SWALLOW_EPOCH_MODE=global`.
+    Global,
+}
+
+/// The build-time default epoch mode: [`EpochMode::Negotiated`] unless
+/// the `SWALLOW_EPOCH_MODE=global` escape hatch is set.
+pub fn epoch_mode_default() -> EpochMode {
+    match std::env::var("SWALLOW_EPOCH_MODE") {
+        Ok(v) if v.eq_ignore_ascii_case("global") => EpochMode::Global,
+        _ => EpochMode::Negotiated,
+    }
+}
+
 /// Machine configuration.
 #[derive(Clone, Debug)]
 pub struct MachineConfig {
@@ -107,6 +131,9 @@ pub struct MachineConfig {
     /// Per-core predecoded-instruction cache (architecturally invisible;
     /// defaults to on unless `SWALLOW_DECODE_CACHE=off`).
     pub decode_cache: bool,
+    /// Parallel-engine epoch synchronisation (architecturally invisible;
+    /// defaults to negotiated unless `SWALLOW_EPOCH_MODE=global`).
+    pub epoch_mode: EpochMode,
 }
 
 impl MachineConfig {
@@ -126,6 +153,7 @@ impl MachineConfig {
             metrics: false,
             faults: FaultPlan::new(),
             decode_cache: swallow_xcore::decode_cache_default(),
+            epoch_mode: epoch_mode_default(),
         }
     }
 
@@ -146,6 +174,25 @@ struct Endpoints {
     cores: Vec<Core>,
     bridge: Option<EthernetBridge>,
     bridge_node: Option<NodeId>,
+    /// Injection gate: a core whose local clock is *past* this instant
+    /// keeps its pending output invisible to the fabric. The machine sets
+    /// the gate to the step instant before every `Fabric::step`, so a
+    /// core that ran ahead under the parallel engine and emitted at a
+    /// *later* instant cannot have that token injected early — the
+    /// replay visits its emission instant separately, exactly as
+    /// lock-step would. Serial engines keep every core at `now`, so the
+    /// gate never hides anything there.
+    tx_gate_ps: u64,
+}
+
+impl Endpoints {
+    /// True when `node`'s pending output is visible at the current gate.
+    fn tx_visible(&self, node: NodeId) -> bool {
+        self.cores
+            .get(node.raw() as usize)
+            .map(|core| core.local_now().as_ps() <= self.tx_gate_ps)
+            .unwrap_or(true)
+    }
 }
 
 impl CoreEndpoints for Endpoints {
@@ -161,6 +208,7 @@ impl CoreEndpoints for Endpoints {
             .get(node.raw() as usize)
             .map(|core| core.has_tx_pending())
             .unwrap_or(false)
+            && self.tx_visible(node)
     }
 
     fn for_each_tx_pending(&self, node: NodeId, visit: &mut dyn FnMut(u8)) {
@@ -173,6 +221,9 @@ impl CoreEndpoints for Endpoints {
             {
                 visit(0);
             }
+            return;
+        }
+        if !self.tx_visible(node) {
             return;
         }
         if let Some(core) = self.cores.get(node.raw() as usize) {
@@ -233,6 +284,16 @@ struct ParState {
     /// Per-core ledger snapshot at the last settlement, used to compute
     /// epoch deltas without touching the cores' own accounting.
     last_core_ledger: Vec<EnergyLedger>,
+    /// `shards × shards` minimum routed pair latency in ps (row-major by
+    /// source shard): the negotiation's lookahead matrix. Rebuilt lazily
+    /// whenever routes change (see `Machine::refresh_pair_latency`).
+    pair_latency_ps: Vec<u64>,
+    /// The matrix reflects a stale topology and must be recomputed
+    /// before the next negotiated window.
+    pair_latency_dirty: bool,
+    /// Negotiated windows run and watermark rounds summed (observability).
+    windows: u64,
+    rounds: u64,
 }
 
 /// A fully assembled Swallow machine.
@@ -260,6 +321,8 @@ pub struct Machine {
     /// Conservative lookahead: the fabric's minimum cross-shard token
     /// latency (None on a fabric with no links).
     lookahead: Option<TimeDelta>,
+    /// Parallel-engine epoch synchronisation strategy.
+    epoch_mode: EpochMode,
     par: Option<ParState>,
     metrics: MetricsHub,
     /// Link descriptions as built — the basis for recomputing routes
@@ -317,6 +380,7 @@ impl Machine {
                 cores,
                 bridge: bridge_node.map(EthernetBridge::new),
                 bridge_node,
+                tx_gate_ps: u64::MAX,
             },
             fabric,
             monitor: PowerMonitor::new(config.grid, config.monitor_window),
@@ -326,6 +390,7 @@ impl Machine {
             engine: config.engine,
             dense: false,
             lookahead,
+            epoch_mode: config.epoch_mode,
             par: None,
             metrics: MetricsHub::new(config.grid, config.metrics),
             descs,
@@ -504,6 +569,10 @@ impl Machine {
             || bridge_pending
             || self.eps.cores.iter().any(|c| c.has_tx_pending())
         {
+            // Gate injections at the edge instant: a core that ran ahead
+            // under the parallel engine and emitted later must not have
+            // its token picked up now (see `Endpoints::tx_gate_ps`).
+            self.eps.tx_gate_ps = self.now.as_ps();
             self.fabric.step(self.now, &mut self.eps);
             // A link that exhausted its retry budget during this step is
             // dead: account for it and route around it immediately.
@@ -624,7 +693,10 @@ impl Machine {
         if !rebuild {
             return;
         }
-        let plan = ShardPlan::new(self.eps.cores.len(), threads);
+        // Affinity-aware plan: shard boundaries land on the slow
+        // inter-slice cables, which is what keeps the negotiation's
+        // pair-latency matrix sparse (long horizons between shards).
+        let plan = ShardPlan::affinity(self.spec, threads);
         let pool = EpochPool::new(&plan);
         let shard_energy = vec![EnergyLedger::new(); plan.shard_count()];
         // Seed the snapshots from the cores' current ledgers so shard
@@ -636,7 +708,71 @@ impl Machine {
             pool,
             shard_energy,
             last_core_ledger,
+            pair_latency_ps: Vec::new(),
+            pair_latency_dirty: true,
+            windows: 0,
+            rounds: 0,
         });
+    }
+
+    /// Rebuilds the shard-pair lookahead matrix from the live fabric:
+    /// `L[p][s]` is the minimum routed latency from any core of shard `p`
+    /// to any distinct core of shard `s` (ps; `u64::MAX` when the shards
+    /// are partitioned, which clears the pair from negotiation). Called
+    /// lazily when routes changed — a link-down between refreshes only
+    /// *lengthens* true latencies, so a stale matrix stays conservative,
+    /// and every `set_link_up` path funnels through
+    /// `reroute_and_quarantine`, which marks the matrix dirty before any
+    /// shortened path can exist.
+    fn refresh_pair_latency(&mut self) {
+        let Some(st) = self.par.as_mut() else { return };
+        if !st.pair_latency_dirty {
+            return;
+        }
+        let node_dist = self.fabric.min_latency_matrix_ps();
+        let n = self.fabric.node_count();
+        let shards = st.plan.shard_count();
+        let mut matrix = vec![u64::MAX; shards * shards];
+        for p in 0..shards {
+            for s in 0..shards {
+                let mut best = u64::MAX;
+                for &(alo, ahi) in st.plan.runs(p) {
+                    for i in alo..ahi {
+                        for &(blo, bhi) in st.plan.runs(s) {
+                            for j in blo..bhi {
+                                if i != j {
+                                    best = best.min(node_dist[i * n + j]);
+                                }
+                            }
+                        }
+                    }
+                }
+                matrix[p * shards + s] = best;
+            }
+        }
+        st.pair_latency_ps = matrix;
+        st.pair_latency_dirty = false;
+    }
+
+    /// The parallel engine's epoch-synchronisation strategy.
+    pub fn epoch_mode(&self) -> EpochMode {
+        self.epoch_mode
+    }
+
+    /// Switches the epoch-synchronisation strategy (safe at any instant:
+    /// both modes commit only instants every engine processes).
+    pub fn set_epoch_mode(&mut self, mode: EpochMode) {
+        self.epoch_mode = mode;
+    }
+
+    /// Negotiation observability: `(windows, rounds)` — pairwise windows
+    /// run and watermark rounds summed over shards. Zero under
+    /// [`EpochMode::Global`] or the serial engines.
+    pub fn negotiation_stats(&self) -> (u64, u64) {
+        self.par
+            .as_ref()
+            .map(|st| (st.windows, st.rounds))
+            .unwrap_or((0, 0))
     }
 
     /// Energy accrued by each shard's cores since the parallel engine was
@@ -657,20 +793,142 @@ impl Machine {
         let (par, eps) = (&mut self.par, &self.eps);
         let st = par.as_mut().expect("parallel state initialised");
         for (shard, acc) in st.shard_energy.iter_mut().enumerate() {
-            let (lo, hi) = st.plan.range(shard);
-            for i in lo..hi {
-                let cur = *eps.cores[i].ledger();
-                acc.merge(&cur.delta_since(&st.last_core_ledger[i]));
-                st.last_core_ledger[i] = cur;
+            for &(lo, hi) in st.plan.runs(shard) {
+                for i in lo..hi {
+                    let cur = *eps.cores[i].ledger();
+                    acc.merge(&cur.delta_since(&st.last_core_ledger[i]));
+                    st.last_core_ledger[i] = cur;
+                }
             }
         }
     }
 
-    /// One parallel advance: pick a conservative epoch horizon, run every
-    /// shard up to it concurrently, reconcile any core that emitted, then
-    /// process the horizon edge serially. Falls back to [`Self::ff_advance`]
-    /// whenever an epoch cannot pay for its dispatch (pending output,
-    /// immediate events, or fewer than two runnable cores).
+    /// One parallel advance, dispatched by [`EpochMode`].
+    fn par_advance(&mut self, deadline: Time) {
+        match self.epoch_mode {
+            EpochMode::Negotiated => self.negotiated_advance(deadline),
+            EpochMode::Global => self.global_epoch_advance(deadline),
+        }
+    }
+
+    /// One pairwise-negotiated advance (DESIGN.md §3.12): pick the next
+    /// instant that *must* be processed serially — the power monitor's
+    /// cadence, the run deadline, or the edge before a scheduled fault —
+    /// and let the shards negotiate their way to it in lock-free
+    /// watermark rounds ([`EpochPool::run_negotiated`]). The pool
+    /// condvar is paid once per window instead of once per 32 ns epoch,
+    /// which is what makes busy-machine scaling monotone in threads.
+    ///
+    /// Falls back to [`Self::ff_advance`] whenever the window could not
+    /// pay for a dispatch or the quiet-machine preconditions fail:
+    /// pending core output (must inject on the very next grid instant),
+    /// tokens in flight or bridge backlog (the fabric only steps
+    /// serially), fewer than two runnable cores, or a window shorter
+    /// than two grid periods.
+    ///
+    /// Correctness: within the window shards interact with nothing
+    /// (fabric idle on entry, horizons bound cross-shard reachability,
+    /// an emission stops the window for everyone within one round), so
+    /// each shard's cores run with lock-step-identical results up to the
+    /// committed target; an emission is then replayed serially by
+    /// [`Self::reconcile`] exactly as the global-epoch engine does.
+    fn negotiated_advance(&mut self, deadline: Time) {
+        let immediate = self.now + self.base_period;
+        let mut runnable = 0usize;
+        let mut any_tx = false;
+        for core in &self.eps.cores {
+            if core.has_tx_pending() {
+                any_tx = true;
+                break;
+            }
+            if core.ready_threads() > 0 {
+                runnable += 1;
+            }
+        }
+        let bridge_pending = self
+            .eps
+            .bridge
+            .as_ref()
+            .map(|b| b.tx_backlog() > 0)
+            .unwrap_or(false);
+        if any_tx || runnable < 2 || bridge_pending || !self.fabric.is_idle() {
+            self.ff_advance(deadline);
+            self.settle_shard_energy();
+            return;
+        }
+        let mut serial_bound = self.grid_align(self.monitor.next_update().min(deadline));
+        if let Some(at) = self.faults.next_at() {
+            // Stop the window strictly before the fault's grid instant:
+            // faults apply serially, before any core crosses them.
+            let edge = self.grid_align(at);
+            serial_bound = serial_bound.min(Time::from_ps(
+                edge.as_ps().saturating_sub(self.base_period.as_ps()),
+            ));
+        }
+        if serial_bound <= immediate {
+            self.ff_advance(deadline);
+            self.settle_shard_energy();
+            return;
+        }
+        self.refresh_pair_latency();
+        let outcome = {
+            let st = self.par.as_mut().expect("parallel state initialised");
+            st.windows += 1;
+            let params = crate::shard::NegotiationParams {
+                serial_bound,
+                anchor: self.now,
+                period: self.base_period,
+                pair_latency_ps: &st.pair_latency_ps,
+            };
+            st.pool.run_negotiated(&mut self.eps.cores, &params)
+        };
+        {
+            let st = self.par.as_mut().expect("parallel state initialised");
+            st.rounds += outcome.rounds;
+        }
+        let mut target = outcome.target;
+        if outcome.drained && !outcome.emitted {
+            // The machine went quiescent *inside* the window: every core
+            // is frozen at its last transition edge (halt, or block on
+            // external input that nothing will feed — the fabric was idle
+            // on entry and nothing emitted). Commit the latest of those
+            // edges — the instant the serial engines detect quiescence —
+            // rather than the window bound, so `run_until_quiescent`
+            // stops at the same `now` as lock-step.
+            let last = self
+                .eps
+                .cores
+                .iter()
+                .map(|c| c.local_now())
+                .max()
+                .unwrap_or(self.now);
+            target = self.grid_align(last).min(target);
+        }
+        debug_assert!(target > self.now && target <= serial_bound);
+        if outcome.emitted {
+            self.reconcile(target);
+        }
+        self.now = target;
+        // Cores frozen below the commit (externally blocked, or idle the
+        // whole window) catch up analytically before the edge runs; the
+        // chunk boundaries are the committed targets, which are a pure
+        // function of the simulation, so the energy split is
+        // thread-count-independent.
+        for core in &mut self.eps.cores {
+            if !core.has_tx_pending() {
+                core.skip_idle_until(self.now);
+            }
+        }
+        self.process_edge();
+        self.settle_shard_energy();
+    }
+
+    /// One global-epoch parallel advance ([`EpochMode::Global`]): pick a
+    /// conservative epoch horizon, run every shard up to it concurrently,
+    /// reconcile any core that emitted, then process the horizon edge
+    /// serially. Falls back to [`Self::ff_advance`] whenever an epoch
+    /// cannot pay for its dispatch (pending output, immediate events, or
+    /// fewer than two runnable cores).
     ///
     /// Correctness: the horizon `target` is chosen so that no token can be
     /// *delivered* anywhere strictly before it —
@@ -687,7 +945,7 @@ impl Machine {
     ///
     /// Within the epoch cores interact with nothing, so each one can run
     /// on its shard thread with lock-step-identical results.
-    fn par_advance(&mut self, deadline: Time) {
+    fn global_epoch_advance(&mut self, deadline: Time) {
         let immediate = self.now + self.base_period;
         let mut runnable = 0usize;
         let mut any_tx = false;
@@ -750,10 +1008,32 @@ impl Machine {
             let st = self.par.as_ref().expect("parallel state initialised");
             st.pool.run_epoch(&mut self.eps.cores, target);
         }
-        if self.eps.cores.iter().any(|c| c.has_tx_pending()) {
+        let emitted = self.eps.cores.iter().any(|c| c.has_tx_pending());
+        if emitted {
             self.reconcile(target);
+        } else if self.eps.cores.iter().all(|c| c.watermark_ps() == u64::MAX) {
+            // The machine drained inside the epoch (every core halted or
+            // blocked on external input, nothing emitted, fabric idle on
+            // entry): commit the last transition edge — where lock-step
+            // detects quiescence — rather than the epoch horizon.
+            let last = self
+                .eps
+                .cores
+                .iter()
+                .map(|c| c.local_now())
+                .max()
+                .unwrap_or(self.now);
+            target = self.grid_align(last).min(target);
         }
         self.now = target;
+        // Externally-blocked cores freeze inside `run_epoch` (so the
+        // quiescence instant stays observable); charge their idle span up
+        // to the horizon here, exactly where the epoch would have.
+        for core in &mut self.eps.cores {
+            if !core.has_tx_pending() {
+                core.skip_idle_until(self.now);
+            }
+        }
         self.process_edge();
         self.settle_shard_energy();
     }
@@ -812,15 +1092,11 @@ impl Machine {
             if let Some(bridge) = self.eps.bridge.as_mut() {
                 bridge.set_now(t);
             }
-            for core in &self.eps.cores {
-                if core.has_tx_pending() && core.local_now() > t {
-                    eprintln!(
-                        "RECONCILE-AHEAD: injecting at {:?} but a tx-pending core is at {:?}",
-                        t,
-                        core.local_now()
-                    );
-                }
-            }
+            // The gate hides output from any core that stopped at a
+            // *later* emission instant, so this step injects exactly the
+            // tokens lock-step would inject at `t` — later emissions are
+            // visited by their own loop iterations.
+            self.eps.tx_gate_ps = t.as_ps();
             self.fabric.step(t, &mut self.eps);
             cursor = t;
         }
@@ -1075,6 +1351,12 @@ impl Machine {
         self.faults.counters.reroutes += 1;
         self.tracer
             .emit(self.now, TraceEvent::RouteRecompute { dead_links: dead });
+        // The negotiation's lookahead matrix mirrors the routed topology;
+        // recompute it before the next window (lazily — fault storms may
+        // reroute many times between windows).
+        if let Some(st) = self.par.as_mut() {
+            st.pair_latency_dirty = true;
+        }
         let keep = crate::resilience::largest_mutual_component(n, &alive);
         for (i, core) in self.eps.cores.iter_mut().enumerate() {
             if !keep.get(i).copied().unwrap_or(false) && !core.is_halted() {

@@ -106,6 +106,33 @@ impl GridSpec {
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
         (0..self.core_count() as u16).map(NodeId)
     }
+
+    /// Package indices in *slice-major* order: all eight packages of
+    /// slice 0 (row-major within the slice), then slice 1, and so on in
+    /// slice row-major order. Raw package indices are row-major over the
+    /// whole machine, which interleaves the slices of a multi-column
+    /// grid; dealing shards from this order instead keeps each shard's
+    /// packages inside as few slices as possible, so shard boundaries
+    /// land on the slow inter-slice FFC cables (4× the on-chip token
+    /// time, Table I) and the parallel engine's pairwise lookahead
+    /// matrix gets long horizons between shards. Identical to `0..n` on
+    /// a single-slice machine.
+    pub fn packages_slice_major(&self) -> Vec<usize> {
+        let cols = self.package_cols() as usize;
+        let mut order = Vec::with_capacity(self.package_rows() as usize * cols);
+        for sy in 0..self.slices_y as usize {
+            for sx in 0..self.slices_x as usize {
+                for row in 0..CHIP_ROWS as usize {
+                    for col in 0..CHIP_COLS as usize {
+                        let gy = sy * CHIP_ROWS as usize + row;
+                        let gx = sx * CHIP_COLS as usize + col;
+                        order.push(gy * cols + gx);
+                    }
+                }
+            }
+        }
+        order
+    }
 }
 
 /// A wired topology ready to become a fabric.
@@ -260,6 +287,29 @@ mod tests {
         assert_eq!(spec.slice_of(in_slice1), 1);
         let per_slice = spec.nodes().filter(|&n| spec.slice_of(n) == 0).count();
         assert_eq!(per_slice, CORES_PER_SLICE as usize);
+    }
+
+    #[test]
+    fn slice_major_order_groups_whole_slices() {
+        // Single slice: identity.
+        let one = GridSpec::ONE_SLICE.packages_slice_major();
+        assert_eq!(one, (0..8).collect::<Vec<_>>());
+        // 2×1 grid: each slice's eight packages are contiguous in the
+        // order, and together they permute 0..16.
+        let spec = GridSpec {
+            slices_x: 2,
+            slices_y: 1,
+        };
+        let order = spec.packages_slice_major();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+        for (slice, chunk) in order.chunks(8).enumerate() {
+            for &p in chunk {
+                let node = NodeId((p * 2) as u16);
+                assert_eq!(spec.slice_of(node), slice, "package {p}");
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! across the lattice through the token-level fabric, with the power tree
 //! watching.
 
-use swallow_board::{EngineMode, Machine, MachineConfig, RouterKind};
+use swallow_board::{EngineMode, EpochMode, Machine, MachineConfig, RouterKind};
 use swallow_isa::{Assembler, NodeId, Program};
 use swallow_sim::{Frequency, TimeDelta};
 
@@ -410,6 +410,67 @@ fn parallel_engine_is_deterministic_across_runs_and_thread_counts() {
         assert_eq!(other.2, reference.2, "output differs at {threads} threads");
         assert!((other.3 - reference.3).abs() <= 1e-9 * reference.3);
     }
+}
+
+#[test]
+fn negotiated_and_global_epoch_modes_agree_and_negotiation_engages() {
+    // A compute-bound machine (every core spinning, no communication)
+    // is exactly the shape the pairwise negotiation exists for: the
+    // negotiated engine must actually run windows (not fall back to
+    // fast-forward), and its results must match the global-epoch escape
+    // hatch bit-for-bit in time/instret/output and to 1e-9 in energy.
+    // Every core halts on the same edge, so both parallel modes must
+    // also land `run_until_quiescent` on the exact quiescence instant
+    // lock-step reports — the drained-window commit rule.
+    let busy = asm("
+            ldc   r0, 0
+            ldc   r1, 200
+        lp: add   r0, r0, 1
+            sub   r1, r1, 1
+            bt    r1, lp
+            print r0
+            freet
+    ");
+    let run = |engine: EngineMode, mode: EpochMode| {
+        let mut machine = Machine::new(MachineConfig {
+            engine,
+            epoch_mode: mode,
+            ..MachineConfig::one_slice()
+        });
+        machine.load_program_all(&busy).expect("fits");
+        assert!(machine.run_until_quiescent(TimeDelta::from_us(50)));
+        let outputs: Vec<String> = machine
+            .nodes()
+            .map(|n| machine.core(n).output().to_owned())
+            .collect();
+        (
+            machine.now(),
+            machine.total_instret(),
+            outputs,
+            machine.machine_ledger().total().as_joules(),
+            machine.negotiation_stats(),
+        )
+    };
+    let parallel = EngineMode::Parallel { threads: 4 };
+    let reference = run(EngineMode::LockStep, EpochMode::Negotiated);
+    let neg = run(parallel, EpochMode::Negotiated);
+    let glob = run(parallel, EpochMode::Global);
+    let (windows, rounds) = neg.4;
+    assert!(windows > 0, "negotiation must engage on busy cores");
+    assert!(rounds >= windows, "each window runs at least one round");
+    assert_eq!(glob.4, (0, 0), "global mode must not negotiate");
+    assert_eq!(neg.0, glob.0, "final time differs between epoch modes");
+    assert_eq!(neg.1, glob.1, "instret differs between epoch modes");
+    assert_eq!(neg.2, glob.2, "outputs differ between epoch modes");
+    assert!((neg.3 - glob.3).abs() <= 1e-9 * glob.3.max(f64::MIN_POSITIVE));
+    assert_eq!(neg.0, reference.0, "parallel must stop at lock-step's t_q");
+    assert_eq!(neg.1, reference.1, "instret differs from lock-step");
+    assert_eq!(neg.2, reference.2, "outputs differ from lock-step");
+    assert!((neg.3 - reference.3).abs() <= 1e-9 * reference.3.max(f64::MIN_POSITIVE));
+    // Determinism: repeat runs of the negotiated mode are bit-identical,
+    // energy included.
+    let again = run(parallel, EpochMode::Negotiated);
+    assert_eq!(neg, again, "negotiated runs must be bit-identical");
 }
 
 #[test]

@@ -61,7 +61,9 @@ pub use swallow_sim as sim;
 pub use swallow_xcore as xcore;
 
 // The handful of names almost every user touches.
-pub use swallow_board::{EngineMode, GridSpec, Machine, MachineConfig, RouterKind, SupplyRow};
+pub use swallow_board::{
+    EngineMode, EpochMode, GridSpec, Machine, MachineConfig, RouterKind, SupplyRow,
+};
 pub use swallow_energy::{Energy, Power};
 pub use swallow_faults::{FaultCounters, FaultEvent, FaultKind, FaultPlan, RandomFaults};
 pub use swallow_isa::{AsmError, Assembler, NodeId, Program, ResType, ResourceId};

@@ -117,6 +117,15 @@ impl SystemBuilder {
         self.engine(swallow_board::EngineMode::Parallel { threads })
     }
 
+    /// Selects the parallel engine's epoch-synchronisation strategy:
+    /// pairwise watermark negotiation (the default) or the global
+    /// barrier-per-epoch escape hatch. Also settable machine-wide via
+    /// `SWALLOW_EPOCH_MODE=global`.
+    pub fn epoch_mode(mut self, mode: swallow_board::EpochMode) -> Self {
+        self.config.epoch_mode = mode;
+        self
+    }
+
     /// Attaches typed trace rings (default capacity) to every core, the
     /// fabric and the power monitor. Off by default — and when off, the
     /// trace hooks compile down to one branch per event with no

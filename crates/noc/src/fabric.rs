@@ -366,6 +366,67 @@ impl Fabric {
         self.links.iter().map(|l| l.params.token_time).min()
     }
 
+    /// All-pairs minimum routed token latency between switches, in
+    /// picoseconds: entry `i * node_count + j` is the smallest sum of
+    /// per-hop token times over any path of *live* (not-down) links from
+    /// `i` to `j`, `0` on the diagonal and `u64::MAX` when no live path
+    /// exists. This refines [`Fabric::min_cross_shard_latency`] per pair:
+    /// a token leaving `i` cannot land at `j` earlier than `dist(i, j)`
+    /// after its emission, whatever route the router picks, because every
+    /// hop costs at least its link's token time and forwarding only adds
+    /// delay. Off-board FFC hops (4× the on-chip token time, Table I)
+    /// therefore give distant pairs far longer conservative horizons than
+    /// the single global minimum.
+    ///
+    /// The matrix is a property of the live topology only — it must be
+    /// recomputed whenever a link goes down or comes back up (fault
+    /// injection, retry escalation, recovery), alongside the route
+    /// recompute the board layer already performs. A *stale-down* matrix
+    /// (computed before a link died) is still conservative — removing a
+    /// link can only lengthen real latencies — but a stale-up one is not.
+    ///
+    /// Cost: one Dijkstra per source over the live adjacency, so roughly
+    /// `O(nodes · links · log nodes)`; intended for topology-change
+    /// cadence, not per-epoch use.
+    pub fn min_latency_matrix_ps(&self) -> Vec<u64> {
+        let n = self.nodes;
+        // Live adjacency, cheapest parallel link per (from, to) pair.
+        let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+        for link in &self.links {
+            if link.down {
+                continue;
+            }
+            let from = link.from.raw() as usize;
+            let to = link.to.raw() as u32;
+            let w = link.params.token_time.as_ps();
+            match adj[from].iter_mut().find(|(t, _)| *t == to) {
+                Some((_, best)) => *best = (*best).min(w),
+                None => adj[from].push((to, w)),
+            }
+        }
+        let mut dist = vec![u64::MAX; n * n];
+        let mut heap = std::collections::BinaryHeap::new();
+        for src in 0..n {
+            let row = &mut dist[src * n..(src + 1) * n];
+            row[src] = 0;
+            heap.clear();
+            heap.push(std::cmp::Reverse((0u64, src as u32)));
+            while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+                if d > row[u as usize] {
+                    continue;
+                }
+                for &(v, w) in &adj[u as usize] {
+                    let nd = d + w;
+                    if nd < row[v as usize] {
+                        row[v as usize] = nd;
+                        heap.push(std::cmp::Reverse((nd, v)));
+                    }
+                }
+            }
+        }
+        dist
+    }
+
     /// The earliest instant at which the fabric itself has work to do,
     /// given no further core activity: `Some(now)` when tokens are
     /// already deliverable or queued at a switch, the earliest wire /

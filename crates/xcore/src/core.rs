@@ -571,6 +571,19 @@ impl Core {
         Some(wake.align_up_to(self.now, self.period))
     }
 
+    /// This core's negotiation watermark: [`Core::next_interesting_at`]
+    /// collapsed to a saturating picosecond count, `u64::MAX` when the
+    /// core is halted or blocked with no scheduled wake. The parallel
+    /// engine's pairwise negotiation publishes this as the lower bound on
+    /// when the core can next *do* anything — in particular emit a token —
+    /// so a peer shard `L` of routed latency away can safely run to
+    /// `watermark + L` without synchronising (see `swallow-board`'s
+    /// shard module).
+    #[inline]
+    pub fn watermark_ps(&self) -> u64 {
+        self.next_interesting_at().map_or(u64::MAX, |t| t.as_ps())
+    }
+
     /// Fast-forwards over clock edges that provably do nothing: advances
     /// `now`/`cycle`/the issue wheel over every edge strictly before
     /// `limit` (capped at the earliest wake instant) and charges the
@@ -657,6 +670,16 @@ impl Core {
         );
         while !self.halted && self.next_tick_at() <= until {
             if self.rotation.is_empty() {
+                if self.sleepers == 0 {
+                    // Blocked on external input only: freeze at the
+                    // transition edge instead of idle-advancing. The
+                    // machine catches the core up (charging the same
+                    // idle energy) once the epoch's end instant is
+                    // committed, which keeps the quiescence instant —
+                    // the last transition edge — observable to the
+                    // engine instead of smeared up to the epoch bound.
+                    return false;
+                }
                 // No ready thread: skip the provably idle edges in one
                 // analytic step, then process the wake edge (if any is
                 // due within the epoch) below.

@@ -316,6 +316,39 @@ fn partition_quarantines_the_cut_off_core() {
 }
 
 #[test]
+fn interslice_cable_fault_reroutes_identically_on_a_grid() {
+    // A 2×1-slice machine: pipeline stages 0..6 span both slices, so
+    // stage traffic rides an inter-slice FFC cable. Killing one cable
+    // mid-run forces a route recompute — and, under the negotiated
+    // parallel engine, a refresh of the shard-pair lookahead matrix —
+    // while cross-slice traffic is in flight; restoring the cable
+    // recomputes both again. Every engine must agree on the timeline.
+    let probe = SystemBuilder::new().slices(2, 1).build().expect("builds");
+    let spec = probe.machine().spec();
+    let cable = probe
+        .machine()
+        .link_descs()
+        .iter()
+        .find(|d| spec.slice_of(d.from) != spec.slice_of(d.to))
+        .expect("a 2x1 grid has inter-slice cables")
+        .id;
+    let plan = FaultPlan::new()
+        .link_down(t(2), cable)
+        .link_up(t(10), cable);
+    let (fp, _) = run_differential(
+        TimeDelta::from_ms(20),
+        || SystemBuilder::new().slices(2, 1).faults(plan.clone()),
+        load_pipeline,
+    );
+    assert!(fp.quiescent, "the spare cabling must carry the pipeline");
+    assert_eq!(fp.outputs[5].trim(), pipeline::checksum(&PIPE).to_string());
+    assert_eq!(fp.faults.link_downs, 1);
+    assert_eq!(fp.faults.link_ups, 1);
+    assert!(fp.faults.reroutes >= 2, "down and up each recompute routes");
+    assert_eq!(fp.faults.quarantined_cores, 0);
+}
+
+#[test]
 fn energy_conservation_holds_with_faults_under_every_engine() {
     // With faults on (including retransmit and drop energy charged at
     // the links), the metered supply rows must still integrate to the
