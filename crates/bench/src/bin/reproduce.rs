@@ -41,6 +41,20 @@
 //! and recovery counters are reported. Every instrumented run checks
 //! that the integrated supply series reproduces the energy-ledger total
 //! and exits non-zero when conservation fails.
+//!
+//! Deterministic checkpointing (`SWLWSNAP` format, DESIGN.md §3.13):
+//!
+//! ```text
+//! reproduce --snapshot-at 3000000 --snapshot-out warm.snap   # write at t = 3 µs
+//! reproduce --restore warm.snap                              # continue bit-identically
+//! reproduce --restore warm.snap --engine parallel --threads 4
+//! ```
+//!
+//! `--snapshot-at <ps>` runs the instrumented pipeline to the given
+//! simulated instant and serializes the whole machine; `--restore
+//! <file>` resumes one (under any engine — the continuation is
+//! bit-identical regardless), and performs the same always-on
+//! conservation check as a cold run.
 
 use std::path::Path;
 use std::time::Instant;
@@ -78,6 +92,12 @@ struct EngineOverride {
     trace: Option<String>,
     metrics: Option<String>,
     faults: Option<FaultPlan>,
+    /// Write a `SWLWSNAP` snapshot at this simulated instant (ps).
+    snapshot_at: Option<u64>,
+    /// Snapshot destination (default `swallow.snap`).
+    snapshot_out: String,
+    /// Resume an instrumented run from a snapshot file.
+    restore: Option<String>,
 }
 
 /// Pulls `--engine`, `--threads` and `--grid` (each `--flag value` or
@@ -129,12 +149,21 @@ fn parse_engine_override(args: &mut Vec<String>) -> EngineOverride {
     let metrics = take("--metrics");
     let faults = take("--faults")
         .map(|spec| FaultPlan::parse(&spec).unwrap_or_else(|e| die(&format!("--faults: {e}"))));
+    let snapshot_at = take("--snapshot-at").map(|ps| {
+        ps.parse()
+            .unwrap_or_else(|_| die("--snapshot-at wants a picosecond count"))
+    });
+    let snapshot_out = take("--snapshot-out").unwrap_or_else(|| "swallow.snap".to_owned());
+    let restore = take("--restore");
     EngineOverride {
         engine,
         grid,
         trace,
         metrics,
         faults,
+        snapshot_at,
+        snapshot_out,
+        restore,
     }
 }
 
@@ -142,26 +171,71 @@ fn parse_engine_override(args: &mut Vec<String>) -> EngineOverride {
 /// configured grid with the observability layer on, faults replayed, and
 /// the results exported to the requested files.
 fn run_observability(overrides: &EngineOverride) {
-    let engine = overrides.engine.unwrap_or(EngineMode::FastForward);
-    let (w, h) = overrides.grid;
-    let mut builder = SystemBuilder::new().slices(w, h).engine(engine).metrics();
-    if overrides.trace.is_some() {
-        builder = builder.tracing();
-    }
-    if let Some(plan) = overrides.faults.clone() {
-        builder = builder.faults(plan);
-    }
-    let mut system = builder.build().unwrap_or_else(|e| die(&e.to_string()));
-    let spec = PipelineSpec {
-        stages: 6,
-        items: 24,
-        work_per_item: 3,
+    let mut system = match overrides.restore.as_deref() {
+        // Warm start: the snapshot carries the whole machine — grid,
+        // engine, fault plan, metrics series — so only an explicit
+        // `--engine` override applies on top.
+        Some(path) => {
+            let bytes =
+                std::fs::read(path).unwrap_or_else(|e| die(&format!("could not read {path}: {e}")));
+            let mut system = swallow::SwallowSystem::restore(&bytes)
+                .unwrap_or_else(|e| die(&format!("could not restore {path}: {e}")));
+            if let Some(engine) = overrides.engine {
+                system.machine_mut().set_engine(engine);
+            }
+            println!(
+                "restored {path} at t = {} ps ({} cores, {:?})",
+                system.now().as_ps(),
+                system.core_count(),
+                system.machine().engine()
+            );
+            system
+        }
+        None => {
+            let engine = overrides.engine.unwrap_or(EngineMode::FastForward);
+            let (w, h) = overrides.grid;
+            let mut builder = SystemBuilder::new().slices(w, h).engine(engine).metrics();
+            if overrides.trace.is_some() {
+                builder = builder.tracing();
+            }
+            if let Some(plan) = overrides.faults.clone() {
+                builder = builder.faults(plan);
+            }
+            let mut system = builder.build().unwrap_or_else(|e| die(&e.to_string()));
+            let spec = PipelineSpec {
+                stages: 6,
+                items: 24,
+                work_per_item: 3,
+            };
+            let placement = pipeline::generate(&spec, system.machine().spec())
+                .unwrap_or_else(|e| die(&format!("pipeline generation failed: {e}")));
+            placement
+                .apply(&mut system)
+                .unwrap_or_else(|e| die(&format!("pipeline load failed: {e}")));
+            system
+        }
     };
-    let placement = pipeline::generate(&spec, system.machine().spec())
-        .unwrap_or_else(|e| die(&format!("pipeline generation failed: {e}")));
-    placement
-        .apply(&mut system)
-        .unwrap_or_else(|e| die(&format!("pipeline load failed: {e}")));
+    if let Some(at_ps) = overrides.snapshot_at {
+        let now_ps = system.now().as_ps();
+        if at_ps > now_ps {
+            system.run_for(TimeDelta::from_ps(at_ps - now_ps));
+        }
+        let image = system.snapshot();
+        let path = &overrides.snapshot_out;
+        match std::fs::write(path, &image) {
+            Ok(()) => println!(
+                "  wrote {path} ({} bytes at t = {} ps)",
+                image.len(),
+                system.now().as_ps()
+            ),
+            Err(e) => die(&format!("could not write {path}: {e}")),
+        }
+    }
+    let (w, h) = {
+        let spec = system.machine().spec();
+        (spec.slices_x, spec.slices_y)
+    };
+    let engine = system.machine().engine();
     let quiescent = system.run_until_quiescent(TimeDelta::from_ms(20));
     system.flush_metrics();
 
@@ -185,15 +259,22 @@ fn run_observability(overrides: &EngineOverride) {
             Err(e) => die(&format!("could not write {path}: {e}")),
         }
     }
-    // The conservation gate runs on every instrumented run, not only
-    // when a CSV was requested: the integrated supply series must
-    // reproduce the energy-ledger total, faults or no faults.
-    let metered = system.machine().metrics().total_energy().as_joules();
-    let ledger = system.machine().machine_ledger().total().as_joules();
-    let rel = (metered - ledger).abs() / ledger.abs().max(f64::MIN_POSITIVE);
-    println!("  conservation: integrated {metered:.9e} J vs ledger {ledger:.9e} J (rel {rel:.2e})");
-    if rel > 1e-9 {
-        die("metered supply series does not integrate back to the energy ledger");
+    // The conservation gate runs on every instrumented run — warm
+    // starts from a snapshot included, since the snapshot carries the
+    // metrics series: the integrated supply series must reproduce the
+    // energy-ledger total, faults or no faults, restore or no restore.
+    if system.machine().metrics().is_enabled() {
+        let metered = system.machine().metrics().total_energy().as_joules();
+        let ledger = system.machine().machine_ledger().total().as_joules();
+        let rel = (metered - ledger).abs() / ledger.abs().max(f64::MIN_POSITIVE);
+        println!(
+            "  conservation: integrated {metered:.9e} J vs ledger {ledger:.9e} J (rel {rel:.2e})"
+        );
+        if rel > 1e-9 {
+            die("metered supply series does not integrate back to the energy ledger");
+        }
+    } else {
+        println!("  conservation: skipped (snapshot was taken without the metrics hub enabled)");
     }
 }
 
@@ -205,7 +286,12 @@ fn die(msg: &str) -> ! {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let overrides = parse_engine_override(&mut args);
-    if overrides.trace.is_some() || overrides.metrics.is_some() || overrides.faults.is_some() {
+    if overrides.trace.is_some()
+        || overrides.metrics.is_some()
+        || overrides.faults.is_some()
+        || overrides.snapshot_at.is_some()
+        || overrides.restore.is_some()
+    {
         run_observability(&overrides);
         return;
     }

@@ -6,10 +6,11 @@
 //! data — the pacing modelled here — and is how programs and data enter
 //! and leave a physical Swallow machine.
 
+use crate::snapshot;
 use std::collections::VecDeque;
 use swallow_isa::token::word_to_tokens;
 use swallow_isa::{ControlToken, NodeId, ResType, ResourceId, Token};
-use swallow_sim::{Time, TimeDelta};
+use swallow_sim::{ByteReader, ByteWriter, CodecError, Time, TimeDelta};
 
 /// Bridge throughput cap per direction (bits per second).
 pub const BRIDGE_RATE_BPS: u64 = 80_000_000;
@@ -125,6 +126,38 @@ impl EthernetBridge {
 
     pub(crate) fn ep_deliver(&mut self, token: Token) {
         self.rx.push(token);
+    }
+
+    // Snapshot codec (the node id is topology-derived, not serialized).
+
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        snapshot::write_time(w, self.now);
+        snapshot::write_time(w, self.next_tx);
+        w.u64(self.tx.len() as u64);
+        for &(dest, token) in &self.tx {
+            w.u32(dest.raw());
+            snapshot::write_token(w, token);
+        }
+        w.u64(self.rx.len() as u64);
+        for &token in &self.rx {
+            snapshot::write_token(w, token);
+        }
+    }
+
+    pub(crate) fn restore_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.now = snapshot::read_time(r)?;
+        self.next_tx = snapshot::read_time(r)?;
+        self.tx.clear();
+        for _ in 0..r.len_prefixed(6)? {
+            let dest = ResourceId::from_raw(r.u32()?);
+            let token = snapshot::read_token(r)?;
+            self.tx.push_back((dest, token));
+        }
+        self.rx.clear();
+        for _ in 0..r.len_prefixed(2)? {
+            self.rx.push(snapshot::read_token(r)?);
+        }
+        Ok(())
     }
 }
 

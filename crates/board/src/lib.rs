@@ -35,6 +35,7 @@ pub mod metrics;
 pub mod power;
 mod resilience;
 pub mod shard;
+mod snapshot;
 pub mod topology;
 
 pub use ethernet::EthernetBridge;

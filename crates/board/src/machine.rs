@@ -32,13 +32,17 @@ use crate::metrics::MetricsHub;
 use crate::power::{PowerMonitor, DEFAULT_MONITOR_WINDOW};
 use crate::resilience::FaultEngine;
 use crate::shard::{EpochPool, ShardPlan};
+use crate::snapshot;
 use crate::topology::{build_topology, GridSpec, TopologyOptions};
 use std::fmt;
 use swallow_energy::{DvfsTable, EnergyLedger, NodeCategory};
 use swallow_faults::{FaultCounters, FaultKind, FaultPlan};
 use swallow_isa::{NodeId, Program, ResourceId, Token};
 use swallow_noc::{CoreEndpoints, Fabric, LinkDesc, LinkId, TableRouter};
-use swallow_sim::{Frequency, Time, TimeDelta, TraceEvent, TraceLog, TraceSink, Tracer};
+use swallow_sim::{
+    ByteReader, ByteWriter, CodecError, Frequency, Time, TimeDelta, TraceEvent, TraceLog,
+    TraceSink, Tracer,
+};
 use swallow_xcore::{Core, CoreConfig, LoadError};
 
 /// Routing strategy selection.
@@ -304,6 +308,10 @@ struct ParState {
 /// assert_eq!(machine.core_count(), 16);
 /// ```
 pub struct Machine {
+    /// The configuration the machine was built from, kept verbatim: a
+    /// snapshot embeds it so [`Machine::restore`] can rebuild the same
+    /// deterministic topology before overlaying the mutable state.
+    config: MachineConfig,
     spec: GridSpec,
     eps: Endpoints,
     fabric: Fabric,
@@ -339,6 +347,7 @@ pub struct Machine {
 impl Machine {
     /// Builds and wires a machine.
     pub fn new(config: MachineConfig) -> Self {
+        let saved_config = config.clone();
         let topo = build_topology(
             config.grid,
             &TopologyOptions {
@@ -375,6 +384,7 @@ impl Machine {
         let base_period = config.frequency.period();
         let lookahead = fabric.min_cross_shard_latency();
         let mut machine = Machine {
+            config: saved_config,
             spec: config.grid,
             eps: Endpoints {
                 cores,
@@ -1515,6 +1525,390 @@ impl Machine {
     pub fn parts(&self) -> (&[Core], &Fabric, &PowerMonitor) {
         (&self.eps.cores, &self.fabric, &self.monitor)
     }
+
+    /// The configuration the machine was built from.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    // --- snapshot / restore -------------------------------------------------
+
+    /// Serializes the complete architectural state of the machine into
+    /// the versioned `SWLWSNAP` binary format (DESIGN.md §3.13): a
+    /// magic-plus-version header followed by checksummed sections —
+    /// CONF (the build configuration, fault plan included), MACH
+    /// (clock, engine), one CORE per core, FABR (links, in-flight
+    /// tokens, sticky flows), BRDG (the Ethernet bridge, when fitted),
+    /// PMON, METR and FALT in that order.
+    ///
+    /// Call between engine advances (any instant `run_for` or
+    /// `run_until_quiescent` can stop at). Trace rings and ADC boards
+    /// are observational and not serialized; everything architectural —
+    /// including mid-flight fault windows and an active brownout — is.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.raw(&SNAPSHOT_MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        w.begin_section(*b"CONF");
+        write_config(&mut w, &self.config);
+        w.end_section();
+        w.begin_section(*b"MACH");
+        snapshot::write_time(&mut w, self.now);
+        w.u64(self.faulted_cables as u64);
+        match self.engine {
+            EngineMode::FastForward => {
+                w.u8(0);
+                w.u64(0);
+            }
+            EngineMode::LockStep => {
+                w.u8(1);
+                w.u64(0);
+            }
+            EngineMode::Parallel { threads } => {
+                w.u8(2);
+                w.u64(threads as u64);
+            }
+        }
+        w.u8(match self.epoch_mode {
+            EpochMode::Negotiated => 0,
+            EpochMode::Global => 1,
+        });
+        w.end_section();
+        for core in &self.eps.cores {
+            w.begin_section(*b"CORE");
+            core.encode_state(&mut w);
+            w.end_section();
+        }
+        w.begin_section(*b"FABR");
+        self.fabric.encode_state(&mut w);
+        w.end_section();
+        w.begin_section(*b"BRDG");
+        match &self.eps.bridge {
+            Some(bridge) => {
+                w.bool(true);
+                bridge.encode_state(&mut w);
+            }
+            None => w.bool(false),
+        }
+        w.end_section();
+        w.begin_section(*b"PMON");
+        self.monitor.encode_state(&mut w);
+        w.end_section();
+        w.begin_section(*b"METR");
+        self.metrics.encode_state(&mut w);
+        w.end_section();
+        w.begin_section(*b"FALT");
+        self.faults.encode_state(&mut w);
+        w.end_section();
+        w.finish()
+    }
+
+    /// Rebuilds a machine from a [`Machine::snapshot`] image. The
+    /// continuation is bit-identical to the original run under every
+    /// engine: the embedded configuration deterministically rebuilds the
+    /// topology (assembly cable faults included), the sections overlay
+    /// every piece of mutable architectural state, and derived state —
+    /// base period, recovery routing, decode caches, the fast-forward
+    /// dense hint — is recomputed, never trusted from the image.
+    ///
+    /// # Errors
+    ///
+    /// Strict-reject decoding: any truncation, checksum mismatch,
+    /// unknown version or internally inconsistent field yields a
+    /// [`CodecError`] (never a panic, never a half-restored machine).
+    pub fn restore(bytes: &[u8]) -> Result<Machine, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        if r.take(SNAPSHOT_MAGIC.len())? != SNAPSHOT_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(CodecError::BadVersion { found: version });
+        }
+        let mut conf = r.section(*b"CONF")?;
+        let config = read_config(&mut conf)?;
+        conf.expect_end()?;
+        let mut machine = Machine::new(config);
+        let mut mach = r.section(*b"MACH")?;
+        machine.now = snapshot::read_time(&mut mach)?;
+        if mach.u64()? != machine.faulted_cables as u64 {
+            return Err(CodecError::Invalid("assembly-fault cable count mismatch"));
+        }
+        let engine_tag = mach.u8()?;
+        let threads = mach.u64()?;
+        machine.engine = match engine_tag {
+            0 => EngineMode::FastForward,
+            1 => EngineMode::LockStep,
+            2 => EngineMode::Parallel {
+                threads: usize::try_from(threads)
+                    .map_err(|_| CodecError::Invalid("thread count out of range"))?,
+            },
+            _ => return Err(CodecError::Invalid("unknown engine tag")),
+        };
+        machine.epoch_mode = match mach.u8()? {
+            0 => EpochMode::Negotiated,
+            1 => EpochMode::Global,
+            _ => return Err(CodecError::Invalid("unknown epoch-mode tag")),
+        };
+        mach.expect_end()?;
+        for core in &mut machine.eps.cores {
+            let mut sec = r.section(*b"CORE")?;
+            core.restore_state(&mut sec)?;
+            sec.expect_end()?;
+        }
+        let mut fabr = r.section(*b"FABR")?;
+        machine.fabric.restore_state(&mut fabr)?;
+        fabr.expect_end()?;
+        let mut brdg = r.section(*b"BRDG")?;
+        match (machine.eps.bridge.as_mut(), brdg.bool()?) {
+            (Some(bridge), true) => bridge.restore_state(&mut brdg)?,
+            (None, false) => {}
+            _ => return Err(CodecError::Invalid("bridge presence mismatch")),
+        }
+        brdg.expect_end()?;
+        let mut pmon = r.section(*b"PMON")?;
+        machine.monitor.restore_state(&mut pmon)?;
+        pmon.expect_end()?;
+        let mut metr = r.section(*b"METR")?;
+        machine.metrics.restore_state(&mut metr)?;
+        metr.expect_end()?;
+        let mut falt = r.section(*b"FALT")?;
+        machine.faults.restore_state(&mut falt)?;
+        falt.expect_end()?;
+        r.expect_end()?;
+        if machine.faults.derated && machine.faults.nominal.len() != machine.core_count() {
+            return Err(CodecError::Invalid("brownout state core count mismatch"));
+        }
+        // Derived state, recomputed from what was just restored. The
+        // grid follows the (possibly derated) core clocks; recovery
+        // routing is always a shortest-path table over the surviving
+        // links, exactly as `reroute_and_quarantine` left it — the
+        // original router kind only persists on machines that never
+        // rerouted.
+        machine.recompute_base_period();
+        if machine.faults.counters.reroutes > 0 {
+            let alive: Vec<LinkDesc> = machine
+                .descs
+                .iter()
+                .copied()
+                .filter(|d| !machine.fabric.link_is_down(d.id))
+                .collect();
+            let n = machine.fabric.node_count();
+            machine
+                .fabric
+                .set_router(Box::new(TableRouter::shortest_paths(n, &alive)));
+        }
+        let immediate = machine.now + machine.base_period;
+        machine.dense = machine
+            .eps
+            .cores
+            .iter()
+            .any(|c| c.ready_threads() > 0 && c.next_tick_at() <= immediate);
+        Ok(machine)
+    }
+}
+
+/// Leading bytes of every snapshot image.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SWLWSNAP";
+/// Format version written (and the only one accepted) by this build.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+fn write_fault_kind(w: &mut ByteWriter, kind: FaultKind) {
+    match kind {
+        FaultKind::LinkDown(link) => {
+            w.u8(0);
+            w.u32(link.raw());
+        }
+        FaultKind::LinkUp(link) => {
+            w.u8(1);
+            w.u32(link.raw());
+        }
+        FaultKind::LinkCorrupt { link, until } => {
+            w.u8(2);
+            w.u32(link.raw());
+            snapshot::write_time(w, until);
+        }
+        FaultKind::LinkDrop { link, until } => {
+            w.u8(3);
+            w.u32(link.raw());
+            snapshot::write_time(w, until);
+        }
+        FaultKind::CoreStall { core, until } => {
+            w.u8(4);
+            w.u16(core.raw());
+            snapshot::write_time(w, until);
+        }
+        FaultKind::CoreKill(core) => {
+            w.u8(5);
+            w.u16(core.raw());
+        }
+        FaultKind::Brownout { milli, until } => {
+            w.u8(6);
+            w.u32(milli);
+            snapshot::write_time(w, until);
+        }
+    }
+}
+
+fn read_fault_kind(r: &mut ByteReader<'_>) -> Result<FaultKind, CodecError> {
+    Ok(match r.u8()? {
+        0 => FaultKind::LinkDown(LinkId::from_raw(r.u32()?)),
+        1 => FaultKind::LinkUp(LinkId::from_raw(r.u32()?)),
+        2 => FaultKind::LinkCorrupt {
+            link: LinkId::from_raw(r.u32()?),
+            until: snapshot::read_time(r)?,
+        },
+        3 => FaultKind::LinkDrop {
+            link: LinkId::from_raw(r.u32()?),
+            until: snapshot::read_time(r)?,
+        },
+        4 => FaultKind::CoreStall {
+            core: NodeId(r.u16()?),
+            until: snapshot::read_time(r)?,
+        },
+        5 => FaultKind::CoreKill(NodeId(r.u16()?)),
+        6 => {
+            let milli = r.u32()?;
+            if !(1..=1000).contains(&milli) {
+                return Err(CodecError::Invalid("brownout scale out of range"));
+            }
+            FaultKind::Brownout {
+                milli,
+                until: snapshot::read_time(r)?,
+            }
+        }
+        _ => return Err(CodecError::Invalid("unknown fault-kind tag")),
+    })
+}
+
+fn write_config(w: &mut ByteWriter, c: &MachineConfig) {
+    w.u16(c.grid.slices_x);
+    w.u16(c.grid.slices_y);
+    w.u64(c.frequency.as_hz());
+    w.u8(match c.router {
+        RouterKind::VerticalFirst => 0,
+        RouterKind::ShortestPaths => 1,
+    });
+    w.bool(c.bridge);
+    w.u32(c.internal_link_pairs as u32);
+    w.f64_bits(c.ffc_fault_rate);
+    w.u64(c.fault_seed);
+    snapshot::write_delta(w, c.monitor_window);
+    match c.engine {
+        EngineMode::FastForward => {
+            w.u8(0);
+            w.u64(0);
+        }
+        EngineMode::LockStep => {
+            w.u8(1);
+            w.u64(0);
+        }
+        EngineMode::Parallel { threads } => {
+            w.u8(2);
+            w.u64(threads as u64);
+        }
+    }
+    match c.trace_capacity {
+        None => w.u8(0),
+        Some(n) => {
+            w.u8(1);
+            w.u64(n as u64);
+        }
+    }
+    w.bool(c.metrics);
+    w.bool(c.decode_cache);
+    w.u8(match c.epoch_mode {
+        EpochMode::Negotiated => 0,
+        EpochMode::Global => 1,
+    });
+    w.u64(c.faults.len() as u64);
+    for ev in c.faults.events() {
+        snapshot::write_time(w, ev.at);
+        write_fault_kind(w, ev.kind);
+    }
+}
+
+fn read_config(r: &mut ByteReader<'_>) -> Result<MachineConfig, CodecError> {
+    let slices_x = r.u16()?;
+    let slices_y = r.u16()?;
+    let slice_count = u32::from(slices_x) * u32::from(slices_y);
+    if !(1..=4096).contains(&slice_count) {
+        return Err(CodecError::Invalid("grid size out of range"));
+    }
+    let hz = r.u64()?;
+    if hz == 0 {
+        return Err(CodecError::Invalid("zero base frequency"));
+    }
+    let router = match r.u8()? {
+        0 => RouterKind::VerticalFirst,
+        1 => RouterKind::ShortestPaths,
+        _ => return Err(CodecError::Invalid("unknown router tag")),
+    };
+    let bridge = r.bool()?;
+    let internal_link_pairs = r.u32()?;
+    if !(1..=32).contains(&internal_link_pairs) {
+        return Err(CodecError::Invalid("internal link pairs out of range"));
+    }
+    let ffc_fault_rate = r.f64_bits()?;
+    if !ffc_fault_rate.is_finite() || !(0.0..=1.0).contains(&ffc_fault_rate) {
+        return Err(CodecError::Invalid("cable fault rate out of range"));
+    }
+    let fault_seed = r.u64()?;
+    let monitor_window = snapshot::read_delta(r)?;
+    if monitor_window.as_ps() == 0 {
+        return Err(CodecError::Invalid("zero monitor window"));
+    }
+    let engine_tag = r.u8()?;
+    let threads = r.u64()?;
+    let engine = match engine_tag {
+        0 => EngineMode::FastForward,
+        1 => EngineMode::LockStep,
+        2 => EngineMode::Parallel {
+            threads: usize::try_from(threads)
+                .map_err(|_| CodecError::Invalid("thread count out of range"))?,
+        },
+        _ => return Err(CodecError::Invalid("unknown engine tag")),
+    };
+    let trace_capacity = match r.u8()? {
+        0 => None,
+        1 => {
+            let n = r.u64()?;
+            if n > 1 << 24 {
+                return Err(CodecError::Invalid("trace capacity out of range"));
+            }
+            Some(n as usize)
+        }
+        _ => return Err(CodecError::Invalid("unknown trace-capacity tag")),
+    };
+    let metrics = r.bool()?;
+    let decode_cache = r.bool()?;
+    let epoch_mode = match r.u8()? {
+        0 => EpochMode::Negotiated,
+        1 => EpochMode::Global,
+        _ => return Err(CodecError::Invalid("unknown epoch-mode tag")),
+    };
+    let mut faults = FaultPlan::new();
+    for _ in 0..r.len_prefixed(13)? {
+        let at = snapshot::read_time(r)?;
+        let kind = read_fault_kind(r)?;
+        faults.push(at, kind);
+    }
+    Ok(MachineConfig {
+        grid: GridSpec { slices_x, slices_y },
+        frequency: Frequency::from_hz(hz),
+        router,
+        bridge,
+        internal_link_pairs: internal_link_pairs as usize,
+        ffc_fault_rate,
+        fault_seed,
+        monitor_window,
+        engine,
+        trace_capacity,
+        metrics,
+        faults,
+        decode_cache,
+        epoch_mode,
+    })
 }
 
 impl fmt::Debug for Machine {

@@ -16,11 +16,12 @@
 //! so enabling metrics can never perturb a run.
 
 use crate::power::{PowerMonitor, IO_RAIL, RAILS};
+use crate::snapshot;
 use crate::topology::GridSpec;
 use swallow_energy::Energy;
 use swallow_faults::FaultCounters;
 use swallow_noc::{Direction, Fabric};
-use swallow_sim::{Time, TimeDelta};
+use swallow_sim::{ByteReader, ByteWriter, CodecError, Time, TimeDelta};
 use swallow_xcore::Core;
 
 /// One monitor-window measurement of one slice: the energy each supply
@@ -171,6 +172,71 @@ impl MetricsHub {
             });
         }
         self.last_sample_at = now;
+    }
+
+    // Snapshot codec. The per-slice vector lengths follow from the grid
+    // spec (already restored via the machine's CONF section); only the
+    // row count is dynamic.
+
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.bool(self.enabled);
+        snapshot::write_time(w, self.last_sample_at);
+        for rails in &self.last_rail {
+            for &e in rails {
+                snapshot::write_energy(w, e);
+            }
+        }
+        for &e in &self.last_loss {
+            snapshot::write_energy(w, e);
+        }
+        w.u64(self.rows.len() as u64);
+        for row in &self.rows {
+            snapshot::write_time(w, row.at);
+            snapshot::write_delta(w, row.span);
+            w.u16(row.slice);
+            for &e in &row.rails {
+                snapshot::write_energy(w, e);
+            }
+            snapshot::write_energy(w, row.loss);
+        }
+        snapshot::write_counters(w, &self.fault_counters);
+    }
+
+    pub(crate) fn restore_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.enabled = r.bool()?;
+        self.last_sample_at = snapshot::read_time(r)?;
+        for rails in &mut self.last_rail {
+            for e in rails.iter_mut() {
+                *e = snapshot::read_energy(r)?;
+            }
+        }
+        for e in &mut self.last_loss {
+            *e = snapshot::read_energy(r)?;
+        }
+        let slices = self.spec.slice_count();
+        self.rows.clear();
+        for _ in 0..r.len_prefixed(26 + 8 * RAILS)? {
+            let at = snapshot::read_time(r)?;
+            let span = snapshot::read_delta(r)?;
+            let slice = r.u16()?;
+            if (slice as usize) >= slices {
+                return Err(CodecError::Invalid("metrics row names an unknown slice"));
+            }
+            let mut rails = [Energy::ZERO; RAILS];
+            for e in rails.iter_mut() {
+                *e = snapshot::read_energy(r)?;
+            }
+            let loss = snapshot::read_energy(r)?;
+            self.rows.push(SupplyRow {
+                at,
+                span,
+                slice,
+                rails,
+                loss,
+            });
+        }
+        self.fault_counters = snapshot::read_counters(r)?;
+        Ok(())
     }
 }
 

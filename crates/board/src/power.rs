@@ -12,10 +12,13 @@
 //! powers, feeds the optional [`AdcBoard`]s and pushes live readings into
 //! every core's power-probe resource (the self-measurement loop).
 
+use crate::snapshot;
 use crate::topology::{GridSpec, CHIP_COLS, CHIP_ROWS};
 use swallow_energy::{AdcBoard, Energy, Power, Smps};
 use swallow_noc::{Direction, Fabric};
-use swallow_sim::{Time, TimeDelta, TraceEvent, TraceSink, Tracer};
+use swallow_sim::{
+    ByteReader, ByteWriter, CodecError, Time, TimeDelta, TraceEvent, TraceSink, Tracer,
+};
 use swallow_xcore::Core;
 
 /// Default monitor cadence: the ADC's 1 MS/s all-channel rate.
@@ -262,6 +265,61 @@ impl PowerMonitor {
                 core.set_probe_reading(ch, p.as_microwatts() as u32);
             }
         }
+    }
+
+    // Snapshot codec. The lengths of every vector are a pure function of
+    // the grid spec (restored from the machine's CONF section before this
+    // runs), so they are not re-encoded; the SMPS models and the scratch
+    // buffers are constants/derived, and ADC daughter-boards are
+    // observational test fixtures that are not part of a snapshot.
+
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        snapshot::write_time(w, self.next_update);
+        for &e in &self.last_core_energy {
+            snapshot::write_energy(w, e);
+        }
+        for &e in &self.last_internal_by_node {
+            snapshot::write_energy(w, e);
+        }
+        for &e in &self.last_external_by_slice {
+            snapshot::write_energy(w, e);
+        }
+        for rails in &self.rails {
+            for &p in rails {
+                snapshot::write_power(w, p);
+            }
+        }
+        for &e in &self.loss_energy {
+            snapshot::write_energy(w, e);
+        }
+        for &e in &self.support_energy {
+            snapshot::write_energy(w, e);
+        }
+    }
+
+    pub(crate) fn restore_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.next_update = snapshot::read_time(r)?;
+        for e in &mut self.last_core_energy {
+            *e = snapshot::read_energy(r)?;
+        }
+        for e in &mut self.last_internal_by_node {
+            *e = snapshot::read_energy(r)?;
+        }
+        for e in &mut self.last_external_by_slice {
+            *e = snapshot::read_energy(r)?;
+        }
+        for rails in &mut self.rails {
+            for p in rails.iter_mut() {
+                *p = snapshot::read_power(r)?;
+            }
+        }
+        for e in &mut self.loss_energy {
+            *e = snapshot::read_energy(r)?;
+        }
+        for e in &mut self.support_energy {
+            *e = snapshot::read_energy(r)?;
+        }
+        Ok(())
     }
 }
 

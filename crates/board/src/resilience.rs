@@ -16,10 +16,11 @@
 //! refuses to open an epoch across one), so the observable fault
 //! timeline is engine-invariant. See DESIGN.md §3.10.
 
-use swallow_energy::CorePowerModel;
+use crate::snapshot;
+use swallow_energy::{CorePowerModel, Voltage};
 use swallow_faults::{FaultCounters, FaultEvent, FaultPlan};
 use swallow_noc::LinkDesc;
-use swallow_sim::{Frequency, Time};
+use swallow_sim::{ByteReader, ByteWriter, CodecError, Frequency, Time};
 
 /// Pending-fault cursor plus recovery bookkeeping for one machine.
 pub(crate) struct FaultEngine {
@@ -90,6 +91,64 @@ impl FaultEngine {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }
+    }
+
+    // Snapshot codec. The plan itself travels in the machine's CONF
+    // section (it is part of the configuration); this serializes only
+    // the cursor and recovery bookkeeping layered on top of it.
+
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.u64(self.cursor as u64);
+        snapshot::write_counters(w, &self.counters);
+        w.bool(self.derated);
+        snapshot::write_time(w, self.derate_end);
+        w.u64(self.nominal.len() as u64);
+        for f in &self.nominal {
+            w.u64(f.as_hz());
+        }
+        w.u64(self.nominal_power.len() as u64);
+        for p in &self.nominal_power {
+            w.f64_bits(p.voltage().as_volts());
+        }
+    }
+
+    pub(crate) fn restore_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        let cursor = r.u64()?;
+        if cursor > self.plan.len() as u64 {
+            return Err(CodecError::Invalid("fault cursor past plan end"));
+        }
+        self.cursor = cursor as usize;
+        self.counters = snapshot::read_counters(r)?;
+        self.derated = r.bool()?;
+        self.derate_end = snapshot::read_time(r)?;
+        self.nominal.clear();
+        for _ in 0..r.len_prefixed(8)? {
+            let hz = r.u64()?;
+            if hz == 0 {
+                return Err(CodecError::Invalid("zero nominal frequency"));
+            }
+            self.nominal.push(Frequency::from_hz(hz));
+        }
+        self.nominal_power.clear();
+        for _ in 0..r.len_prefixed(8)? {
+            let volts = r.f64_bits()?;
+            if !volts.is_finite() || volts < 0.0 {
+                return Err(CodecError::Invalid("bad saved core voltage"));
+            }
+            // `at_voltage` only swaps the operating point; the static and
+            // idle constants are the model's own, so this reconstruction
+            // is bit-exact (see `CorePowerModel::at_voltage`).
+            self.nominal_power
+                .push(CorePowerModel::swallow().at_voltage(Voltage::from_volts(volts)));
+        }
+        if self.derated
+            && (self.nominal.is_empty() || self.nominal.len() != self.nominal_power.len())
+        {
+            return Err(CodecError::Invalid(
+                "derated without saved operating points",
+            ));
+        }
+        Ok(())
     }
 }
 

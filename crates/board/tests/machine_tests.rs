@@ -486,3 +486,100 @@ fn engine_can_switch_to_parallel_mid_run() {
         assert_eq!(machine.core(node).output(), "7\n");
     }
 }
+
+// --- snapshot / restore -----------------------------------------------------
+
+/// A machine mid-gather: every non-zero core streams words at node 0, so
+/// a snapshot taken a few microseconds in catches live channel state.
+fn busy_machine() -> Machine {
+    let mut machine = Machine::new(MachineConfig::one_slice());
+    let gather = asm("
+            getr  r0, chanend
+            ldc   r3, 15
+            ldc   r4, 0
+        gl:
+            in    r1, r0
+            chkct r0, end
+            add   r4, r4, r1
+            sub   r3, r3, 1
+            bt    r3, gl
+            print r4
+            freet
+    ");
+    machine.load_program(NodeId(0), &gather).expect("fits");
+    for n in 1..16u16 {
+        machine
+            .load_program(NodeId(n), &sender(0, n as u32))
+            .expect("fits");
+    }
+    machine
+}
+
+#[test]
+fn snapshot_restore_snapshot_is_byte_identical() {
+    let mut machine = busy_machine();
+    machine.run_for(TimeDelta::from_ns(500));
+    let image = machine.snapshot();
+    let restored = Machine::restore(&image).expect("valid image");
+    assert_eq!(restored.now(), machine.now());
+    assert_eq!(restored.total_instret(), machine.total_instret());
+    assert_eq!(restored.snapshot(), image, "re-snapshot must be identical");
+}
+
+#[test]
+fn restored_machine_continues_bit_identically() {
+    let mut original = busy_machine();
+    original.run_for(TimeDelta::from_ns(700));
+    let image = original.snapshot();
+    assert!(original.run_until_quiescent(TimeDelta::from_ms(2)));
+    let mut restored = Machine::restore(&image).expect("valid image");
+    assert!(restored.run_until_quiescent(TimeDelta::from_ms(2)));
+    assert_eq!(restored.now(), original.now());
+    assert_eq!(restored.total_instret(), original.total_instret());
+    for node in original.nodes().collect::<Vec<_>>() {
+        assert_eq!(restored.core(node).output(), original.core(node).output());
+    }
+    assert_eq!(restored.core(NodeId(0)).output(), "120\n");
+    let a = original.machine_ledger().total().as_joules();
+    let b = restored.machine_ledger().total().as_joules();
+    assert!((a - b).abs() <= 1e-9 * a.abs().max(f64::MIN_POSITIVE));
+}
+
+#[test]
+fn snapshot_restores_under_every_engine() {
+    let mut original = busy_machine();
+    original.run_for(TimeDelta::from_ns(700));
+    let image = original.snapshot();
+    assert!(original.run_until_quiescent(TimeDelta::from_ms(2)));
+    for engine in [
+        EngineMode::LockStep,
+        EngineMode::FastForward,
+        EngineMode::Parallel { threads: 4 },
+    ] {
+        let mut restored = Machine::restore(&image).expect("valid image");
+        restored.set_engine(engine);
+        assert!(restored.run_until_quiescent(TimeDelta::from_ms(2)));
+        assert_eq!(restored.now(), original.now(), "{engine:?}");
+        assert_eq!(restored.total_instret(), original.total_instret());
+        assert_eq!(restored.core(NodeId(0)).output(), "120\n");
+    }
+}
+
+#[test]
+fn truncated_and_corrupt_snapshots_are_rejected() {
+    let mut machine = busy_machine();
+    machine.run_for(TimeDelta::from_ns(500));
+    let image = machine.snapshot();
+    // Every truncation point in the header plus a spread through the
+    // body must fail cleanly.
+    for len in (0..64).chain((64..image.len()).step_by(image.len() / 53)) {
+        assert!(Machine::restore(&image[..len]).is_err(), "len {len}");
+    }
+    // Single-byte corruption anywhere is caught (FNV-1a over each
+    // section payload; tags/lengths are checked structurally).
+    for at in (0..image.len()).step_by(image.len() / 97) {
+        let mut bad = image.clone();
+        bad[at] ^= 0x40;
+        assert!(Machine::restore(&bad).is_err(), "corrupt byte {at}");
+    }
+}

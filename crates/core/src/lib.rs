@@ -67,4 +67,4 @@ pub use swallow_board::{
 pub use swallow_energy::{Energy, Power};
 pub use swallow_faults::{FaultCounters, FaultEvent, FaultKind, FaultPlan, RandomFaults};
 pub use swallow_isa::{AsmError, Assembler, NodeId, Program, ResType, ResourceId};
-pub use swallow_sim::{Frequency, Time, TimeDelta, TraceEvent, TraceLog, TraceRecord};
+pub use swallow_sim::{CodecError, Frequency, Time, TimeDelta, TraceEvent, TraceLog, TraceRecord};

@@ -314,6 +314,30 @@ impl SwallowSystem {
     pub fn machine_mut(&mut self) -> &mut Machine {
         &mut self.machine
     }
+
+    /// Serializes the complete machine state into the versioned
+    /// `SWLWSNAP` binary format (see [`Machine::snapshot`] and DESIGN.md
+    /// §3.13). A later [`SwallowSystem::restore`] continues the run
+    /// bit-identically under every engine.
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.machine.snapshot()
+    }
+
+    /// Rebuilds a system from a [`SwallowSystem::snapshot`] image. The
+    /// restored system's [`elapsed`](SwallowSystem::elapsed) clock
+    /// restarts at the first `run_*` call, so warm-start reports cover
+    /// only the continued span.
+    ///
+    /// # Errors
+    ///
+    /// [`swallow_sim::CodecError`] on truncated, corrupt or
+    /// version-mismatched images — strict-reject, never a panic.
+    pub fn restore(bytes: &[u8]) -> Result<SwallowSystem, swallow_sim::CodecError> {
+        Ok(SwallowSystem {
+            machine: Machine::restore(bytes)?,
+            started: None,
+        })
+    }
 }
 
 impl fmt::Debug for SwallowSystem {

@@ -132,6 +132,27 @@ impl EnergyLedger {
         }
     }
 
+    /// The raw `f64` bit patterns of every category, in Fig. 2 order —
+    /// the snapshot codec's view. Round-trips through
+    /// [`EnergyLedger::from_entry_bits`] bit-identically, which `as_joules`
+    /// conversions would not guarantee for every NaN/subnormal pattern.
+    pub fn entry_bits(&self) -> [u64; 5] {
+        let mut out = [0u64; 5];
+        for (slot, e) in out.iter_mut().zip(self.entries.iter()) {
+            *slot = e.as_joules().to_bits();
+        }
+        out
+    }
+
+    /// Rebuilds a ledger from [`EnergyLedger::entry_bits`] output.
+    pub fn from_entry_bits(bits: [u64; 5]) -> Self {
+        let mut out = EnergyLedger::new();
+        for (slot, b) in out.entries.iter_mut().zip(bits) {
+            *slot = Energy::from_joules(f64::from_bits(b));
+        }
+        out
+    }
+
     /// The category-wise difference `self - earlier`: the energy accrued
     /// since the `earlier` snapshot was taken. Used to turn per-core
     /// ledgers into per-shard epoch deltas.

@@ -93,6 +93,17 @@ pub enum DecodeError {
     BadResType(u8),
     /// Unknown hostcall function code.
     BadHostcall(u16),
+    /// An immediate field held bits the instruction's operand cannot
+    /// carry (e.g. a shift amount or control-token byte above `0xFF`, or
+    /// a third-register index above the low nibble). The encoder never
+    /// produces such words, so decoding them would break the
+    /// decode→encode round trip; they are rejected instead.
+    BadImmediate(u16),
+    /// The word decodes structurally but is not the encoding the encoder
+    /// would produce for the resulting instruction (junk bits in fields
+    /// the instruction does not use). Rejected so decode→encode is the
+    /// identity on every accepted word.
+    NonCanonical(u32),
     /// The stream ended inside a two-word instruction.
     Truncated,
     /// Decode address out of bounds or unaligned.
@@ -106,6 +117,12 @@ impl fmt::Display for DecodeError {
             DecodeError::BadRegister(r) => write!(f, "invalid register index {r}"),
             DecodeError::BadResType(c) => write!(f, "unknown resource type code {c:#x}"),
             DecodeError::BadHostcall(c) => write!(f, "unknown hostcall function {c}"),
+            DecodeError::BadImmediate(imm) => {
+                write!(f, "immediate {imm:#06x} does not fit the operand field")
+            }
+            DecodeError::NonCanonical(w) => {
+                write!(f, "word {w:#010x} is not a canonical instruction encoding")
+            }
             DecodeError::Truncated => write!(f, "instruction stream truncated"),
             DecodeError::BadAddress(a) => write!(f, "invalid instruction address {a:#x}"),
         }
@@ -337,7 +354,17 @@ pub fn decode(words: &[u32]) -> Result<(Instr, usize), DecodeError> {
     let imm16 = (w & 0xFFFF) as u16;
     let a = || reg_field(fa);
     let b = || reg_field(fb);
-    let c = || reg_field((imm16 & 0xF) as u8);
+    // Strict operand decoding: the encoder only ever emits a third
+    // register index in the low nibble and 8-bit operands in the low
+    // byte, so wider bit patterns are non-canonical and rejected —
+    // `encode(decode(w))` must reproduce `w` exactly.
+    let c = || {
+        if imm16 > 0xF {
+            return Err(DecodeError::BadImmediate(imm16));
+        }
+        reg_field(imm16 as u8)
+    };
+    let imm8 = || u8::try_from(imm16).map_err(|_| DecodeError::BadImmediate(imm16));
     let soff = || imm16 as i16 as i32;
 
     let instr = match opcode {
@@ -445,30 +472,30 @@ pub fn decode(words: &[u32]) -> Result<(Instr, usize), DecodeError> {
         op::SHLI => ShlI {
             d: a()?,
             a: b()?,
-            imm: imm16 as u8,
+            imm: imm8()?,
         },
         op::SHRI => ShrI {
             d: a()?,
             a: b()?,
-            imm: imm16 as u8,
+            imm: imm8()?,
         },
         op::ASHRI => AshrI {
             d: a()?,
             a: b()?,
-            imm: imm16 as u8,
+            imm: imm8()?,
         },
         op::MKMSKI => MkMskI {
             d: a()?,
-            width: imm16 as u8,
+            width: imm8()?,
         },
         op::MKMSK => MkMsk { d: a()?, s: b()? },
         op::SEXT => Sext {
             r: a()?,
-            bits: imm16 as u8,
+            bits: imm8()?,
         },
         op::ZEXT => Zext {
             r: a()?,
-            bits: imm16 as u8,
+            bits: imm8()?,
         },
         op::LDC16 => Ldc {
             d: a()?,
@@ -476,6 +503,12 @@ pub fn decode(words: &[u32]) -> Result<(Instr, usize), DecodeError> {
         },
         op::LDC32 => {
             let ext = *words.get(1).ok_or(DecodeError::Truncated)?;
+            if fb != 0 || imm16 != 0 {
+                return Err(DecodeError::NonCanonical(w));
+            }
+            // The one accepted long form: a small constant in the wide
+            // encoding (the assembler reserves the extension word for
+            // label references before their values are known).
             return Ok((Ldc { d: a()?, imm: ext }, 2));
         }
         op::LDW_R => Ldw {
@@ -561,7 +594,10 @@ pub fn decode(words: &[u32]) -> Result<(Instr, usize), DecodeError> {
         op::RET => Ret,
         op::GETR => GetR {
             d: a()?,
-            ty: ResType::from_code(imm16 as u8).ok_or(DecodeError::BadResType(imm16 as u8))?,
+            ty: {
+                let code = imm8()?;
+                ResType::from_code(code).ok_or(DecodeError::BadResType(code))?
+            },
         },
         op::FREER => FreeR { r: a()? },
         op::TSPAWN => TSpawn {
@@ -577,13 +613,13 @@ pub fn decode(words: &[u32]) -> Result<(Instr, usize), DecodeError> {
         op::OUTT => OutT { r: a()?, s: b()? },
         op::OUTCT => OutCt {
             r: a()?,
-            ct: ControlToken(imm16 as u8),
+            ct: ControlToken(imm8()?),
         },
         op::IN => In { d: a()?, r: b()? },
         op::INT => InT { d: a()?, r: b()? },
         op::CHKCT => ChkCt {
             r: a()?,
-            ct: ControlToken(imm16 as u8),
+            ct: ControlToken(imm8()?),
         },
         op::TESTCT => TestCt { d: a()?, r: b()? },
         op::TMWAIT => TmWait { r: a()?, s: b()? },
@@ -606,6 +642,14 @@ pub fn decode(words: &[u32]) -> Result<(Instr, usize), DecodeError> {
         },
         other => return Err(DecodeError::BadOpcode(other)),
     };
+    // Canonicality: the encoder is the single source of truth for the
+    // bit layout, so a word it would not itself produce for `instr`
+    // (junk in unused fields, mostly) is rejected rather than silently
+    // normalised — decode→encode must be the identity on accepted words.
+    let canonical = encode(&instr).map_err(|_| DecodeError::NonCanonical(w))?;
+    if canonical.words() != [w] {
+        return Err(DecodeError::NonCanonical(w));
+    }
     Ok((instr, 1))
 }
 
@@ -771,5 +815,96 @@ mod tests {
 
     fn op_add() -> u32 {
         0x01
+    }
+
+    #[test]
+    fn non_canonical_immediates_are_rejected() {
+        // Words the encoder can never emit: an 8-bit operand field with
+        // bits set above the low byte, or a third-register field with
+        // bits above the low nibble. These used to be silently truncated
+        // on decode, breaking the decode→encode round trip.
+        let one_word = |opcode: u32, imm16: u32| (opcode << 24) | imm16;
+        for (opcode, imm16) in [
+            (0x19, 0x0105u32), // shli
+            (0x1A, 0x0100),    // shri
+            (0x1B, 0xFF00),    // ashri
+            (0x1C, 0x0100),    // mkmski
+            (0x1E, 0x01F0),    // sext
+            (0x1F, 0x8001),    // zext
+            (0x3F, 0x0100),    // outct
+            (0x42, 0x0100),    // chkct
+        ] {
+            assert_eq!(
+                decode(&[one_word(opcode, imm16)]),
+                Err(DecodeError::BadImmediate(imm16 as u16)),
+                "opcode {opcode:#04x} must reject imm16 {imm16:#06x}"
+            );
+        }
+        // getr: the resource code must fit in 8 bits *before* it is
+        // looked up — 0x0102 is not a sneaky spelling of code 0x02.
+        assert_eq!(
+            decode(&[one_word(0x36, 0x0102)]),
+            Err(DecodeError::BadImmediate(0x0102))
+        );
+        // Three-register forms: the third index lives in the low nibble
+        // only; 0x0105 is not a sneaky spelling of register 5.
+        assert_eq!(
+            decode(&[one_word(op_add(), 0x0105)]),
+            Err(DecodeError::BadImmediate(0x0105))
+        );
+    }
+
+    #[test]
+    fn canonical_u8_operands_still_round_trip() {
+        use Instr::*;
+        // The full 8-bit operand range stays accepted (the executor is
+        // responsible for semantics like shift amounts ≥ 32).
+        for imm in [0u8, 1, 31, 32, 255] {
+            round_trip(ShlI { d: R1, a: R2, imm });
+            round_trip(MkMskI { d: R5, width: imm });
+            round_trip(Zext { r: R7, bits: imm });
+            round_trip(OutCt {
+                r: R1,
+                ct: ControlToken(imm),
+            });
+        }
+    }
+
+    #[test]
+    fn junk_in_unused_fields_is_rejected() {
+        // `nop` with a register index in field A, `neg` with a stray
+        // imm16, a wide `ldc` head word with junk in field B: all decode
+        // structurally but are not words the encoder would emit, so they
+        // must be rejected — decode→encode is the identity on every
+        // accepted word.
+        let nop_junk = 3u32 << 20;
+        assert_eq!(
+            decode(&[nop_junk]),
+            Err(DecodeError::NonCanonical(nop_junk))
+        );
+        let neg_junk = (0x11u32 << 24) | 5;
+        assert_eq!(
+            decode(&[neg_junk]),
+            Err(DecodeError::NonCanonical(neg_junk))
+        );
+        let wide_junk = (0x21u32 << 24) | (1 << 16);
+        assert_eq!(
+            decode(&[wide_junk, 42]),
+            Err(DecodeError::NonCanonical(wide_junk))
+        );
+    }
+
+    #[test]
+    fn wide_ldc_with_small_constant_stays_accepted() {
+        // The one *documented* long-form asymmetry: the assembler emits
+        // `ldc32` for label references before the value is known, so the
+        // wide form must decode even when the constant would have fit the
+        // short form (it re-encodes short — that is the canonical form).
+        let wide = encode_wide_ldc(R0, 42);
+        assert_eq!(wide.len(), 2);
+        let (instr, n) = decode(wide.words()).expect("wide ldc decodes");
+        assert_eq!(n, 2);
+        assert_eq!(instr, Instr::Ldc { d: R0, imm: 42 });
+        assert_eq!(encode(&instr).expect("encodes").len(), 1);
     }
 }

@@ -27,8 +27,10 @@ use crate::link::{Direction, LinkId, LinkParams, HEADER_TOKENS};
 use crate::routing::{LinkDesc, Router};
 use std::collections::{HashMap, VecDeque};
 use swallow_energy::Energy;
-use swallow_isa::{NodeId, ResType, ResourceId, Token};
-use swallow_sim::{Time, TimeDelta, TraceEvent, TraceSink, Tracer};
+use swallow_isa::{ControlToken, NodeId, ResType, ResourceId, Token};
+use swallow_sim::{
+    ByteReader, ByteWriter, CodecError, Time, TimeDelta, TraceEvent, TraceSink, Tracer,
+};
 
 /// Receive-buffer capacity per link input port (the credit window).
 pub const RX_CAPACITY: usize = 8;
@@ -976,6 +978,215 @@ impl Fabric {
                 },
             );
         }
+    }
+
+    // --- snapshot ---------------------------------------------------------
+
+    /// Serializes the mutable (architectural) state of the fabric into
+    /// `w`: per-link wire/queue/fault state and statistics, loopback
+    /// queues, wormhole ownerships and sticky flow bindings. The static
+    /// topology (endpoints, directions, wire parameters) and the router
+    /// are *not* written — both are rebuilt deterministically from the
+    /// machine configuration on restore — and neither are the derived
+    /// in-network counter, scratch buffers, tracer or undrained
+    /// escalations (snapshots are taken at step boundaries, where the
+    /// escalation queue is empty).
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        debug_assert!(
+            self.escalated.is_empty(),
+            "snapshot with undrained link escalations"
+        );
+        w.u64(self.links.len() as u64);
+        for link in &self.links {
+            w.u64(link.busy_until.as_ps());
+            match link.owner {
+                None => w.u8(0),
+                Some(flow) => {
+                    w.u8(1);
+                    w.u32(flow);
+                }
+            }
+            w.u64(link.in_flight.len() as u64);
+            for &(arrival, token, flow, dest) in &link.in_flight {
+                w.u64(arrival.as_ps());
+                write_token(w, token);
+                w.u32(flow);
+                w.u32(dest.raw());
+            }
+            w.u64(link.rx.len() as u64);
+            for &(token, flow, dest) in &link.rx {
+                write_token(w, token);
+                w.u32(flow);
+                w.u32(dest.raw());
+            }
+            w.u64(link.data_tokens);
+            w.u64(link.ctrl_tokens);
+            w.u64(link.header_tokens);
+            w.f64_bits(link.energy.as_joules());
+            w.u64(link.busy_time.as_ps());
+            w.bool(link.down);
+            w.u64(link.corrupt_until.as_ps());
+            w.u64(link.drop_until.as_ps());
+            w.u32(link.retry_streak);
+            w.u64(link.retransmits);
+            w.u64(link.dropped_tokens);
+        }
+        w.u64(self.loopback.len() as u64);
+        for queue in &self.loopback {
+            w.u64(queue.len() as u64);
+            for &(arrival, chanend, token, flow) in queue {
+                w.u64(arrival.as_ps());
+                w.u8(chanend);
+                write_token(w, token);
+                w.u32(flow);
+            }
+        }
+        // HashMaps are written in sorted key order so identical fabric
+        // state always serializes to identical bytes.
+        let mut owners: Vec<(u32, u32)> = self.dest_owner.iter().map(|(&k, &v)| (k, v)).collect();
+        owners.sort_unstable();
+        w.u64(owners.len() as u64);
+        for (key, flow) in owners {
+            w.u32(key);
+            w.u32(flow);
+        }
+        let mut sticky: Vec<((u32, NodeId, NodeId), LinkId)> =
+            self.sticky.iter().map(|(&k, &v)| (k, v)).collect();
+        sticky.sort_unstable_by_key(|&((flow, from, to), _)| (flow, from.0, to.0));
+        w.u64(sticky.len() as u64);
+        for ((flow, from, to), lid) in sticky {
+            w.u32(flow);
+            w.u16(from.0);
+            w.u16(to.0);
+            w.u32(lid.0);
+        }
+        w.u64(self.unroutable);
+        w.u64(self.delivered_data);
+    }
+
+    /// Overlays the state written by [`Fabric::encode_state`] onto this
+    /// fabric, which must have been rebuilt from the same topology (the
+    /// link and node counts are validated). The in-network token counter
+    /// is recomputed from the restored queues.
+    pub fn restore_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        let links = r.len_prefixed(1)?;
+        if links != self.links.len() {
+            return Err(CodecError::Invalid("fabric link count mismatch"));
+        }
+        for link in &mut self.links {
+            link.busy_until = Time::from_ps(r.u64()?);
+            link.owner = match r.u8()? {
+                0 => None,
+                1 => Some(r.u32()?),
+                _ => return Err(CodecError::Invalid("link owner tag out of range")),
+            };
+            let in_flight = r.len_prefixed(14)?;
+            if in_flight > RX_CAPACITY {
+                return Err(CodecError::Invalid("link wire queue overfull"));
+            }
+            link.in_flight.clear();
+            for _ in 0..in_flight {
+                let arrival = Time::from_ps(r.u64()?);
+                let token = read_token(r)?;
+                let flow = r.u32()?;
+                let dest = ResourceId::from_raw(r.u32()?);
+                link.in_flight.push_back((arrival, token, flow, dest));
+            }
+            let rx = r.len_prefixed(6)?;
+            if link.in_flight.len() + rx > RX_CAPACITY {
+                return Err(CodecError::Invalid("link receive queue overfull"));
+            }
+            link.rx.clear();
+            for _ in 0..rx {
+                let token = read_token(r)?;
+                let flow = r.u32()?;
+                let dest = ResourceId::from_raw(r.u32()?);
+                link.rx.push_back((token, flow, dest));
+            }
+            link.data_tokens = r.u64()?;
+            link.ctrl_tokens = r.u64()?;
+            link.header_tokens = r.u64()?;
+            link.energy = Energy::from_joules(r.f64_bits()?);
+            link.busy_time = TimeDelta::from_ps(r.u64()?);
+            link.down = r.bool()?;
+            link.corrupt_until = Time::from_ps(r.u64()?);
+            link.drop_until = Time::from_ps(r.u64()?);
+            link.retry_streak = r.u32()?;
+            link.retransmits = r.u64()?;
+            link.dropped_tokens = r.u64()?;
+        }
+        let nodes = r.len_prefixed(1)?;
+        if nodes != self.nodes {
+            return Err(CodecError::Invalid("fabric node count mismatch"));
+        }
+        for queue in &mut self.loopback {
+            let len = r.len_prefixed(12)?;
+            if len > LOOPBACK_CAPACITY {
+                return Err(CodecError::Invalid("loopback queue overfull"));
+            }
+            queue.clear();
+            for _ in 0..len {
+                let arrival = Time::from_ps(r.u64()?);
+                let chanend = r.u8()?;
+                let token = read_token(r)?;
+                let flow = r.u32()?;
+                queue.push_back((arrival, chanend, token, flow));
+            }
+        }
+        let owners = r.len_prefixed(8)?;
+        self.dest_owner.clear();
+        for _ in 0..owners {
+            let key = r.u32()?;
+            let flow = r.u32()?;
+            if self.dest_owner.insert(key, flow).is_some() {
+                return Err(CodecError::Invalid("duplicate chanend ownership"));
+            }
+        }
+        let sticky = r.len_prefixed(12)?;
+        self.sticky.clear();
+        for _ in 0..sticky {
+            let flow = r.u32()?;
+            let from = NodeId(r.u16()?);
+            let to = NodeId(r.u16()?);
+            let lid = LinkId(r.u32()?);
+            if lid.0 as usize >= self.links.len() {
+                return Err(CodecError::Invalid("sticky binding to unknown link"));
+            }
+            if self.sticky.insert((flow, from, to), lid).is_some() {
+                return Err(CodecError::Invalid("duplicate sticky binding"));
+            }
+        }
+        self.unroutable = r.u64()?;
+        self.delivered_data = r.u64()?;
+        self.in_network = self
+            .links
+            .iter()
+            .map(|l| l.in_flight.len() + l.rx.len())
+            .sum::<usize>()
+            + self.loopback.iter().map(|q| q.len()).sum::<usize>();
+        self.escalated.clear();
+        Ok(())
+    }
+}
+
+fn write_token(w: &mut ByteWriter, t: Token) {
+    match t {
+        Token::Data(b) => {
+            w.u8(0);
+            w.u8(b);
+        }
+        Token::Ctrl(ct) => {
+            w.u8(1);
+            w.u8(ct.0);
+        }
+    }
+}
+
+fn read_token(r: &mut ByteReader<'_>) -> Result<Token, CodecError> {
+    match r.u8()? {
+        0 => Ok(Token::Data(r.u8()?)),
+        1 => Ok(Token::Ctrl(ControlToken(r.u8()?))),
+        _ => Err(CodecError::Invalid("token tag out of range")),
     }
 }
 

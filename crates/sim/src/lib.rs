@@ -8,6 +8,8 @@
 //! * [`Frequency`] — clock rates and cycle/time conversion,
 //! * [`EventQueue`] — a deterministic time-ordered event queue,
 //! * [`DetRng`] — a seedable, reproducible random number generator,
+//! * [`codec`] — bounds-checked binary readers/writers ([`ByteWriter`],
+//!   [`ByteReader`], [`CodecError`]) underpinning machine snapshots,
 //! * [`stats`] — counters, running statistics, histograms and least-squares
 //!   fits used by the experiment harnesses,
 //! * [`trace`] — typed, zero-cost-when-off trace events ([`TraceEvent`],
@@ -27,12 +29,14 @@
 //! assert_eq!(queue.pop(), Some((Time::ZERO, "now")));
 //! ```
 
+pub mod codec;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use time::{Frequency, Time, TimeDelta};

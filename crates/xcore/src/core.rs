@@ -17,17 +17,20 @@
 //! between the Fig. 2 categories is made here, at the moment of spending.
 
 use crate::resource::{EventCfg, ResourceTable};
+use crate::snapshot;
 use crate::sram::{FetchError, MemError, Sram, DEFAULT_SRAM_BYTES};
 use crate::thread::{Block, Thread, ThreadState, MAX_THREADS, TERMINATOR_PC};
 use std::fmt;
 use swallow_energy::core_power::IDLE_NETWORK_FRACTION;
-use swallow_energy::{CorePowerModel, Energy, EnergyLedger, NodeCategory};
+use swallow_energy::{CorePowerModel, Energy, EnergyLedger, NodeCategory, Voltage};
 use swallow_isa::token::{bytes_to_word, word_to_tokens};
 use swallow_isa::{
     issue_cycles, DecodeError, EnergyClass, HostcallFn, Instr, MemOffset, NodeId, Predecoded, Reg,
     ResType, ResourceId, ThreadId, Token,
 };
-use swallow_sim::{Frequency, Time, TimeDelta, TraceEvent, TraceSink, Tracer};
+use swallow_sim::{
+    ByteReader, ByteWriter, CodecError, Frequency, Time, TimeDelta, TraceEvent, TraceSink, Tracer,
+};
 
 /// Reference-clock tick period of the architectural timers (100 MHz).
 pub const TIMER_TICK_PS: u64 = 10_000;
@@ -2002,6 +2005,180 @@ impl Core {
             None => lock.held_by = None,
         }
         Outcome::Advance(words)
+    }
+
+    // --- snapshot ---------------------------------------------------------
+
+    /// Serializes the complete architectural state of this core into `w`.
+    ///
+    /// Derived state — the decode cache, the cached per-tick energy
+    /// constants, the sleeper and pending-transmit counters — is
+    /// deliberately omitted: [`Core::restore_state`] recomputes all of
+    /// it, bit-identically, because each is a pure function of what *is*
+    /// written.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.u64(self.config.frequency.as_hz());
+        w.f64_bits(self.config.power.voltage().as_volts());
+        w.u32(self.config.sram_bytes);
+        w.u32(self.config.stack_bytes);
+        w.bool(self.sram.decode_cache_enabled());
+        w.bytes_prefixed(self.sram.snapshot_bytes());
+        for t in &self.threads {
+            snapshot::write_thread(w, t);
+        }
+        w.u64(self.rotation.len() as u64);
+        for &tid in &self.rotation {
+            w.u8(tid);
+        }
+        w.u64(self.wheel);
+        snapshot::write_resources(w, &self.resources);
+        for &reading in &self.probe_readings {
+            w.u32(reading);
+        }
+        w.u64(self.cycle);
+        w.u64(self.now.as_ps());
+        w.bool(self.halted);
+        match &self.trap {
+            None => w.u8(0),
+            Some(trap) => {
+                w.u8(1);
+                w.u8(trap.thread.0);
+                w.u32(trap.pc);
+                snapshot::write_trap_cause(w, &trap.cause);
+            }
+        }
+        for bits in self.ledger.entry_bits() {
+            w.u64(bits);
+        }
+        for &count in &self.class_counts.0 {
+            w.u64(count);
+        }
+        w.u64(self.instret);
+        w.str_prefixed(&self.output);
+        for &at in &self.sched_at {
+            w.u64(at.as_ps());
+        }
+        for &instret in &self.sched_instret {
+            w.u64(instret);
+        }
+        w.u64(self.stalled_until.as_ps());
+    }
+
+    /// Overlays the architectural state written by [`Core::encode_state`]
+    /// onto this core, which must have been built with the same memory
+    /// geometry (SRAM and stack sizes are validated). Decoding is strict:
+    /// inconsistent scheduler or resource state is rejected with a
+    /// [`CodecError`]. On error the core is left partially written —
+    /// callers restore into a scratch machine and discard it on failure.
+    pub fn restore_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        let hz = r.u64()?;
+        if hz == 0 {
+            return Err(CodecError::Invalid("core frequency is zero"));
+        }
+        let volts = r.f64_bits()?;
+        if !volts.is_finite() || volts < 0.0 {
+            return Err(CodecError::Invalid("core voltage out of range"));
+        }
+        let sram_bytes = r.u32()?;
+        let stack_bytes = r.u32()?;
+        if sram_bytes != self.config.sram_bytes || stack_bytes != self.config.stack_bytes {
+            return Err(CodecError::Invalid("core memory geometry mismatch"));
+        }
+        let cache_enabled = r.bool()?;
+        let image = r.bytes_prefixed()?;
+        if !self.sram.restore_bytes(image) {
+            return Err(CodecError::Invalid("SRAM image size mismatch"));
+        }
+        self.sram.set_decode_cache(cache_enabled);
+        let dims = snapshot::TableDims::of(&self.resources);
+        for i in 0..MAX_THREADS {
+            self.threads[i] = snapshot::read_thread(r, &dims)?;
+        }
+        let rot_len = r.len_prefixed(1)?;
+        if rot_len > MAX_THREADS {
+            return Err(CodecError::Invalid("rotation longer than thread count"));
+        }
+        let mut rotation = Vec::with_capacity(rot_len);
+        let mut seen = [false; MAX_THREADS];
+        for _ in 0..rot_len {
+            let tid = r.u8()?;
+            let Some(slot) = seen.get_mut(tid as usize) else {
+                return Err(CodecError::Invalid("rotation thread id out of range"));
+            };
+            if std::mem::replace(slot, true) {
+                return Err(CodecError::Invalid("duplicate thread in rotation"));
+            }
+            if !self.threads[tid as usize].is_ready() {
+                return Err(CodecError::Invalid("rotation lists a non-ready thread"));
+            }
+            rotation.push(tid);
+        }
+        if self.threads.iter().filter(|t| t.is_ready()).count() != rotation.len() {
+            return Err(CodecError::Invalid("ready thread missing from rotation"));
+        }
+        self.rotation = rotation;
+        self.wheel = r.u64()?;
+        self.resources = snapshot::read_resources(r, &dims)?;
+        for reading in self.probe_readings.iter_mut() {
+            *reading = r.u32()?;
+        }
+        self.cycle = r.u64()?;
+        self.now = Time::from_ps(r.u64()?);
+        self.halted = r.bool()?;
+        self.trap = match r.u8()? {
+            0 => None,
+            1 => {
+                let tid = r.u8()?;
+                if tid as usize >= MAX_THREADS {
+                    return Err(CodecError::Invalid("trap thread id out of range"));
+                }
+                let pc = r.u32()?;
+                let cause = snapshot::read_trap_cause(r)?;
+                Some(Trap {
+                    thread: ThreadId(tid),
+                    pc,
+                    cause,
+                })
+            }
+            _ => return Err(CodecError::Invalid("trap tag out of range")),
+        };
+        let mut bits = [0u64; 5];
+        for b in bits.iter_mut() {
+            *b = r.u64()?;
+        }
+        self.ledger = EnergyLedger::from_entry_bits(bits);
+        for count in self.class_counts.0.iter_mut() {
+            *count = r.u64()?;
+        }
+        self.instret = r.u64()?;
+        self.output = r.str_prefixed()?;
+        for at in self.sched_at.iter_mut() {
+            *at = Time::from_ps(r.u64()?);
+        }
+        for instret in self.sched_instret.iter_mut() {
+            *instret = r.u64()?;
+        }
+        self.stalled_until = Time::from_ps(r.u64()?);
+
+        // Derived state: the clock/energy constants and the incremental
+        // counters are pure functions of what was just restored.
+        self.config.frequency = Frequency::from_hz(hz);
+        self.config.power = CorePowerModel::swallow().at_voltage(Voltage::from_volts(volts));
+        self.period = self.config.frequency.period();
+        self.tick_energy = TickEnergy::of(&self.config.power, self.period);
+        self.sleepers = self
+            .threads
+            .iter()
+            .filter(|t| Self::state_is_sleeper(&t.state))
+            .count() as u32;
+        self.tx_pending_count = self
+            .resources
+            .chanends
+            .iter()
+            .flatten()
+            .filter(|ch| !ch.out_buf.is_empty())
+            .count() as u32;
+        Ok(())
     }
 }
 

@@ -32,6 +32,7 @@
 pub mod core;
 pub mod decode_cache;
 pub mod resource;
+mod snapshot;
 pub mod sram;
 pub mod thread;
 

@@ -260,6 +260,26 @@ impl Sram {
         Ok(())
     }
 
+    /// The architectural byte contents (the snapshot codec's view; the
+    /// decode cache is derived state and not part of it).
+    pub fn snapshot_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Restores the architectural bytes from a snapshot image of the same
+    /// size, dropping every predecoded entry — the cache refills on
+    /// demand, exactly as after [`Sram::load_words`]. Returns `false`
+    /// (and copies nothing) when the image size does not match.
+    pub fn restore_bytes(&mut self, image: &[u8]) -> bool {
+        if image.len() != self.bytes.len() {
+            return false;
+        }
+        self.bytes.copy_from_slice(image);
+        self.cache.invalidate_all();
+        self.cache.ensure_allocated();
+        true
+    }
+
     /// Copies a program image (32-bit words) to address 0.
     ///
     /// Returns `false` (and copies nothing) if the image does not fit.

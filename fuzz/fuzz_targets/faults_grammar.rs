@@ -1,0 +1,20 @@
+//! The `--faults` command-line grammar: any string must parse to a
+//! plan or a human-readable error — never panic — and a parsed plan's
+//! events must come out time-sorted (the invariant the fault engine's
+//! cursor relies on).
+
+use swallow::FaultPlan;
+use swallow_fuzz::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    let Ok(spec) = std::str::from_utf8(data) else {
+        return;
+    };
+    if let Ok(plan) = FaultPlan::parse(spec) {
+        let events = plan.events();
+        assert!(
+            events.windows(2).all(|w| w[0].at <= w[1].at),
+            "parsed plan must be time-sorted"
+        );
+    }
+});

@@ -1,0 +1,34 @@
+//! ISA decode/encode round trip: any word stream that decodes must
+//! re-encode to an instruction stream that decodes back to the *same*
+//! instruction — and operand-field strictness means a successfully
+//! decoded single word re-encodes bit-identically (the wide `ldc32`
+//! long form is the one documented exception: it re-encodes short when
+//! its constant fits 16 bits).
+
+use swallow::isa::{decode, encode, Instr};
+use swallow_fuzz::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    let words: Vec<u32> = data
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let mut at = 0;
+    while at < words.len() {
+        let Ok((instr, consumed)) = decode(&words[at..]) else {
+            break;
+        };
+        // The formatter must hold for every decodable instruction.
+        let _ = instr.to_string();
+        let enc = encode(&instr).expect("decoded instructions must re-encode");
+        let (back, n) = decode(enc.words()).expect("re-encoded instructions must decode");
+        assert_eq!(back, instr, "decode(encode(i)) must be i");
+        assert_eq!(n, enc.len());
+        if consumed == 1 && !matches!(instr, Instr::Ldc { .. }) {
+            // Strict operand decoding makes single-word encodings
+            // canonical: the round trip reproduces the exact bits.
+            assert_eq!(enc.words(), &words[at..at + 1], "canonical word changed");
+        }
+        at += consumed;
+    }
+});
