@@ -7,7 +7,19 @@
 //! ```
 //!
 //! Experiment names: table1 fig2 fig3 fig4 table2 eq2 latency overhead ec
-//! table3 system system480 ablation proportionality throughput resilience.
+//! table3 system system480 ablation proportionality throughput resilience
+//! fleet.
+//!
+//! The fleet experiment sweeps an open-loop arrival rate over a fleet of
+//! independent machines and writes `BENCH_fleet.json` (offered load,
+//! goodput, p50/p95/p99 latency, joules per request — bit-identical
+//! across repeat runs and host thread counts), running the per-machine
+//! conservation gate on every load point:
+//!
+//! ```text
+//! reproduce fleet --machines 4 --arrivals poisson --seed 42
+//! reproduce fleet --machines 2 --arrivals bursty:16 --threads 8 --quick
+//! ```
 //!
 //! The throughput experiment additionally writes its rows to
 //! `BENCH_throughput.json` in the working directory, and accepts engine
@@ -60,13 +72,14 @@ use std::path::Path;
 use std::time::Instant;
 use swallow::{EngineMode, FaultPlan, Frequency, SystemBuilder, TimeDelta};
 use swallow_bench::experiments::{
-    ablation, ec_ratio, eq2, fig2, fig3, fig4, latency, overhead, proportionality, resilience,
-    system_power, table1, throughput,
+    ablation, ec_ratio, eq2, fig2, fig3, fig4, fleet, latency, overhead, proportionality,
+    resilience, system_power, table1, throughput,
 };
 use swallow_bench::survey;
+use swallow_fleet::{ArrivalKind, FleetSpec};
 use swallow_workloads::pipeline::{self, PipelineSpec};
 
-const ALL: [&str; 16] = [
+const ALL: [&str; 17] = [
     "table1",
     "fig2",
     "fig3",
@@ -83,11 +96,14 @@ const ALL: [&str; 16] = [
     "proportionality",
     "throughput",
     "resilience",
+    "fleet",
 ];
 
 /// Engine/threads/grid overrides parsed from the command line.
 struct EngineOverride {
     engine: Option<EngineMode>,
+    /// Raw `--threads` value (also reused as the fleet's host threads).
+    threads: usize,
     grid: (u16, u16),
     trace: Option<String>,
     metrics: Option<String>,
@@ -98,6 +114,12 @@ struct EngineOverride {
     snapshot_out: String,
     /// Resume an instrumented run from a snapshot file.
     restore: Option<String>,
+    /// Fleet size for the fleet experiment.
+    machines: usize,
+    /// Fleet arrival process.
+    arrivals: ArrivalKind,
+    /// Fleet seed.
+    seed: u64,
 }
 
 /// Pulls `--engine`, `--threads` and `--grid` (each `--flag value` or
@@ -155,8 +177,26 @@ fn parse_engine_override(args: &mut Vec<String>) -> EngineOverride {
     });
     let snapshot_out = take("--snapshot-out").unwrap_or_else(|| "swallow.snap".to_owned());
     let restore = take("--restore");
+    let machines = take("--machines")
+        .map(|m| {
+            m.parse()
+                .ok()
+                .filter(|&m| m >= 1)
+                .unwrap_or_else(|| die("--machines wants a positive number"))
+        })
+        .unwrap_or(4);
+    let arrivals = take("--arrivals")
+        .map(|a| {
+            ArrivalKind::parse(&a)
+                .unwrap_or_else(|| die("--arrivals wants poisson, bursty or bursty:N"))
+        })
+        .unwrap_or(ArrivalKind::Poisson);
+    let seed = take("--seed")
+        .map(|s| s.parse().unwrap_or_else(|_| die("--seed wants a number")))
+        .unwrap_or(42);
     EngineOverride {
         engine,
+        threads,
         grid,
         trace,
         metrics,
@@ -164,6 +204,9 @@ fn parse_engine_override(args: &mut Vec<String>) -> EngineOverride {
         snapshot_at,
         snapshot_out,
         restore,
+        machines,
+        arrivals,
+        seed,
     }
 }
 
@@ -382,6 +425,41 @@ fn main() {
                 match t.write_json(path) {
                     Ok(()) => println!("  wrote {}", path.display()),
                     Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+                }
+            }
+            "fleet" => {
+                let rates: &[f64] = if quick {
+                    &fleet::QUICK_RATES
+                } else {
+                    &fleet::DEFAULT_RATES
+                };
+                let base = FleetSpec {
+                    machines: overrides.machines,
+                    workers: 8,
+                    requests: if quick { 48 } else { 128 },
+                    work: 8,
+                    arrivals: overrides.arrivals,
+                    seed: overrides.seed,
+                    threads: if overrides.threads == 0 {
+                        throughput::host_parallelism()
+                    } else {
+                        overrides.threads
+                    },
+                    drain: TimeDelta::from_ms(1),
+                    metrics: true,
+                    ..FleetSpec::default()
+                };
+                // run_sweep gates conservation per machine per load point.
+                match fleet::run_sweep(&base, rates) {
+                    Ok(bench) => {
+                        println!("{bench}");
+                        let path = std::path::Path::new("BENCH_fleet.json");
+                        match bench.write_json(path) {
+                            Ok(()) => println!("  wrote {}", path.display()),
+                            Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+                        }
+                    }
+                    Err(e) => die(&format!("fleet sweep failed: {e}")),
                 }
             }
             "resilience" => {

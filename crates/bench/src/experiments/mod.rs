@@ -6,6 +6,7 @@ pub mod eq2;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
+pub mod fleet;
 pub mod latency;
 pub mod overhead;
 pub mod proportionality;

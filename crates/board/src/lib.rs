@@ -38,7 +38,7 @@ pub mod shard;
 mod snapshot;
 pub mod topology;
 
-pub use ethernet::EthernetBridge;
+pub use ethernet::{BridgeFrame, BridgeStats, EthernetBridge};
 pub use machine::{epoch_mode_default, EngineMode, EpochMode, Machine, MachineConfig, RouterKind};
 pub use metrics::{MetricsHub, SupplyRow};
 pub use power::PowerMonitor;

@@ -358,10 +358,28 @@ impl Machine {
             },
         );
         let router: Box<dyn swallow_noc::Router> = match config.router {
-            RouterKind::VerticalFirst => Box::new(TableRouter::vertical_first(
-                &topo.coords,
-                topo.builder.link_descs(),
-            )),
+            RouterKind::VerticalFirst => {
+                let descs = topo.builder.link_descs();
+                let mut table = TableRouter::vertical_first(&topo.coords, descs);
+                // The bridge hangs off one reserved South header, so
+                // dimension-order routing cannot discover it from any
+                // other column (vertical-first steers South immediately,
+                // but the only South link below the last lattice row is
+                // in the bridge's own column). Alias its routes through
+                // the attach node: every core reaches the bridge exactly
+                // as it reaches the attach core, plus the one direct hop.
+                if let Some(bridge) = topo.bridge {
+                    if let Some(attach) = descs.iter().find(|d| d.to == bridge).map(|d| d.from) {
+                        let direct: swallow_noc::Candidates = descs
+                            .iter()
+                            .filter(|d| d.from == attach && d.to == bridge)
+                            .map(|d| d.id)
+                            .collect();
+                        table.alias_dest_via(bridge, attach, direct);
+                    }
+                }
+                Box::new(table)
+            }
             RouterKind::ShortestPaths => Box::new(TableRouter::shortest_paths(
                 topo.builder.node_count(),
                 topo.builder.link_descs(),
@@ -1711,7 +1729,9 @@ impl Machine {
 /// Leading bytes of every snapshot image.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SWLWSNAP";
 /// Format version written (and the only one accepted) by this build.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Version 2 extended the BRDG section with the bridge's machine tag,
+/// ingress capacity, traffic counters and reassembled frame queue.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 fn write_fault_kind(w: &mut ByteWriter, kind: FaultKind) {
     match kind {

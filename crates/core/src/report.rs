@@ -6,7 +6,7 @@
 //! headline "up to 240 GIPS").
 
 use std::fmt;
-use swallow_board::Machine;
+use swallow_board::{BridgeStats, Machine};
 use swallow_energy::{Energy, EnergyLedger, NodeCategory, Power};
 use swallow_faults::FaultCounters;
 use swallow_isa::{NodeId, ThreadId};
@@ -166,6 +166,11 @@ pub struct MetricsReport {
     /// Cumulative fault-injection and resilience counters (all zero on
     /// a fault-free run).
     pub faults: FaultCounters,
+    /// Ethernet-bridge traffic counters (`None` when no bridge is
+    /// fitted): frame flow plus the ingress backpressure evidence —
+    /// rejected frames and peak transmit backlog — so a saturated
+    /// bridge is visible in the report instead of silently queueing.
+    pub bridge: Option<BridgeStats>,
 }
 
 impl MetricsReport {
@@ -202,6 +207,7 @@ impl MetricsReport {
             metered_energy: machine.metrics().total_energy(),
             ledger_energy: machine.machine_ledger().total(),
             faults: machine.fault_counters(),
+            bridge: machine.bridge().map(|b| b.stats()),
         }
     }
 
@@ -240,6 +246,14 @@ impl fmt::Display for MetricsReport {
             self.metered_energy
         )?;
         write!(f, "  ledger total {}", self.ledger_energy)?;
+        if let Some(b) = &self.bridge {
+            write!(
+                f,
+                "\n  bridge: {} frames in, {} out, {} rejected \
+                 (peak backlog {} tokens)",
+                b.frames_sent, b.frames_received, b.frames_rejected, b.peak_backlog
+            )?;
+        }
         if !self.faults.is_quiet() {
             write!(
                 f,

@@ -1,0 +1,177 @@
+//! Deterministic open-loop arrival processes.
+//!
+//! The fleet front-end is *open loop*: request arrival instants are drawn
+//! before the run starts, from a seeded [`DetRng`], and do not react to
+//! how fast the machines serve. Latency is therefore measured from the
+//! *scheduled* arrival — a saturated machine shows queueing delay instead
+//! of silently throttling the offered load (the coordinated-omission
+//! trap closed-loop harnesses fall into).
+
+use swallow_sim::{DetRng, Time};
+
+/// The shape of the arrival process (the rate is a separate knob so a
+/// load sweep can vary it without changing the shape).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Memoryless arrivals: independent exponential gaps.
+    Poisson,
+    /// Bursts of `burst` simultaneous requests, with exponential gaps
+    /// between bursts sized so the long-run rate still matches.
+    Bursty {
+        /// Requests per burst (minimum 1).
+        burst: u32,
+    },
+}
+
+impl ArrivalKind {
+    /// Parses the `reproduce fleet --arrivals` grammar: `poisson` or
+    /// `bursty` / `bursty:N` (burst size N, default 8).
+    pub fn parse(text: &str) -> Option<ArrivalKind> {
+        match text {
+            "poisson" => Some(ArrivalKind::Poisson),
+            "bursty" => Some(ArrivalKind::Bursty { burst: 8 }),
+            _ => {
+                let n = text.strip_prefix("bursty:")?.parse().ok()?;
+                (n >= 1).then_some(ArrivalKind::Bursty { burst: n })
+            }
+        }
+    }
+}
+
+/// One scheduled request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Scheduled arrival instant (latency is measured from here).
+    pub at: Time,
+    /// Fleet-unique tag, echoed end to end by the service program.
+    pub tag: u32,
+    /// Payload the workers square.
+    pub value: u32,
+}
+
+/// An exponential inter-arrival gap at `rate_rps`, in picoseconds.
+fn exp_gap_ps(rate_rps: f64, rng: &mut DetRng) -> u64 {
+    // u ∈ [0,1) so 1-u ∈ (0,1] and the gap is finite and ≥ 0.
+    let gap_secs = -(1.0 - rng.f64()).ln() / rate_rps;
+    (gap_secs * 1e12) as u64
+}
+
+/// Draws `count` arrivals at mean `rate_rps`, tagged `base_tag..`.
+///
+/// The same `(kind, rate, count, base_tag, rng state)` always yields the
+/// same schedule — the fleet's determinism starts here.
+///
+/// # Panics
+///
+/// Panics on a non-positive rate.
+pub fn generate_arrivals(
+    kind: ArrivalKind,
+    rate_rps: f64,
+    count: u32,
+    base_tag: u32,
+    rng: &mut DetRng,
+) -> Vec<Request> {
+    assert!(rate_rps > 0.0, "arrival rate must be positive");
+    let mut out = Vec::with_capacity(count as usize);
+    let mut t_ps = 0u64;
+    match kind {
+        ArrivalKind::Poisson => {
+            for i in 0..count {
+                t_ps += exp_gap_ps(rate_rps, rng);
+                out.push(Request {
+                    at: Time::from_ps(t_ps),
+                    tag: base_tag + i,
+                    value: rng.next_u32(),
+                });
+            }
+        }
+        ArrivalKind::Bursty { burst } => {
+            let burst = burst.max(1);
+            let burst_rate = rate_rps / burst as f64;
+            let mut i = 0;
+            while i < count {
+                t_ps += exp_gap_ps(burst_rate, rng);
+                for _ in 0..burst {
+                    if i >= count {
+                        break;
+                    }
+                    out.push(Request {
+                        at: Time::from_ps(t_ps),
+                        tag: base_tag + i,
+                        value: rng.next_u32(),
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        for kind in [ArrivalKind::Poisson, ArrivalKind::Bursty { burst: 4 }] {
+            let a = generate_arrivals(kind, 1e5, 100, 0, &mut DetRng::seed_from(9));
+            let b = generate_arrivals(kind, 1e5, 100, 0, &mut DetRng::seed_from(9));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn poisson_hits_the_mean_rate() {
+        let n = 20_000u32;
+        let rate = 250_000.0;
+        let reqs = generate_arrivals(ArrivalKind::Poisson, rate, n, 0, &mut DetRng::seed_from(1));
+        assert_eq!(reqs.len(), n as usize);
+        assert!(reqs.windows(2).all(|w| w[0].at <= w[1].at), "sorted");
+        let span_s = reqs.last().expect("non-empty").at.as_secs_f64();
+        let measured = n as f64 / span_s;
+        assert!(
+            (measured - rate).abs() < rate * 0.05,
+            "measured rate {measured} vs {rate}"
+        );
+    }
+
+    #[test]
+    fn bursts_share_instants_and_keep_the_rate() {
+        let n = 9_000u32;
+        let rate = 400_000.0;
+        let kind = ArrivalKind::Bursty { burst: 6 };
+        let reqs = generate_arrivals(kind, rate, n, 0, &mut DetRng::seed_from(2));
+        // Full bursts share a timestamp.
+        assert_eq!(reqs[0].at, reqs[5].at);
+        assert_ne!(reqs[0].at, reqs[6].at);
+        let span_s = reqs.last().expect("non-empty").at.as_secs_f64();
+        let measured = n as f64 / span_s;
+        assert!(
+            (measured - rate).abs() < rate * 0.10,
+            "measured rate {measured} vs {rate}"
+        );
+    }
+
+    #[test]
+    fn tags_are_sequential_from_base() {
+        let reqs = generate_arrivals(ArrivalKind::Poisson, 1e6, 5, 70, &mut DetRng::seed_from(3));
+        let tags: Vec<u32> = reqs.iter().map(|r| r.tag).collect();
+        assert_eq!(tags, [70, 71, 72, 73, 74]);
+    }
+
+    #[test]
+    fn kind_parses() {
+        assert_eq!(ArrivalKind::parse("poisson"), Some(ArrivalKind::Poisson));
+        assert_eq!(
+            ArrivalKind::parse("bursty"),
+            Some(ArrivalKind::Bursty { burst: 8 })
+        );
+        assert_eq!(
+            ArrivalKind::parse("bursty:3"),
+            Some(ArrivalKind::Bursty { burst: 3 })
+        );
+        assert_eq!(ArrivalKind::parse("bursty:0"), None);
+        assert_eq!(ArrivalKind::parse("uniform"), None);
+    }
+}

@@ -1,0 +1,354 @@
+//! The per-machine request driver.
+//!
+//! [`drive`] pushes one machine through its arrival schedule: inject due
+//! request frames at the bridge, advance simulated time in bounded
+//! chunks, drain reply frames, and attribute the machine's energy to the
+//! requests that were in flight while it was spent. The whole loop is a
+//! pure function of the machine state and the schedule — no host clocks,
+//! no thread timing — which is what lets the fleet layer scatter
+//! machines across threads and still merge bit-identical results.
+
+use crate::arrivals::Request;
+use std::collections::BTreeMap;
+use swallow::{SwallowSystem, Time, TimeDelta};
+use swallow_workloads::serve::{expected_reply, ingress_rid};
+
+/// Energy-attribution granularity: the ledger delta is split over the
+/// in-flight set at least this often, even with no arrival to stop at.
+const MAX_CHUNK: TimeDelta = TimeDelta::from_us(20);
+
+/// Smallest forward step — keeps the loop making progress when the next
+/// arrival is closer than the engine's scheduling grain.
+const MIN_STEP: TimeDelta = TimeDelta::from_ns(100);
+
+/// One served request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Completion {
+    /// The request's fleet-unique tag.
+    pub tag: u32,
+    /// The reply payload the worker computed.
+    pub reply: u32,
+    /// When the reply frame finished arriving at the bridge.
+    pub completed_at: Time,
+    /// Round trip measured from the *scheduled* arrival, so queueing
+    /// delay on a saturated machine is included (no coordinated
+    /// omission).
+    pub latency: TimeDelta,
+    /// Energy attributed to this request (equal split of every ledger
+    /// delta over the concurrently in-flight set).
+    pub energy_j: f64,
+}
+
+/// The end-of-run identity of a machine: if two runs agree on this, they
+/// took the same trajectory (used to prove warm-started fleets equal
+/// cold-started ones).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Final simulated instant, in picoseconds.
+    pub now_ps: u64,
+    /// Machine-wide instructions retired.
+    pub instret: u64,
+    /// Exact bits of the ledger-total joules.
+    pub energy_bits: u64,
+    /// Frames the bridge sent into the machine.
+    pub frames_in: u64,
+    /// Frames the machine sent out through the bridge.
+    pub frames_out: u64,
+    /// Frames rejected at ingress by the backpressure cap.
+    pub rejected: u64,
+}
+
+/// What one machine did over its schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriveOutcome {
+    /// Served requests in completion order.
+    pub completions: Vec<Completion>,
+    /// Requests injected (accepted by the bridge).
+    pub injected: u32,
+    /// Requests rejected by ingress backpressure.
+    pub rejected: u32,
+    /// Replies that failed the [`expected_reply`] oracle or arrived
+    /// malformed.
+    pub wrong: u32,
+    /// Energy spent while nothing was in flight.
+    pub idle_energy_j: f64,
+    /// Whole-run ledger total.
+    pub total_energy_j: f64,
+    /// Supply-integrated energy total (`None` with the metrics hub off);
+    /// the per-machine conservation gate compares this to
+    /// `total_energy_j`.
+    pub metered_energy_j: Option<f64>,
+    /// The machine's end-of-run identity.
+    pub fingerprint: Fingerprint,
+}
+
+struct Open {
+    scheduled: Time,
+    value: u32,
+    energy_j: f64,
+}
+
+/// The resumable driver loop. [`drive`] wraps it; the fleet's mid-run
+/// snapshot handoff uses it directly — host-side request bookkeeping
+/// stays in the driver while the machine is serialized and revived.
+pub struct Driver<'a> {
+    arrivals: &'a [Request],
+    work: u32,
+    horizon: Time,
+    next: usize,
+    open: BTreeMap<u32, Open>,
+    completions: Vec<Completion>,
+    injected: u32,
+    rejected: u32,
+    wrong: u32,
+    idle_energy_j: f64,
+    last_energy_j: f64,
+}
+
+impl<'a> Driver<'a> {
+    /// Starts a driver over `arrivals` against a service generated with
+    /// `work` squaring iterations, running `drain` past the last arrival.
+    pub fn new(arrivals: &'a [Request], work: u32, drain: TimeDelta) -> Self {
+        let last = arrivals.last().map_or(Time::ZERO, |r| r.at);
+        Driver {
+            arrivals,
+            work,
+            horizon: last + drain,
+            next: 0,
+            open: BTreeMap::new(),
+            completions: Vec::new(),
+            injected: 0,
+            rejected: 0,
+            wrong: 0,
+            idle_energy_j: 0.0,
+            last_energy_j: 0.0,
+        }
+    }
+
+    /// True once the machine has reached the run horizon.
+    pub fn done(&self, system: &SwallowSystem) -> bool {
+        system.now() >= self.horizon
+    }
+
+    /// Completions drained so far.
+    pub fn completed(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Injects due arrivals, advances to the next arrival (or chunk
+    /// boundary), attributes the energy spent, drains replies.
+    pub fn step(&mut self, system: &mut SwallowSystem) {
+        let now = system.now();
+        while self.next < self.arrivals.len() && self.arrivals[self.next].at <= now {
+            let req = self.arrivals[self.next];
+            self.next += 1;
+            let bridge = system
+                .machine_mut()
+                .bridge_mut()
+                .expect("fleet machines carry a bridge");
+            if bridge.send_frame(ingress_rid(), &[req.tag, req.value]) {
+                self.injected += 1;
+                self.open.insert(
+                    req.tag,
+                    Open {
+                        scheduled: req.at,
+                        value: req.value,
+                        energy_j: 0.0,
+                    },
+                );
+            } else {
+                self.rejected += 1;
+            }
+        }
+        let target = match self.arrivals.get(self.next) {
+            Some(req) => req.at.min(self.horizon),
+            None => self.horizon,
+        };
+        let step = target.saturating_since(now).min(MAX_CHUNK).max(MIN_STEP);
+        system.run_for(step);
+        self.attribute_energy(system);
+        self.drain(system);
+    }
+
+    fn attribute_energy(&mut self, system: &SwallowSystem) {
+        let total = system.machine().machine_ledger().total().as_joules();
+        let delta = total - self.last_energy_j;
+        self.last_energy_j = total;
+        if self.open.is_empty() {
+            self.idle_energy_j += delta;
+        } else {
+            let share = delta / self.open.len() as f64;
+            for open in self.open.values_mut() {
+                open.energy_j += share;
+            }
+        }
+    }
+
+    fn drain(&mut self, system: &mut SwallowSystem) {
+        let bridge = system
+            .machine_mut()
+            .bridge_mut()
+            .expect("fleet machines carry a bridge");
+        while let Some(frame) = bridge.pop_frame() {
+            let (Some(&tag), Some(&reply)) = (frame.words.first(), frame.words.get(1)) else {
+                self.wrong += 1;
+                continue;
+            };
+            let Some(open) = self.open.remove(&tag) else {
+                self.wrong += 1;
+                continue;
+            };
+            if reply != expected_reply(open.value, self.work) {
+                self.wrong += 1;
+            }
+            self.completions.push(Completion {
+                tag,
+                reply,
+                completed_at: frame.completed_at,
+                latency: frame.completed_at.saturating_since(open.scheduled),
+                energy_j: open.energy_j,
+            });
+        }
+    }
+
+    /// Seals the run: final metrics flush and energy split, fingerprint,
+    /// outcome.
+    pub fn finish(mut self, system: &mut SwallowSystem) -> DriveOutcome {
+        system.flush_metrics();
+        self.attribute_energy(system);
+        // Energy accumulated by requests still open at the horizon has no
+        // completion to land on; it is idle from the fleet's viewpoint.
+        self.idle_energy_j += self.open.values().map(|o| o.energy_j).sum::<f64>();
+        let machine = system.machine();
+        let stats = machine
+            .bridge()
+            .expect("fleet machines carry a bridge")
+            .stats();
+        DriveOutcome {
+            completions: self.completions,
+            injected: self.injected,
+            rejected: self.rejected,
+            wrong: self.wrong,
+            idle_energy_j: self.idle_energy_j,
+            total_energy_j: self.last_energy_j,
+            metered_energy_j: machine
+                .metrics()
+                .is_enabled()
+                .then(|| machine.metrics().total_energy().as_joules()),
+            fingerprint: Fingerprint {
+                now_ps: system.now().as_ps(),
+                instret: machine.total_instret(),
+                energy_bits: self.last_energy_j.to_bits(),
+                frames_in: stats.frames_sent,
+                frames_out: stats.frames_received,
+                rejected: stats.frames_rejected,
+            },
+        }
+    }
+}
+
+/// Runs one machine through its whole schedule.
+pub fn drive(
+    system: &mut SwallowSystem,
+    arrivals: &[Request],
+    work: u32,
+    drain: TimeDelta,
+) -> DriveOutcome {
+    let mut driver = Driver::new(arrivals, work, drain);
+    while !driver.done(system) {
+        driver.step(system);
+    }
+    driver.finish(system)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{generate_arrivals, ArrivalKind};
+    use swallow::{NodeId, SystemBuilder};
+    use swallow_sim::DetRng;
+    use swallow_workloads::serve::{self, ServeSpec};
+
+    fn service_system(spec: &ServeSpec) -> SwallowSystem {
+        let mut system = SystemBuilder::new().bridge().build().expect("builds");
+        let placement = serve::generate(spec, system.machine().spec()).expect("generates");
+        placement.apply(&mut system).expect("loads");
+        system
+    }
+
+    #[test]
+    fn drives_a_schedule_to_completion() {
+        let spec = ServeSpec {
+            workers: 4,
+            max_requests: 12,
+            work: 3,
+        };
+        let mut system = service_system(&spec);
+        let arrivals = generate_arrivals(
+            ArrivalKind::Poisson,
+            200_000.0,
+            12,
+            0,
+            &mut DetRng::seed_from(11),
+        );
+        let outcome = drive(&mut system, &arrivals, spec.work, TimeDelta::from_us(300));
+        assert_eq!(outcome.injected, 12);
+        assert_eq!(outcome.rejected, 0);
+        assert_eq!(outcome.wrong, 0, "every reply matches the oracle");
+        assert_eq!(outcome.completions.len(), 12);
+        // Completion order is bridge-arrival order: monotone timestamps.
+        assert!(outcome
+            .completions
+            .windows(2)
+            .all(|w| w[0].completed_at <= w[1].completed_at));
+        for c in &outcome.completions {
+            assert!(c.latency > TimeDelta::ZERO);
+            assert!(c.energy_j > 0.0, "tag {} got no energy", c.tag);
+        }
+        // Request + idle energy account for the whole ledger.
+        let request_j: f64 = outcome.completions.iter().map(|c| c.energy_j).sum();
+        let gap = (request_j + outcome.idle_energy_j - outcome.total_energy_j).abs();
+        assert!(
+            gap <= outcome.total_energy_j * 1e-9,
+            "energy attribution leaked {gap} J"
+        );
+        // The serve program quiesced: dispatcher printed its budget.
+        assert_eq!(system.output(NodeId(0)), "12\n");
+    }
+
+    #[test]
+    fn same_schedule_same_outcome() {
+        let spec = ServeSpec {
+            workers: 3,
+            max_requests: 8,
+            work: 2,
+        };
+        let arrivals = generate_arrivals(
+            ArrivalKind::Bursty { burst: 4 },
+            300_000.0,
+            8,
+            100,
+            &mut DetRng::seed_from(5),
+        );
+        let run = |spec: &ServeSpec| {
+            let mut system = service_system(spec);
+            drive(&mut system, &arrivals, spec.work, TimeDelta::from_us(200))
+        };
+        assert_eq!(run(&spec), run(&spec));
+    }
+
+    #[test]
+    fn empty_schedule_is_just_idle_burn() {
+        let spec = ServeSpec {
+            workers: 2,
+            max_requests: 1,
+            work: 0,
+        };
+        let mut system = service_system(&spec);
+        let outcome = drive(&mut system, &[], spec.work, TimeDelta::from_us(50));
+        assert_eq!(outcome.injected, 0);
+        assert!(outcome.completions.is_empty());
+        assert!(outcome.idle_energy_j > 0.0);
+        assert_eq!(outcome.idle_energy_j, outcome.total_energy_j);
+    }
+}

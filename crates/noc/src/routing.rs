@@ -238,6 +238,30 @@ impl TableRouter {
         let idx = at.raw() as usize * self.nodes + dest.raw() as usize;
         self.table[idx] = candidates;
     }
+
+    /// Routes every node's traffic for `dest` along its existing route to
+    /// `via`, with `direct` as the final hop from `via` to `dest`.
+    ///
+    /// This is how an *edge appendage* — a node hanging off one lattice
+    /// port, like the Ethernet bridge on its reserved South header —
+    /// becomes reachable under dimension-order routing: vertical-first
+    /// would steer everything South immediately, but South links below
+    /// the last lattice row exist only in the appendage's column, leaving
+    /// the destination unroutable (and its traffic silently dropped) from
+    /// every other column. Aliasing through the attach node reuses the
+    /// already-correct core-to-core table and touches no other route.
+    pub fn alias_dest_via(&mut self, dest: NodeId, via: NodeId, direct: Candidates) {
+        let (d, v) = (dest.raw() as usize, via.raw() as usize);
+        for at in 0..self.nodes {
+            self.table[at * self.nodes + d] = if at == v {
+                direct
+            } else if at == d {
+                Candidates::EMPTY
+            } else {
+                self.table[at * self.nodes + v]
+            };
+        }
+    }
 }
 
 impl Router for TableRouter {
@@ -404,6 +428,50 @@ mod tests {
                 .expect("routed")
                 .raw(),
             2
+        );
+    }
+
+    #[test]
+    fn alias_dest_reuses_routes_to_the_attach_node() {
+        // Mini lattice plus an appendage node 4 hanging South off node 0.
+        let (mut coords, mut links) = mini_lattice();
+        coords.push(Coord {
+            x: 0,
+            y: 1,
+            layer: Layer::Vertical,
+        });
+        links.push(desc(6, 0, 4, Direction::South));
+        links.push(desc(7, 4, 0, Direction::North));
+        let mut r = TableRouter::vertical_first(&coords, &links);
+        // Before the alias: node 3 cannot reach the appendage (it wants
+        // to go vertical via its partner node 2, which has no South link).
+        assert!(r.candidates(NodeId(2), NodeId(4)).is_empty());
+        let mut direct = Candidates::EMPTY;
+        direct.push(LinkId(6));
+        r.alias_dest_via(NodeId(4), NodeId(0), direct);
+        // Now node 3 routes to the appendage exactly as it routes to the
+        // attach node 0 (West first), and the attach node takes the hop.
+        assert_eq!(
+            r.candidates(NodeId(3), NodeId(4)),
+            r.candidates(NodeId(3), NodeId(0))
+        );
+        assert_eq!(
+            r.candidates(NodeId(0), NodeId(4))
+                .iter()
+                .next()
+                .expect("direct hop")
+                .raw(),
+            6
+        );
+        // Self-route stays empty; routes between core nodes untouched.
+        assert!(r.candidates(NodeId(4), NodeId(4)).is_empty());
+        assert_eq!(
+            r.candidates(NodeId(0), NodeId(3))
+                .iter()
+                .next()
+                .expect("routed")
+                .raw(),
+            0
         );
     }
 

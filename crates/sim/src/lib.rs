@@ -30,6 +30,7 @@
 //! ```
 
 pub mod codec;
+pub mod merge;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -37,8 +38,10 @@ pub mod time;
 pub mod trace;
 
 pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use merge::kway_merge_by;
 pub use queue::EventQueue;
 pub use rng::DetRng;
+pub use stats::LatencySketch;
 pub use time::{Frequency, Time, TimeDelta};
 pub use trace::{
     NullSink, TraceEvent, TraceLog, TraceRecord, TraceRing, TraceSink, Tracer,

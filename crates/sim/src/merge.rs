@@ -1,0 +1,93 @@
+//! Deterministic k-way merge of pre-sorted event streams.
+//!
+//! The fleet layer runs many independent machines, each producing its own
+//! time-ordered stream of completions. To make a fleet-wide log that is
+//! bit-identical regardless of how machines were spread across host
+//! threads, per-machine streams are collected separately and then merged
+//! here: strictly by key, ties broken by stream index. Nothing about
+//! host scheduling can perturb the output.
+
+/// Merges pre-sorted streams into one sorted vector.
+///
+/// Each stream must already be sorted (non-decreasing) under `key`; the
+/// result interleaves all items ordered by `(key, stream index)`, so
+/// equal-key items from an earlier stream come first. Order within a
+/// stream is preserved.
+///
+/// ```
+/// use swallow_sim::merge::kway_merge_by;
+/// let merged = kway_merge_by(vec![vec![1u64, 4, 6], vec![2, 4, 5]], |&v| v);
+/// assert_eq!(merged, [1, 2, 4, 4, 5, 6]);
+/// ```
+pub fn kway_merge_by<T, K, F>(streams: Vec<Vec<T>>, key: F) -> Vec<T>
+where
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut streams: Vec<std::vec::IntoIter<T>> = streams.into_iter().map(Vec::into_iter).collect();
+    // `peeked` holds the head of each stream; index order breaks ties.
+    let mut peeked: Vec<Option<T>> = streams.iter_mut().map(Iterator::next).collect();
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, slot) in peeked.iter().enumerate() {
+            let Some(item) = slot else { continue };
+            match best {
+                Some(b) if key(peeked[b].as_ref().expect("best is live")) <= key(item) => {}
+                _ => best = Some(i),
+            }
+        }
+        let Some(i) = best else { break };
+        let item = peeked[i].take().expect("best is live");
+        peeked[i] = streams[i].next();
+        out.push(item);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_disjoint_streams() {
+        let merged = kway_merge_by(vec![vec![10u64, 30], vec![20, 40], vec![]], |&v| v);
+        assert_eq!(merged, [10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn ties_break_by_stream_index() {
+        let a = vec![(5u64, "a0"), (7, "a1")];
+        let b = vec![(5u64, "b0"), (5, "b1")];
+        let merged = kway_merge_by(vec![a, b], |&(t, _)| t);
+        let labels: Vec<&str> = merged.iter().map(|&(_, l)| l).collect();
+        assert_eq!(labels, ["a0", "b0", "b1", "a1"]);
+    }
+
+    #[test]
+    fn single_stream_passes_through() {
+        let merged = kway_merge_by(vec![vec![1u64, 1, 2, 3]], |&v| v);
+        assert_eq!(merged, [1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let merged: Vec<u64> = kway_merge_by(Vec::<Vec<u64>>::new(), |&v| v);
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn matches_sort_of_concatenation() {
+        // Stability vs a stable sort tagged with stream index.
+        let streams = vec![vec![3u64, 3, 9], vec![1, 3, 8, 8], vec![2, 3]];
+        let mut tagged: Vec<(u64, usize)> = Vec::new();
+        for (i, s) in streams.iter().enumerate() {
+            tagged.extend(s.iter().map(|&v| (v, i)));
+        }
+        tagged.sort_by_key(|&(v, i)| (v, i));
+        let merged = kway_merge_by(streams, |&v| v);
+        let expect: Vec<u64> = tagged.into_iter().map(|(v, _)| v).collect();
+        assert_eq!(merged, expect);
+    }
+}

@@ -189,6 +189,142 @@ impl Histogram {
     }
 }
 
+/// A streaming quantile accumulator for latency-style `u64` values
+/// (sub-bucketed base-2 histogram, ≤ 1/32 relative error).
+///
+/// [`Histogram`]'s power-of-two buckets are too coarse for tail-latency
+/// reporting (p99 would snap to the nearest octave). This sketch keeps
+/// 32 linear sub-buckets per octave — values below 64 are exact — so any
+/// quantile is recovered within 3.2 % from O(1) memory per recorded
+/// magnitude, deterministically: the same inserts produce bit-identical
+/// state and quantiles regardless of order, and two sketches merge into
+/// exactly the sketch of the concatenated stream. The fleet layer leans
+/// on both properties for reproducible `BENCH_fleet.json` rows.
+///
+/// ```
+/// use swallow_sim::stats::LatencySketch;
+/// let mut s = LatencySketch::new();
+/// for v in 1..=1000u64 { s.record(v); }
+/// let p50 = s.quantile(0.50).expect("non-empty");
+/// assert!(p50 <= 500 && 500 - p50 <= 500 / 32);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencySketch {
+    buckets: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+/// Sub-bucket resolution: 2^5 linear steps per octave.
+const SKETCH_SUB_BITS: u32 = 5;
+/// Values below this are bucketed exactly (one bucket per value).
+const SKETCH_EXACT: u64 = 1 << (SKETCH_SUB_BITS + 1);
+
+impl LatencySketch {
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        LatencySketch {
+            buckets: Vec::new(),
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value < SKETCH_EXACT {
+            return value as usize;
+        }
+        let octave = 63 - value.leading_zeros() as u64;
+        let sub = (value >> (octave - SKETCH_SUB_BITS as u64)) & ((1 << SKETCH_SUB_BITS) - 1);
+        (SKETCH_EXACT + (octave - SKETCH_SUB_BITS as u64 - 1) * (1 << SKETCH_SUB_BITS) + sub)
+            as usize
+    }
+
+    fn lower_bound_of(bucket: usize) -> u64 {
+        if bucket < SKETCH_EXACT as usize {
+            return bucket as u64;
+        }
+        let rel = bucket as u64 - SKETCH_EXACT;
+        let octave = rel / (1 << SKETCH_SUB_BITS) + SKETCH_SUB_BITS as u64 + 1;
+        let sub = rel % (1 << SKETCH_SUB_BITS);
+        (1 << octave) + sub * (1 << (octave - SKETCH_SUB_BITS as u64))
+    }
+
+    /// Records a value.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::bucket_of(value);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value as u128;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The quantile's bucket lower bound (`q` in `[0, 1]`), or `None`
+    /// when empty: at most 1/32 below the exact order statistic, never
+    /// above it.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = ((self.total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::lower_bound_of(i));
+            }
+        }
+        Some(Self::lower_bound_of(self.buckets.len() - 1))
+    }
+
+    /// Folds another sketch in; the result equals the sketch of both
+    /// input streams concatenated.
+    pub fn merge(&mut self, other: &LatencySketch) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, &src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+}
+
 /// Ordinary least-squares fit of `y = intercept + slope * x`.
 ///
 /// The paper's Eq. 1 (`Pc = 46 + 0.30 f` mW) is exactly such a fit over the
@@ -318,6 +454,81 @@ mod tests {
         let p99 = h.quantile_lower_bound(0.99).expect("non-empty");
         assert!(p99 >= 64);
         assert_eq!(Histogram::new().quantile_lower_bound(0.5), None);
+    }
+
+    #[test]
+    fn sketch_is_exact_below_64() {
+        let mut s = LatencySketch::new();
+        for v in 0..64u64 {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 64);
+        assert_eq!(s.min(), Some(0));
+        assert_eq!(s.max(), Some(63));
+        for v in 0..64u64 {
+            let q = (v + 1) as f64 / 64.0;
+            assert_eq!(s.quantile(q), Some(v));
+        }
+    }
+
+    #[test]
+    fn sketch_bounds_relative_error() {
+        let mut s = LatencySketch::new();
+        let mut values: Vec<u64> = (0..2000u64).map(|i| i * i * 31 + 7).collect();
+        for &v in &values {
+            s.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0] {
+            let rank = ((values.len() as f64 * q).ceil().max(1.0) as usize).min(values.len());
+            let exact = values[rank - 1];
+            let est = s.quantile(q).expect("non-empty");
+            assert!(est <= exact, "q={q}: est {est} > exact {exact}");
+            assert!(
+                exact - est <= est / 32,
+                "q={q}: exact {exact} vs est {est} off by more than 1/32"
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_merge_equals_concatenation() {
+        let (mut a, mut b, mut both) = (
+            LatencySketch::new(),
+            LatencySketch::new(),
+            LatencySketch::new(),
+        );
+        for i in 0..500u64 {
+            let v = i.wrapping_mul(0x9e37_79b9) >> 12;
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.mean(), both.mean());
+    }
+
+    #[test]
+    fn sketch_empty_is_safe() {
+        let s = LatencySketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn sketch_handles_huge_values() {
+        let mut s = LatencySketch::new();
+        s.record(u64::MAX);
+        s.record(1 << 62);
+        let est = s.quantile(1.0).expect("non-empty");
+        assert!(u64::MAX - est <= est / 32);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property tests of the simulation kernel: queue ordering, time
 //! arithmetic and statistics invariants under arbitrary inputs.
 
-use swallow_sim::stats::{Histogram, LinearFit, MeanVar};
-use swallow_sim::{DetRng, EventQueue, Frequency, Time, TimeDelta};
+use swallow_sim::stats::{Histogram, LatencySketch, LinearFit, MeanVar};
+use swallow_sim::{kway_merge_by, DetRng, EventQueue, Frequency, Time, TimeDelta};
 use swallow_testkit::proptest::prelude::*;
 
 proptest! {
@@ -110,5 +110,76 @@ proptest! {
             prop_assert!(x < bound);
             prop_assert_eq!(x, b.below(bound));
         }
+    }
+
+    /// Every sketch quantile under-estimates the exact order statistic by
+    /// at most 1/32 of itself, at any count and value scale.
+    #[test]
+    fn latency_sketch_quantile_error_bound(
+        values in proptest::collection::vec(0u64..u64::MAX / 2, 1..300),
+        qs in proptest::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let mut sketch = LatencySketch::new();
+        for &v in &values {
+            sketch.record(v);
+        }
+        prop_assert_eq!(sketch.count(), values.len() as u64);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sketch.min(), sorted.first().copied());
+        prop_assert_eq!(sketch.max(), sorted.last().copied());
+        for &q in &qs {
+            let rank = ((sorted.len() as f64 * q).ceil().max(1.0) as usize)
+                .min(sorted.len());
+            let exact = sorted[rank - 1];
+            let est = sketch.quantile(q).expect("non-empty");
+            prop_assert!(est <= exact, "q={} est {} > exact {}", q, est, exact);
+            prop_assert!(
+                exact - est <= est / 32,
+                "q={} exact {} est {} outside 1/32", q, exact, est
+            );
+        }
+    }
+
+    /// Merging sketches is exactly equivalent to recording the
+    /// concatenated stream, however the values are split.
+    #[test]
+    fn latency_sketch_merge_is_concatenation(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        split in 0usize..200,
+    ) {
+        let cut = split.min(values.len());
+        let (mut left, mut right, mut whole) = (
+            LatencySketch::new(), LatencySketch::new(), LatencySketch::new(),
+        );
+        for (i, &v) in values.iter().enumerate() {
+            if i < cut { left.record(v) } else { right.record(v) }
+            whole.record(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(&left, &whole);
+        for q in [0.5, 0.95, 0.99] {
+            prop_assert_eq!(left.quantile(q), whole.quantile(q));
+        }
+    }
+
+    /// k-way merge of sorted shards equals a stable sort of the whole.
+    #[test]
+    fn kway_merge_matches_stable_sort(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(0u64..64, 0..40), 0..6),
+    ) {
+        let streams: Vec<Vec<u64>> = raw
+            .into_iter()
+            .map(|mut s| { s.sort_unstable(); s })
+            .collect();
+        let mut tagged: Vec<(u64, usize)> = Vec::new();
+        for (i, s) in streams.iter().enumerate() {
+            tagged.extend(s.iter().map(|&v| (v, i)));
+        }
+        tagged.sort_by_key(|&(v, i)| (v, i));
+        let merged = kway_merge_by(streams, |&v| v);
+        let expect: Vec<u64> = tagged.into_iter().map(|(v, _)| v).collect();
+        prop_assert_eq!(merged, expect);
     }
 }

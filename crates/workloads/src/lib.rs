@@ -14,6 +14,8 @@
 //! * [`matvec`] — distributed matrix–vector multiply with SRAM-resident rows,
 //! * [`shared_mem`] — shared memory emulated over channels (a memory-server
 //!   core serialising remote loads/stores),
+//! * [`serve`] — bridge-fronted request/reply farms (the fleet layer's
+//!   per-machine service program),
 //! * [`traffic`] — raw stream generators for link/EC measurements,
 //! * [`ec`] — the §V.D computation-to-communication (EC) scenarios,
 //! * [`nos`] — a nano-OS service layer (name server + RPC kernels) in the
@@ -43,6 +45,7 @@ pub mod farm;
 pub mod matvec;
 pub mod nos;
 pub mod pipeline;
+pub mod serve;
 pub mod shared_mem;
 pub mod traffic;
 

@@ -1,0 +1,251 @@
+//! Bridge-fronted request/reply service — the fleet's per-machine program.
+//!
+//! External requests arrive through the Ethernet bridge as two-word frames
+//! `[tag, value]`. A dispatcher core (node 0) owns the bridge-facing
+//! ingress channel end, forwards each request round-robin to a farm of
+//! worker cores, and each worker squares the value `work` times before
+//! sending the `[tag, result]` reply frame straight back out through the
+//! bridge. Tags travel untouched end to end, so the host can match every
+//! reply to the request that caused it and timestamp the round trip.
+//!
+//! The request budget is fixed at generation time: the dispatcher and
+//! every worker run an exact number of iterations and then `freet`, so a
+//! fully-served machine quiesces — and a machine restored from a snapshot
+//! of the loaded-but-unstarted state replays identically.
+
+use crate::codegen::{chanend_rid, compute_block, GenError, Placement};
+use swallow::{GridSpec, NodeId, ResType, ResourceId};
+
+/// Service shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeSpec {
+    /// Worker cores (the dispatcher on node 0 adds one more).
+    pub workers: usize,
+    /// Total requests the machine will serve before quiescing.
+    pub max_requests: u32,
+    /// Squaring iterations per request (the compute/communication dial).
+    pub work: u32,
+}
+
+/// The channel end the host injects request frames at (dispatcher
+/// ingress, node 0 chanend 0).
+pub fn ingress_rid() -> ResourceId {
+    ResourceId::new(NodeId(0), 0, ResType::Chanend)
+}
+
+/// The reply a worker produces for `value`: squared `work` times.
+pub fn expected_reply(value: u32, work: u32) -> u32 {
+    let mut v = value;
+    for _ in 0..work {
+        v = v.wrapping_mul(v);
+    }
+    v
+}
+
+/// Requests worker `w` (0-based) serves under round-robin dispatch.
+pub fn worker_budget(spec: &ServeSpec, w: usize) -> u32 {
+    let base = spec.max_requests / spec.workers as u32;
+    let extra = spec.max_requests % spec.workers as u32;
+    base + u32::from((w as u32) < extra)
+}
+
+/// Generates dispatcher (node 0) + workers (nodes `1..=workers`).
+///
+/// # Errors
+///
+/// [`GenError`] for zero workers/requests or too small a machine; the
+/// machine must also have a bridge fitted for the service to be of any
+/// use (not checked here — replies to a missing bridge are dropped by
+/// routing validation at run time).
+pub fn generate(spec: &ServeSpec, grid: GridSpec) -> Result<Placement, GenError> {
+    if spec.workers == 0 || spec.max_requests == 0 {
+        return Err(GenError::BadParameter("workers and requests must be > 0"));
+    }
+    if spec.workers + 1 > grid.core_count() {
+        return Err(GenError::TooFewCores {
+            need: spec.workers + 1,
+            have: grid.core_count(),
+        });
+    }
+    let mut placement = Placement::new();
+    let bridge_rid = chanend_rid(NodeId(grid.core_count() as u16), 0);
+    let worker0_rid = chanend_rid(NodeId(1), 0);
+    let node_stride = chanend_rid(NodeId(2), 0) - worker0_rid;
+
+    // Dispatcher: node 0. Ingress chanend 0 is the bridge's target;
+    // chanend 1 is re-aimed per request at the chosen worker.
+    let (workers, reqs) = (spec.workers, spec.max_requests);
+    placement.assign(
+        NodeId(0),
+        &format!(
+            "
+                getr  r0, chanend       # ingress (bridge sends here)
+                getr  r1, chanend       # egress to workers
+                ldc   r2, 0             # round-robin cursor
+                ldc   r6, {reqs}
+                ldc   r8, {workers}
+                ldc   r9, 0             # served
+                ldc   r10, {node_stride}
+                ldc   r11, {worker0_rid}
+            dl:
+                in    r3, r0            # tag
+                in    r4, r0            # value
+                chkct r0, end
+                mul   r5, r2, r10
+                add   r5, r5, r11
+                setd  r1, r5
+                out   r1, r3
+                out   r1, r4
+                outct r1, end
+                add   r9, r9, 1
+                add   r2, r2, 1
+                sub   r5, r2, r8
+                bt    r5, dk
+                ldc   r2, 0
+            dk:
+                sub   r6, r6, 1
+                bt    r6, dl
+                print r9
+                freet
+            "
+        ),
+    )?;
+
+    // Workers: nodes 1..=workers, each with an exact request budget.
+    for w in 0..spec.workers {
+        let node = NodeId((w + 1) as u16);
+        let budget = worker_budget(spec, w);
+        if budget == 0 {
+            placement.assign(node, "ldc r0, 0\nprint r0\nfreet")?;
+            continue;
+        }
+        let compute = compute_block("wk", "r4", "r5", spec.work);
+        placement.assign(
+            node,
+            &format!(
+                "
+                    getr  r0, chanend   # requests in
+                    getr  r1, chanend   # replies out, aimed at the bridge
+                    ldc   r2, {bridge_rid}
+                    setd  r1, r2
+                    ldc   r6, {budget}
+                    ldc   r9, 0         # served
+                wl:
+                    in    r3, r0        # tag
+                    in    r4, r0        # value
+                    chkct r0, end
+                    {compute}
+                    out   r1, r3
+                    out   r1, r4
+                    outct r1, end
+                    add   r9, r9, 1
+                    sub   r6, r6, 1
+                    bt    r6, wl
+                    print r9
+                    freet
+                "
+            ),
+        )?;
+    }
+    Ok(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow::{SystemBuilder, TimeDelta};
+
+    #[test]
+    fn requests_round_trip_through_the_bridge() {
+        let spec = ServeSpec {
+            workers: 3,
+            max_requests: 5,
+            work: 2,
+        };
+        let mut system = SystemBuilder::new().bridge().build().expect("builds");
+        let placement = generate(&spec, system.machine().spec()).expect("generates");
+        placement.apply(&mut system).expect("loads");
+
+        let ingress = ingress_rid();
+        for tag in 0..spec.max_requests {
+            assert!(system
+                .machine_mut()
+                .bridge_mut()
+                .expect("bridge fitted")
+                .send_frame(ingress, &[tag, tag + 10]));
+        }
+        assert!(
+            system.run_until_quiescent(TimeDelta::from_ms(50)),
+            "service did not finish: {:?}",
+            system.first_trap()
+        );
+
+        let stats = system.machine().bridge().expect("bridge fitted").stats();
+        assert_eq!(stats.frames_sent, spec.max_requests as u64);
+        assert_eq!(stats.frames_received, spec.max_requests as u64);
+        let mut replies = Vec::new();
+        let b = system.machine_mut().bridge_mut().expect("bridge fitted");
+        while let Some(frame) = b.pop_frame() {
+            assert_eq!(frame.words.len(), 2, "reply frame shape");
+            replies.push((frame.words[0], frame.words[1]));
+        }
+        replies.sort_unstable();
+        let expect: Vec<(u32, u32)> = (0..spec.max_requests)
+            .map(|tag| (tag, expected_reply(tag + 10, spec.work)))
+            .collect();
+        assert_eq!(replies, expect);
+        // Dispatcher and workers all report their exact budgets.
+        assert_eq!(system.output(NodeId(0)), "5\n");
+        for w in 0..spec.workers {
+            assert_eq!(
+                system.output(NodeId((w + 1) as u16)),
+                format!("{}\n", worker_budget(&spec, w)),
+                "worker {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn budgets_partition_the_request_count() {
+        let spec = ServeSpec {
+            workers: 4,
+            max_requests: 10,
+            work: 0,
+        };
+        let total: u32 = (0..spec.workers).map(|w| worker_budget(&spec, w)).sum();
+        assert_eq!(total, spec.max_requests);
+        assert_eq!(worker_budget(&spec, 0), 3);
+        assert_eq!(worker_budget(&spec, 3), 2);
+    }
+
+    #[test]
+    fn oracle_squares_repeatedly() {
+        assert_eq!(expected_reply(3, 0), 3);
+        assert_eq!(expected_reply(3, 1), 9);
+        assert_eq!(expected_reply(3, 2), 81);
+        assert_eq!(expected_reply(7, 3), 7u32.wrapping_pow(8));
+    }
+
+    #[test]
+    fn validation() {
+        let grid = GridSpec::ONE_SLICE;
+        assert!(generate(
+            &ServeSpec {
+                workers: 0,
+                max_requests: 1,
+                work: 0
+            },
+            grid
+        )
+        .is_err());
+        assert!(generate(
+            &ServeSpec {
+                workers: 16,
+                max_requests: 1,
+                work: 0
+            },
+            grid
+        )
+        .is_err());
+    }
+}

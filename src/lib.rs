@@ -16,4 +16,5 @@
 
 pub use swallow;
 pub use swallow_bench;
+pub use swallow_fleet;
 pub use swallow_workloads;

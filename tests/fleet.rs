@@ -1,0 +1,202 @@
+//! Fleet-level integration tests: the many-machine serving layer end to
+//! end, through the same crates the `reproduce fleet` harness uses.
+//!
+//! The obligations here are the ones the subsystem is sold on:
+//!
+//! - the whole `BENCH_fleet.json` artefact — not just the summary
+//!   counters — is byte-identical across repeat runs and across host
+//!   thread counts, and so is the merged fleet-wide request log;
+//! - a warm-started fleet (every machine revived from one `SWLWSNAP`
+//!   template) takes exactly the cold-started fleet's trajectory;
+//! - a machine can be snapshotted *mid-run*, revived, and driven to the
+//!   end with the same `Driver`, landing on the uninterrupted outcome —
+//!   the mid-run handoff story;
+//! - ingress backpressure rejects deterministically and every accepted
+//!   request still passes the reply oracle.
+
+use swallow_repro::swallow::sim::DetRng;
+use swallow_repro::swallow::{SwallowSystem, SystemBuilder, Time, TimeDelta};
+use swallow_repro::swallow_bench::experiments::fleet as fleet_bench;
+use swallow_repro::swallow_fleet::{
+    self, drive, generate_arrivals, ArrivalKind, Driver, FleetSpec,
+};
+use swallow_repro::swallow_workloads::serve::{self, ServeSpec};
+
+/// A fleet spec sized for integration testing: three machines, enough
+/// requests per machine that schedules interleave across the merge.
+fn fleet_spec() -> FleetSpec {
+    FleetSpec {
+        machines: 3,
+        workers: 6,
+        requests: 10,
+        work: 4,
+        rate_rps: 250_000.0,
+        drain: TimeDelta::from_us(300),
+        metrics: true,
+        ..FleetSpec::default()
+    }
+}
+
+#[test]
+fn bench_artifact_is_identical_across_thread_counts() {
+    let base = fleet_spec();
+    let rates = [100e3, 400e3];
+    let reference = fleet_bench::run_sweep(&base, &rates).expect("sweeps");
+    let reference_json = reference.to_json();
+    for threads in [2, 3, 8] {
+        let spec = FleetSpec {
+            threads,
+            ..base.clone()
+        };
+        let bench = fleet_bench::run_sweep(&spec, &rates).expect("sweeps");
+        assert_eq!(
+            bench.to_json(),
+            reference_json,
+            "BENCH_fleet.json differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn request_log_is_identical_across_thread_counts() {
+    let base = fleet_spec();
+    let one = swallow_fleet::run(&base).expect("runs");
+    assert_eq!(one.completed, 30);
+    assert_eq!(one.wrong, 0);
+    for threads in [2, 3] {
+        let spec = FleetSpec {
+            threads,
+            ..base.clone()
+        };
+        let many = swallow_fleet::run(&spec).expect("runs");
+        assert_eq!(
+            many.completions, one.completions,
+            "merged request log differs at {threads} threads"
+        );
+        assert_eq!(many, one, "full fleet result differs at {threads} threads");
+    }
+}
+
+#[test]
+fn warm_started_fleet_reaches_cold_fingerprints() {
+    let cold_spec = fleet_spec();
+    let warm_spec = FleetSpec {
+        warm_start: true,
+        threads: 2,
+        ..cold_spec.clone()
+    };
+    let cold = swallow_fleet::run(&cold_spec).expect("cold runs");
+    let warm = swallow_fleet::run(&warm_spec).expect("warm runs");
+    for (m, (c, w)) in cold.machines.iter().zip(&warm.machines).enumerate() {
+        assert_eq!(
+            c.fingerprint, w.fingerprint,
+            "machine {m} diverged under warm start"
+        );
+    }
+    assert_eq!(cold, warm);
+}
+
+#[test]
+fn midrun_snapshot_handoff_matches_uninterrupted_run() {
+    let service = ServeSpec {
+        workers: 4,
+        max_requests: 10,
+        work: 3,
+    };
+    let build = || -> SwallowSystem {
+        let mut system = SystemBuilder::new().bridge().build().expect("builds");
+        let placement = serve::generate(&service, system.machine().spec()).expect("generates");
+        placement.apply(&mut system).expect("loads");
+        system
+    };
+    let arrivals = generate_arrivals(
+        ArrivalKind::Poisson,
+        200_000.0,
+        10,
+        0,
+        &mut DetRng::seed_from(7),
+    );
+    let drain = TimeDelta::from_us(300);
+
+    // The uninterrupted reference run.
+    let mut reference_system = build();
+    let reference = drive(&mut reference_system, &arrivals, service.work, drain);
+    assert_eq!(reference.completions.len(), 10);
+    assert_eq!(reference.wrong, 0);
+
+    // The same schedule, handed off mid-run: once a few requests have
+    // completed, the machine is serialized, dropped, revived from the
+    // bytes, and the *same* driver carries on against the revived one.
+    let mut first_host = build();
+    let mut driver = Driver::new(&arrivals, service.work, drain);
+    while driver.completed() < 4 {
+        driver.step(&mut first_host);
+    }
+    let snapshot = first_host.snapshot();
+    drop(first_host);
+    let mut second_host = SwallowSystem::restore(&snapshot).expect("revives");
+    while !driver.done(&second_host) {
+        driver.step(&mut second_host);
+    }
+    let handed_off = driver.finish(&mut second_host);
+    assert_eq!(handed_off, reference, "handoff changed the trajectory");
+}
+
+#[test]
+fn ingress_backpressure_rejects_deterministically() {
+    // A 16-request burst lands at one instant against an ingress cap of
+    // two frames' worth of tokens (2-word frame = 9 tokens): the bridge
+    // must reject most of it, deterministically, and every accepted
+    // request must still serve correctly.
+    let spec = FleetSpec {
+        machines: 2,
+        workers: 4,
+        requests: 16,
+        arrivals: ArrivalKind::Bursty { burst: 16 },
+        rate_rps: 400_000.0,
+        ingress_capacity: Some(18),
+        drain: TimeDelta::from_us(300),
+        ..FleetSpec::default()
+    };
+    let a = swallow_fleet::run(&spec).expect("runs");
+    assert_eq!(a.offered, 32);
+    assert!(a.rejected > 0, "the cap never bit");
+    assert_eq!(a.injected + a.rejected, a.offered);
+    assert_eq!(a.completed, a.injected, "every accepted request served");
+    assert_eq!(a.wrong, 0);
+    for (outcome, rejected) in a.machines.iter().zip([true, true]) {
+        assert_eq!(outcome.fingerprint.rejected > 0, rejected);
+    }
+    let b = swallow_fleet::run(&spec).expect("runs");
+    assert_eq!(a, b, "backpressure is part of the deterministic state");
+}
+
+#[test]
+fn rebalanced_schedules_keep_tags_and_oracle() {
+    let spec = FleetSpec {
+        machines: 3,
+        workers: 4,
+        requests: 6,
+        provision: Some(18),
+        rate_rps: 200_000.0,
+        ..FleetSpec::default()
+    };
+    let mut schedules = spec.schedules();
+    // Drain machine 0 out of the fleet shortly after its second arrival.
+    let cut: Time = schedules[0][1].at;
+    let moved = swallow_fleet::rebalance(&mut schedules, 0, cut, 2);
+    assert_eq!(moved as usize, schedules[2].len() - 6);
+    let result = swallow_fleet::run_with_schedules(&spec, &schedules).expect("runs");
+    assert_eq!(result.completed, 18);
+    assert_eq!(result.wrong, 0);
+    assert_eq!(result.machines[0].completions.len(), 2);
+    // Moved requests kept their fleet-unique tags: machine 2's log holds
+    // its own tag range plus the tail of machine 0's.
+    let tags: Vec<u32> = result.machines[2]
+        .completions
+        .iter()
+        .map(|c| c.tag)
+        .collect();
+    assert!(tags.iter().any(|&t| t < 6), "no migrated tag was served");
+    assert!(tags.iter().any(|&t| (12..18).contains(&t)));
+}
